@@ -1,0 +1,113 @@
+// Shared scaffolding for the benchmark harnesses (one binary per paper
+// table/figure). Every bench accepts:
+//   --scale=F     dataset scale multiplier        (default 0.45)
+//   --steps=N     pretraining steps               (default 250)
+//   --trials=N    episodes averaged per cell      (default 3)
+//   --queries=N   test queries per episode        (default 50; paper 500)
+//   --seed=N      master seed                     (default 1)
+//   --outdir=DIR  CSV output directory            (default "results")
+// Results are printed as paper-style tables and written as CSV.
+
+#ifndef GRAPHPROMPTER_BENCH_BENCH_COMMON_H_
+#define GRAPHPROMPTER_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "baselines/prodigy.h"
+#include "core/graph_prompter.h"
+#include "core/pretrain.h"
+#include "util/flags.h"
+#include "util/stopwatch.h"
+#include "util/table.h"
+
+namespace gp {
+namespace bench {
+
+struct Env {
+  double scale = 0.45;
+  int pretrain_steps = 250;
+  int trials = 3;
+  int queries = 50;
+  uint64_t seed = 1;
+  std::string outdir = "results";
+};
+
+inline Env ParseEnv(int argc, char** argv) {
+  Flags flags(argc, argv);
+  Env env;
+  env.scale = flags.GetDouble("scale", env.scale);
+  env.pretrain_steps =
+      static_cast<int>(flags.GetInt("steps", env.pretrain_steps));
+  env.trials = static_cast<int>(flags.GetInt("trials", env.trials));
+  env.queries = static_cast<int>(flags.GetInt("queries", env.queries));
+  env.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  env.outdir = flags.GetString("outdir", env.outdir);
+  std::filesystem::create_directories(env.outdir);
+  return env;
+}
+
+inline PretrainConfig DefaultPretrain(const Env& env) {
+  PretrainConfig config;
+  config.steps = env.pretrain_steps;
+  config.ways = 5;
+  config.shots = 3;
+  config.queries_per_task = 4;
+  config.seed = env.seed + 1000;
+  return config;
+}
+
+// Builds and pre-trains a model with the given config on `dataset`.
+inline std::unique_ptr<GraphPrompterModel> MakePretrained(
+    const GraphPrompterConfig& config, const DatasetBundle& dataset,
+    const Env& env) {
+  auto model = std::make_unique<GraphPrompterModel>(config);
+  Stopwatch timer;
+  Pretrain(model.get(), dataset, DefaultPretrain(env));
+  std::printf("  [pretrained %s-config model on %s in %.1fs]\n",
+              config.random_prompt_selection ? "prodigy" : "graphprompter",
+              dataset.name.c_str(), timer.ElapsedSeconds());
+  return model;
+}
+
+inline EvalConfig DefaultEval(const Env& env, int ways, int shots = 3) {
+  EvalConfig eval;
+  eval.ways = ways;
+  eval.shots = shots;
+  eval.candidates_per_class = 10;  // N = 10 (Sec. V-A2)
+  eval.num_queries = env.queries;
+  eval.trials = env.trials;
+  eval.seed = env.seed + 77 * ways + shots;
+  return eval;
+}
+
+inline std::string Cell(const MeanStd& ms) {
+  return TablePrinter::MeanStd(ms.mean, ms.std);
+}
+
+inline void WriteCsvOrWarn(const TablePrinter& table,
+                           const std::string& path) {
+  const Status status = table.WriteCsv(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+inline void WriteCsvOrWarn(const SeriesWriter& series,
+                           const std::string& path) {
+  const Status status = series.WriteCsv(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  } else {
+    std::printf("wrote %s\n", path.c_str());
+  }
+}
+
+}  // namespace bench
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_BENCH_BENCH_COMMON_H_

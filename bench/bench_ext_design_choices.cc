@@ -1,0 +1,96 @@
+// Extension ablations beyond the paper's figures — the pluggable design
+// choices its Further Discussion calls out:
+//   * retrieval distance metric     (cosine / Euclidean / Manhattan, Eq. 6)
+//   * prompt selector               (kNN voting vs k-means clustering)
+//   * reconstruction network        (MLP vs bilinear, Eq. 2)
+//   * augmenter cache policy        (LFU vs LRU vs FIFO)
+// Evaluated on FB15K-237-sim, 3-shot, 10-way and 20-way.
+
+#include "bench_common.h"
+
+#include "nn/serialize.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Extension: design-choice ablations ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+  DatasetBundle fb = MakeFb15kSim(env.scale, env.seed + 3);
+
+  const GraphPrompterConfig base =
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2);
+  auto trained = MakePretrained(base, wiki, env);
+  const std::string ckpt = env.outdir + "/ext_model.ckpt";
+  CHECK_OK(SaveModule(*trained, ckpt));
+
+  // Inference-only variants share the trained weights; the bilinear
+  // reconstruction changes the architecture and trains its own model.
+  struct Variant {
+    std::string group;
+    std::string name;
+    GraphPrompterConfig config;
+    bool retrain;
+  };
+  std::vector<Variant> variants;
+  variants.push_back({"metric", "cosine (paper)", base, false});
+  {
+    GraphPrompterConfig c = base;
+    c.metric = DistanceMetric::kEuclidean;
+    variants.push_back({"metric", "euclidean", c, false});
+    c.metric = DistanceMetric::kManhattan;
+    variants.push_back({"metric", "manhattan", c, false});
+  }
+  {
+    GraphPrompterConfig c = base;
+    c.selector = SelectorKind::kClustering;
+    variants.push_back({"selector", "kmeans-clustering", c, false});
+  }
+  {
+    GraphPrompterConfig c = base;
+    c.recon_arch = ReconArch::kBilinear;
+    variants.push_back({"reconstruction", "bilinear", c, true});
+  }
+  {
+    GraphPrompterConfig c = base;
+    c.augmenter.policy = CachePolicy::kLru;
+    variants.push_back({"cache", "LRU", c, false});
+    c.augmenter.policy = CachePolicy::kFifo;
+    variants.push_back({"cache", "FIFO", c, false});
+  }
+
+  TablePrinter table({"group", "variant", "10-way acc %", "20-way acc %"});
+  for (const auto& variant : variants) {
+    std::unique_ptr<GraphPrompterModel> model;
+    if (variant.retrain) {
+      model = MakePretrained(variant.config, wiki, env);
+    } else {
+      model = std::make_unique<GraphPrompterModel>(variant.config);
+      CHECK_OK(LoadModule(model.get(), ckpt));
+    }
+    std::vector<std::string> row = {variant.group, variant.name};
+    for (int ways : {10, 20}) {
+      const EvalConfig eval = DefaultEval(env, ways);
+      const auto result = EvaluateInContext(*model, fb, eval);
+      row.push_back(Cell(result.accuracy_percent));
+    }
+    table.AddRow(row);
+    std::printf("  %s/%s done\n", variant.group.c_str(),
+                variant.name.c_str());
+  }
+  std::printf("\nMeasured (this reproduction, FB15K-237-sim):\n");
+  table.Print();
+  WriteCsvOrWarn(table, env.outdir + "/ext_design_choices.csv");
+
+  std::printf(
+      "\nExpectation (paper Further Discussion): the framework is robust to\n"
+      "these substitutions — metric and cache-policy variants land within a\n"
+      "few points of the defaults; the kNN-voting selector and MLP\n"
+      "reconstruction are the reference configuration.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Fig. 3: ablation study on FB15K-237 and NELL, 3-shot, ways from 5 to 40.
+// Variants: full GraphPrompter, w/o Generator (no edge-weight
+// reconstruction), w/o kNN retrieval, w/o selection layer, w/o Augmenter,
+// plus the Prodigy baseline (everything off).
+
+#include "bench_common.h"
+
+namespace gp::bench {
+
+namespace {
+
+struct Variant {
+  std::string name;
+  GraphPrompterConfig config;
+  bool needs_own_weights;  // trained components differ -> retrain
+};
+
+std::vector<Variant> MakeVariants(const GraphPrompterConfig& base) {
+  std::vector<Variant> variants;
+  variants.push_back({"full", base, false});
+  {
+    GraphPrompterConfig c = base;
+    c.use_reconstruction = false;  // architecture changes -> retrain
+    variants.push_back({"w/o Generator", c, true});
+  }
+  {
+    GraphPrompterConfig c = base;
+    c.use_knn = false;  // inference-only change
+    variants.push_back({"w/o kNN", c, false});
+  }
+  {
+    GraphPrompterConfig c = base;
+    c.use_selection_layer = false;  // affects training too -> retrain
+    variants.push_back({"w/o SelectLayer", c, true});
+  }
+  {
+    GraphPrompterConfig c = base;
+    c.use_augmenter = false;  // inference-only change
+    variants.push_back({"w/o Augmenter", c, false});
+  }
+  return variants;
+}
+
+}  // namespace
+
+void Run(const Env& env) {
+  std::printf("=== Fig. 3: ablation study (3-shot, ways 5..40) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+  const GraphPrompterConfig base =
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2);
+
+  auto full_model = MakePretrained(base, wiki, env);
+  auto prodigy = MakePretrained(
+      ProdigyConfig(wiki.graph.feature_dim(), env.seed + 2), wiki, env);
+
+  const auto variants = MakeVariants(base);
+  // Pre-train the variants whose training differs from the full model.
+  std::vector<std::unique_ptr<GraphPrompterModel>> models;
+  for (const auto& variant : variants) {
+    if (variant.needs_own_weights) {
+      models.push_back(MakePretrained(variant.config, wiki, env));
+    } else {
+      // Same weights as full; different inference configuration.
+      auto model = std::make_unique<GraphPrompterModel>(variant.config);
+      for (size_t i = 0; i < model->Parameters().size(); ++i) {
+        model->Parameters()[i].mutable_data() =
+            full_model->Parameters()[i].data();
+      }
+      models.push_back(std::move(model));
+    }
+  }
+
+  std::vector<DatasetBundle> datasets;
+  datasets.push_back(MakeFb15kSim(env.scale, env.seed + 3));
+  datasets.push_back(MakeNellSim(env.scale, env.seed + 4));
+
+  for (const auto& dataset : datasets) {
+    std::vector<std::string> header = {"ways"};
+    for (const auto& v : variants) header.push_back(v.name);
+    header.push_back("Prodigy");
+    TablePrinter table(header);
+    SeriesWriter series("ways", [&] {
+      std::vector<std::string> names;
+      for (const auto& v : variants) names.push_back(v.name);
+      names.push_back("Prodigy");
+      return names;
+    }());
+    for (int ways : {5, 10, 20, 40}) {
+      const EvalConfig eval = DefaultEval(env, ways);
+      std::vector<std::string> row = {std::to_string(ways)};
+      std::vector<double> ys;
+      for (size_t i = 0; i < variants.size(); ++i) {
+        const auto result = EvaluateInContext(*models[i], dataset, eval);
+        row.push_back(Cell(result.accuracy_percent));
+        ys.push_back(result.accuracy_percent.mean);
+      }
+      const auto r_prodigy = EvaluateInContext(*prodigy, dataset, eval);
+      row.push_back(Cell(r_prodigy.accuracy_percent));
+      ys.push_back(r_prodigy.accuracy_percent.mean);
+      table.AddRow(row);
+      series.AddPoint(ways, ys);
+      std::printf("  %s ways=%d done\n", dataset.name.c_str(), ways);
+    }
+    std::printf("\n%s:\n", dataset.name.c_str());
+    table.Print();
+    const std::string tag =
+        dataset.name.find("FB") != std::string::npos ? "fb" : "nell";
+    WriteCsvOrWarn(series, env.outdir + "/fig3_ablation_" + tag + ".csv");
+  }
+
+  std::printf(
+      "\nPaper reference (Fig. 3): every removed component costs accuracy;\n"
+      "w/o kNN is closest to full (~1%% above baseline); all variants stay\n"
+      "above Prodigy; gaps persist across ways 5..40.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 4: Prompt Generator GNN architecture comparison — GraphSAGE (with
+// the reconstruction layer) vs GAT (whose attention plays the reweighting
+// role) on FB15K-237 and NELL. The paper finds the GraphSAGE-based
+// generator better, attributing it to scalability on large pre-training
+// graphs.
+
+#include "bench_common.h"
+
+#include <map>
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Fig. 4: generator GNN architecture (3-shot) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+
+  GraphPrompterConfig sage_config =
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2);
+  GraphPrompterConfig gat_config = sage_config;
+  gat_config.gnn_arch = GnnArch::kGat;
+  gat_config.use_reconstruction = false;  // GAT's attention reweights edges
+
+  auto sage = MakePretrained(sage_config, wiki, env);
+  auto gat = MakePretrained(gat_config, wiki, env);
+
+  std::vector<DatasetBundle> datasets;
+  datasets.push_back(MakeFb15kSim(env.scale, env.seed + 3));
+  datasets.push_back(MakeNellSim(env.scale, env.seed + 4));
+
+  TablePrinter table({"Dataset", "ways", "GraphSAGE generator",
+                      "GAT generator"});
+  SeriesWriter series("ways",
+                      {"fb_sage", "fb_gat", "nell_sage", "nell_gat"});
+  std::map<int, std::vector<double>> points;
+  for (const auto& dataset : datasets) {
+    for (int ways : {5, 10, 20, 40}) {
+      const EvalConfig eval = DefaultEval(env, ways);
+      const auto r_sage = EvaluateInContext(*sage, dataset, eval);
+      const auto r_gat = EvaluateInContext(*gat, dataset, eval);
+      table.AddRow({dataset.name, std::to_string(ways),
+                    Cell(r_sage.accuracy_percent),
+                    Cell(r_gat.accuracy_percent)});
+      points[ways].push_back(r_sage.accuracy_percent.mean);
+      points[ways].push_back(r_gat.accuracy_percent.mean);
+      std::printf("  %s ways=%d done (sage %.2f%%, gat %.2f%%)\n",
+                  dataset.name.c_str(), ways, r_sage.accuracy_percent.mean,
+                  r_gat.accuracy_percent.mean);
+    }
+  }
+  for (const auto& [ways, ys] : points) series.AddPoint(ways, ys);
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(series, env.outdir + "/fig4_gnn_arch.csv");
+
+  std::printf(
+      "\nPaper reference (Fig. 4): the GraphSAGE-based generator outperforms\n"
+      "the GAT-based one on both datasets across way counts.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

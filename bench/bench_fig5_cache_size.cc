@@ -1,0 +1,59 @@
+// Fig. 5: Prompt Augmenter cache-size analysis — accuracy as a function of
+// cache capacity c in {1..10} on FB15K-237 and NELL. The paper finds
+// performance peaks around c = 3 and declines beyond it as noisy
+// pseudo-labels outweigh their benefit.
+
+#include "bench_common.h"
+
+#include "nn/serialize.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Fig. 5: cache size sweep (3-shot, 20-way) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+  const GraphPrompterConfig base =
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2);
+  auto trained = MakePretrained(base, wiki, env);
+  const std::string ckpt = env.outdir + "/fig5_model.ckpt";
+  CHECK_OK(SaveModule(*trained, ckpt));
+
+  std::vector<DatasetBundle> datasets;
+  datasets.push_back(MakeFb15kSim(env.scale, env.seed + 3));
+  datasets.push_back(MakeNellSim(env.scale, env.seed + 4));
+
+  TablePrinter table({"cache size", "FB15K-237", "NELL"});
+  SeriesWriter series("cache_size", {"fb", "nell"});
+  for (int cache = 1; cache <= 10; ++cache) {
+    std::vector<std::string> row = {std::to_string(cache)};
+    std::vector<double> ys;
+    for (const auto& dataset : datasets) {
+      GraphPrompterConfig config = base;
+      config.augmenter.cache_capacity = cache;
+      GraphPrompterModel model(config);
+      CHECK_OK(LoadModule(&model, ckpt));  // identical weights
+      const EvalConfig eval = DefaultEval(env, 20);
+      const auto result = EvaluateInContext(model, dataset, eval);
+      row.push_back(Cell(result.accuracy_percent));
+      ys.push_back(result.accuracy_percent.mean);
+    }
+    table.AddRow(row);
+    series.AddPoint(cache, ys);
+    std::printf("  cache=%d done (fb %.2f%%, nell %.2f%%)\n", cache, ys[0],
+                ys[1]);
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(series, env.outdir + "/fig5_cache_size.csv");
+
+  std::printf(
+      "\nPaper reference (Fig. 5): accuracy peaks near c = 3 and degrades\n"
+      "for larger caches (extra pseudo-label noise outweighs the benefit).\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Fig. 6: accuracy vs the number of in-context examples (shots) on
+// FB15K-237, NELL, arXiv, and ConceptNet — Prodigy vs GraphPrompter. The
+// paper observes a rise-then-fall: more prompts help up to a point, then
+// extra prompt graphs inject noise the task graph cannot aggregate.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Fig. 6: shots sweep (5-way) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+  DatasetBundle mag = MakeMagSim(env.scale, env.seed + 1);
+
+  auto ours_edge = MakePretrained(
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2), wiki,
+      env);
+  auto prodigy_edge = MakePretrained(
+      ProdigyConfig(wiki.graph.feature_dim(), env.seed + 2), wiki, env);
+  GraphPrompterConfig node_config =
+      FullGraphPrompterConfig(mag.graph.feature_dim(), env.seed + 3);
+  node_config.use_augmenter = false;  // augmenter is the edge-task setting
+  auto ours_node = MakePretrained(node_config, mag, env);
+  auto prodigy_node = MakePretrained(
+      ProdigyConfig(mag.graph.feature_dim(), env.seed + 3), mag, env);
+
+  struct Setting {
+    DatasetBundle dataset;
+    GraphPrompterModel* ours;
+    GraphPrompterModel* prodigy;
+  };
+  std::vector<Setting> settings;
+  settings.push_back({MakeFb15kSim(env.scale, env.seed + 4),
+                      ours_edge.get(), prodigy_edge.get()});
+  settings.push_back({MakeNellSim(env.scale, env.seed + 5), ours_edge.get(),
+                      prodigy_edge.get()});
+  settings.push_back({MakeArxivSim(env.scale, env.seed + 6),
+                      ours_node.get(), prodigy_node.get()});
+  settings.push_back({MakeConceptNetSim(env.scale, env.seed + 7),
+                      ours_edge.get(), prodigy_edge.get()});
+
+  // The scaled-down datasets supply ~15-25 train items per class, so the
+  // sweep tops out at 10 shots (the paper's real datasets go to 50).
+  const std::vector<int> shot_list = {1, 2, 3, 5, 10};
+  for (const auto& setting : settings) {
+    TablePrinter table({"shots", "Prodigy", "GraphPrompter"});
+    SeriesWriter series("shots", {"prodigy", "graphprompter"});
+    for (int shots : shot_list) {
+      EvalConfig eval = DefaultEval(env, 5, shots);
+      // Enough candidates to select `shots` per class from (N >= k).
+      eval.candidates_per_class = std::max(10, shots + 2);
+      const auto r_prodigy =
+          EvaluateInContext(*setting.prodigy, setting.dataset, eval);
+      const auto r_ours =
+          EvaluateInContext(*setting.ours, setting.dataset, eval);
+      table.AddRow({std::to_string(shots), Cell(r_prodigy.accuracy_percent),
+                    Cell(r_ours.accuracy_percent)});
+      series.AddPoint(shots, {r_prodigy.accuracy_percent.mean,
+                              r_ours.accuracy_percent.mean});
+    }
+    std::printf("\n%s (5-way):\n", setting.dataset.name.c_str());
+    table.Print();
+    std::string tag = setting.dataset.name;
+    for (auto& ch : tag) {
+      if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+    }
+    WriteCsvOrWarn(series, env.outdir + "/fig6_shots_" + tag + ".csv");
+  }
+
+  std::printf(
+      "\nPaper reference (Fig. 6): both methods first improve then degrade\n"
+      "with more shots; GraphPrompter stays above Prodigy at every k, and\n"
+      "Prodigy drops sharply past ~10 shots on arXiv.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

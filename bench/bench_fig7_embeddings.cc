@@ -1,0 +1,98 @@
+// Fig. 7: distribution of data-node embeddings (prompts + queries) under
+// Prodigy vs GraphPrompter, 5-way, sweeping shots. The paper shows t-SNE
+// plots where GraphPrompter's embeddings cluster more tightly by label.
+// This bench (a) quantifies that with silhouette scores and intra/inter
+// distance ratios and (b) dumps 2-D t-SNE coordinates to CSV for plotting.
+
+#include "bench_common.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "core/metrics.h"
+#include "viz/tsne.h"
+
+namespace gp::bench {
+
+namespace {
+
+void DumpTsne(const Tensor& embeddings, const std::vector<int>& labels,
+              const std::string& path) {
+  TsneConfig config;
+  config.iterations = 300;
+  const Tensor coords = RunTsne(embeddings, config);
+  std::ofstream out(path);
+  out << "x,y,label\n";
+  for (int i = 0; i < coords.rows(); ++i) {
+    out << coords.at(i, 0) << "," << coords.at(i, 1) << "," << labels[i]
+        << "\n";
+  }
+}
+
+}  // namespace
+
+void Run(const Env& env) {
+  std::printf("=== Fig. 7: embedding distributions (5-way) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+  auto ours = MakePretrained(
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2), wiki,
+      env);
+  auto prodigy = MakePretrained(
+      ProdigyConfig(wiki.graph.feature_dim(), env.seed + 2), wiki, env);
+
+  std::vector<DatasetBundle> datasets;
+  datasets.push_back(MakeNellSim(env.scale, env.seed + 3));
+  datasets.push_back(MakeFb15kSim(env.scale, env.seed + 4));
+
+  TablePrinter table({"Dataset", "shots", "silhouette (Prodigy)",
+                      "silhouette (ours)", "intra/inter (Prodigy)",
+                      "intra/inter (ours)"});
+  for (const auto& dataset : datasets) {
+    for (int shots : {3, 5, 10}) {
+      EvalConfig eval = DefaultEval(env, 5, shots);
+      eval.candidates_per_class = std::max(10, shots + 2);
+      eval.trials = 1;
+      eval.keep_embeddings = true;
+      const auto r_ours = EvaluateInContext(*ours, dataset, eval);
+      const auto r_prodigy = EvaluateInContext(*prodigy, dataset, eval);
+
+      const double sil_ours =
+          SilhouetteScore(r_ours.embeddings, r_ours.embedding_labels);
+      const double sil_prodigy =
+          SilhouetteScore(r_prodigy.embeddings, r_prodigy.embedding_labels);
+      const double ratio_ours = IntraInterDistanceRatio(
+          r_ours.embeddings, r_ours.embedding_labels);
+      const double ratio_prodigy = IntraInterDistanceRatio(
+          r_prodigy.embeddings, r_prodigy.embedding_labels);
+      table.AddRow({dataset.name, std::to_string(shots),
+                    TablePrinter::Num(sil_prodigy, 3),
+                    TablePrinter::Num(sil_ours, 3),
+                    TablePrinter::Num(ratio_prodigy, 3),
+                    TablePrinter::Num(ratio_ours, 3)});
+
+      std::string tag = dataset.name.substr(0, 4) + "_k" +
+                        std::to_string(shots);
+      DumpTsne(r_ours.embeddings, r_ours.embedding_labels,
+               env.outdir + "/fig7_tsne_ours_" + tag + ".csv");
+      DumpTsne(r_prodigy.embeddings, r_prodigy.embedding_labels,
+               env.outdir + "/fig7_tsne_prodigy_" + tag + ".csv");
+      std::printf("  %s shots=%d done (sil ours %.3f vs prodigy %.3f)\n",
+                  dataset.name.c_str(), shots, sil_ours, sil_prodigy);
+    }
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(table, env.outdir + "/fig7_cluster_quality.csv");
+  std::printf(
+      "\nPaper reference (Fig. 7): GraphPrompter's data-node embeddings\n"
+      "form tighter per-label clusters than Prodigy's at equal shots\n"
+      "(here: higher silhouette, lower intra/inter ratio). t-SNE\n"
+      "coordinates were written next to this table for plotting.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Fig. 8: multi-hop analysis — 1/2/3-hop data graphs on FB15K-237 and
+// NELL, GraphPrompter vs Prodigy. Performance declines as subgraphs grow
+// (longer logical chains are harder for the GNN to compress), but
+// GraphPrompter stays above the baseline at every hop count.
+
+#include "bench_common.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Fig. 8: multi-hop subgraphs (3-shot, 10-way) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+
+  std::vector<DatasetBundle> datasets;
+  datasets.push_back(MakeFb15kSim(env.scale, env.seed + 3));
+  datasets.push_back(MakeNellSim(env.scale, env.seed + 4));
+
+  TablePrinter table({"Dataset", "hops", "Prodigy", "GraphPrompter"});
+  SeriesWriter series("hops",
+                      {"fb_prodigy", "fb_ours", "nell_prodigy", "nell_ours"});
+  std::vector<std::vector<double>> points(4);
+  for (int hops = 1; hops <= 3; ++hops) {
+    // Hop count changes sampling during *training* too: retrain per l.
+    GraphPrompterConfig ours_config =
+        FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2);
+    ours_config.sampler.num_hops = hops;
+    ours_config.sampler.max_nodes = 20 + 15 * hops;
+    GraphPrompterConfig prodigy_config =
+        ProdigyConfig(wiki.graph.feature_dim(), env.seed + 2);
+    prodigy_config.sampler = ours_config.sampler;
+    auto ours = MakePretrained(ours_config, wiki, env);
+    auto prodigy = MakePretrained(prodigy_config, wiki, env);
+
+    std::vector<double> row_vals;
+    for (size_t d = 0; d < datasets.size(); ++d) {
+      const EvalConfig eval = DefaultEval(env, 10);
+      const auto r_prodigy = EvaluateInContext(*prodigy, datasets[d], eval);
+      const auto r_ours = EvaluateInContext(*ours, datasets[d], eval);
+      table.AddRow({datasets[d].name, std::to_string(hops),
+                    Cell(r_prodigy.accuracy_percent),
+                    Cell(r_ours.accuracy_percent)});
+      row_vals.push_back(r_prodigy.accuracy_percent.mean);
+      row_vals.push_back(r_ours.accuracy_percent.mean);
+      std::printf("  %s hops=%d done (ours %.2f%%, prodigy %.2f%%)\n",
+                  datasets[d].name.c_str(), hops,
+                  r_ours.accuracy_percent.mean,
+                  r_prodigy.accuracy_percent.mean);
+    }
+    series.AddPoint(hops, row_vals);
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(series, env.outdir + "/fig8_multihop.csv");
+
+  std::printf(
+      "\nPaper reference (Fig. 8): accuracy declines as hop count grows on\n"
+      "both datasets; GraphPrompter > Prodigy at every hop count.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

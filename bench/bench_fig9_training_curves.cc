@@ -1,0 +1,67 @@
+// Fig. 9: pre-training loss and train-accuracy curves on the Wiki-style
+// graph, GraphPrompter vs Prodigy. The paper's claim: the reconstruction
+// and selection layers add negligible training cost — both models converge
+// comparably.
+
+#include "bench_common.h"
+
+#include <algorithm>
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Fig. 9: pretraining curves on Wiki ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+
+  PretrainConfig pretrain = DefaultPretrain(env);
+  pretrain.log_every = std::max(1, pretrain.steps / 20);
+
+  GraphPrompterModel ours(
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2));
+  Stopwatch ours_timer;
+  const auto ours_curves = Pretrain(&ours, wiki, pretrain);
+  const double ours_seconds = ours_timer.ElapsedSeconds();
+
+  GraphPrompterModel prodigy(
+      ProdigyConfig(wiki.graph.feature_dim(), env.seed + 2));
+  Stopwatch prodigy_timer;
+  const auto prodigy_curves = Pretrain(&prodigy, wiki, pretrain);
+  const double prodigy_seconds = prodigy_timer.ElapsedSeconds();
+
+  TablePrinter table({"step", "loss (Prodigy)", "loss (ours)",
+                      "train acc % (Prodigy)", "train acc % (ours)"});
+  SeriesWriter series("step", {"loss_prodigy", "loss_ours", "acc_prodigy",
+                               "acc_ours"});
+  for (size_t i = 0; i < ours_curves.step.size(); ++i) {
+    table.AddRow({std::to_string(ours_curves.step[i]),
+                  TablePrinter::Num(prodigy_curves.loss[i], 3),
+                  TablePrinter::Num(ours_curves.loss[i], 3),
+                  TablePrinter::Num(prodigy_curves.train_accuracy[i], 1),
+                  TablePrinter::Num(ours_curves.train_accuracy[i], 1)});
+    series.AddPoint(ours_curves.step[i],
+                    {prodigy_curves.loss[i], ours_curves.loss[i],
+                     prodigy_curves.train_accuracy[i],
+                     ours_curves.train_accuracy[i]});
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(series, env.outdir + "/fig9_training_curves.csv");
+
+  std::printf(
+      "\nWall-clock for %d steps: ours %.1fs, Prodigy %.1fs (%.0f%%"
+      " overhead)\n",
+      pretrain.steps, ours_seconds, prodigy_seconds,
+      100.0 * (ours_seconds - prodigy_seconds) /
+          std::max(prodigy_seconds, 1e-9));
+  std::printf(
+      "\nPaper reference (Fig. 9): both models show comparable convergence\n"
+      "speed and accuracy; the extra two-layer MLPs cost little compared to\n"
+      "the GNN itself.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,134 @@
+// Microbenchmarks of the core primitives the GraphPrompter pipeline is
+// built from: dense matmul, gather/scatter message passing, random-walk
+// sampling, kNN scoring, LFU cache operations, and the task-graph forward
+// pass. Useful for tracking performance regressions in the substrate.
+
+#include <benchmark/benchmark.h>
+
+#include "core/knn_retrieval.h"
+#include "core/lfu_cache.h"
+#include "core/task_graph.h"
+#include "data/datasets.h"
+#include "graph/sampler.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace gp {
+namespace {
+
+void BM_MatMul(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(1);
+  Tensor a = Tensor::Randn(n, n, &rng);
+  Tensor b = Tensor::Randn(n, n, &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * 2LL * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GatherScatter(benchmark::State& state) {
+  const int edges = static_cast<int>(state.range(0));
+  Rng rng(2);
+  Tensor x = Tensor::Randn(1000, 64, &rng);
+  std::vector<int> src(edges), dst(edges);
+  for (int e = 0; e < edges; ++e) {
+    src[e] = static_cast<int>(rng.UniformInt(1000));
+    dst[e] = static_cast<int>(rng.UniformInt(1000));
+  }
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    Tensor out = ScatterAddRows(GatherRows(x, src), dst, 1000);
+    benchmark::DoNotOptimize(out.raw());
+  }
+  state.SetItemsProcessed(state.iterations() * edges);
+}
+BENCHMARK(BM_GatherScatter)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_MatMulBackward(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(3);
+  for (auto _ : state) {
+    Tensor a = Tensor::Randn(n, n, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor b = Tensor::Randn(n, n, &rng, 1.0f, /*requires_grad=*/true);
+    Backward(SumAll(MatMul(a, b)));
+    benchmark::DoNotOptimize(a.raw());
+  }
+}
+BENCHMARK(BM_MatMulBackward)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_RandomWalkSampling(benchmark::State& state) {
+  static DatasetBundle ds = MakeFb15kSim(0.5, 7);
+  SamplerConfig config;
+  config.num_hops = static_cast<int>(state.range(0));
+  config.max_nodes = 30;
+  RandomWalkSampler sampler(&ds.graph, config);
+  Rng rng(4);
+  for (auto _ : state) {
+    const int node = static_cast<int>(rng.UniformInt(ds.graph.num_nodes()));
+    Subgraph sg = sampler.SampleAroundNode(node, &rng);
+    benchmark::DoNotOptimize(sg.nodes.data());
+  }
+}
+BENCHMARK(BM_RandomWalkSampling)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_KnnSelection(benchmark::State& state) {
+  const int ways = static_cast<int>(state.range(0));
+  const int candidates = ways * 10;
+  Rng rng(5);
+  Tensor prompts = Tensor::Randn(candidates, 64, &rng);
+  Tensor queries = Tensor::Randn(32, 64, &rng);
+  Tensor prompt_imp = Tensor::Randn(candidates, 1, &rng);
+  Tensor query_imp = Tensor::Randn(32, 1, &rng);
+  std::vector<int> labels(candidates);
+  for (int i = 0; i < candidates; ++i) labels[i] = i % ways;
+  KnnConfig config;
+  config.shots = 3;
+  for (auto _ : state) {
+    const auto sel = SelectPrompts(prompts, prompt_imp, labels, queries,
+                                   query_imp, ways, config);
+    benchmark::DoNotOptimize(sel.selected.data());
+  }
+}
+BENCHMARK(BM_KnnSelection)->Arg(5)->Arg(20)->Arg(40);
+
+void BM_LfuCache(benchmark::State& state) {
+  LfuCache cache(3);
+  Rng rng(6);
+  std::vector<int64_t> ids;
+  for (auto _ : state) {
+    CacheEntry entry;
+    entry.embedding = {1.0f, 2.0f};
+    entry.pseudo_label = 1;
+    const int64_t id = cache.Insert(std::move(entry));
+    ids.push_back(id);
+    cache.Touch(ids[rng.UniformInt(ids.size())]);
+    benchmark::DoNotOptimize(cache.size());
+  }
+}
+BENCHMARK(BM_LfuCache);
+
+void BM_TaskGraphForward(benchmark::State& state) {
+  const int ways = static_cast<int>(state.range(0));
+  Rng rng(7);
+  TaskGraphConfig config;
+  TaskGraphNet net(config, &rng);
+  Tensor prompts = Tensor::Randn(ways * 3, 64, &rng);
+  std::vector<int> labels(ways * 3);
+  for (int i = 0; i < ways * 3; ++i) labels[i] = i / 3;
+  Tensor queries = Tensor::Randn(4, 64, &rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    const auto out = net.Forward(prompts, labels, queries, ways);
+    benchmark::DoNotOptimize(out.query_scores.raw());
+  }
+}
+BENCHMARK(BM_TaskGraphForward)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+}  // namespace
+}  // namespace gp
+
+BENCHMARK_MAIN();

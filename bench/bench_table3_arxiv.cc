@@ -1,0 +1,91 @@
+// Table III: in-context accuracy (%) for arXiv paper-category
+// classification, 3-shot prompts, sweeping ways in {3, 5, 10, 20, 40}.
+// The model is pre-trained on the MAG-style citation graph and applied
+// in-context to the arXiv-style graph (different structure, different
+// label vocabulary). Methods: NoPretrain, Contrastive, Finetune, Prodigy,
+// ProG, GraphPrompter.
+
+#include "bench_common.h"
+
+#include "baselines/contrastive.h"
+#include "baselines/finetune.h"
+#include "baselines/no_pretrain.h"
+#include "baselines/prog_lite.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Table III: arXiv node classification (3-shot) ===\n");
+  DatasetBundle mag = MakeMagSim(env.scale, env.seed);
+  DatasetBundle arxiv = MakeArxivSim(env.scale, env.seed + 1);
+  std::printf("pretrain: %s\neval:     %s\n", mag.graph.DebugString().c_str(),
+              arxiv.graph.DebugString().c_str());
+
+  // --- pretrained models ---------------------------------------------
+  // The paper applies the Prompt Augmenter in the edge-classification
+  // experiments; the node-task pipeline runs generator + selector only.
+  GraphPrompterConfig ours_config =
+      FullGraphPrompterConfig(mag.graph.feature_dim(), env.seed + 2);
+  ours_config.use_augmenter = false;
+  auto ours = bench::MakePretrained(ours_config, mag, env);
+  auto prodigy = bench::MakePretrained(
+      ProdigyConfig(mag.graph.feature_dim(), env.seed + 2), mag, env);
+
+  ContrastiveEncoder contrastive(mag.graph.feature_dim(), 64, SamplerConfig{},
+                                 env.seed + 3);
+  ContrastivePretrainConfig cpre;
+  cpre.steps = env.pretrain_steps;
+  cpre.seed = env.seed + 4;
+  PretrainContrastive(&contrastive, mag, cpre);
+  std::printf("  [pretrained contrastive encoder]\n");
+
+  ProgLiteConfig prog_config;
+  prog_config.feature_dim = mag.graph.feature_dim();
+  prog_config.seed = env.seed + 5;
+  ProgLiteModel prog(prog_config);
+  ProgPretrainConfig ppre;
+  ppre.steps = env.pretrain_steps;
+  ppre.seed = env.seed + 6;
+  PretrainProgLite(&prog, mag, ppre);
+  std::printf("  [pretrained ProG prompt token]\n");
+
+  // --- sweep ----------------------------------------------------------
+  TablePrinter table({"Classes", "NoPretrain", "Contrastive", "Finetune",
+                      "Prodigy", "ProG", "GraphPrompter"});
+  for (int ways : {3, 5, 10, 20, 40}) {
+    const EvalConfig eval = bench::DefaultEval(env, ways);
+    const auto r_nopre = EvaluateNoPretrain(arxiv, eval, env.seed + 9);
+    const auto r_contrast = EvaluateContrastive(contrastive, arxiv, eval);
+    const auto r_finetune =
+        EvaluateFinetune(contrastive, arxiv, eval, FinetuneConfig{});
+    const auto r_prodigy = EvaluateInContext(*prodigy, arxiv, eval);
+    const auto r_prog = EvaluateProgLite(prog, arxiv, eval, ProgTuneConfig{});
+    const auto r_ours = EvaluateInContext(*ours, arxiv, eval);
+    table.AddRow({std::to_string(ways),
+                  bench::Cell(r_nopre.accuracy_percent),
+                  bench::Cell(r_contrast.accuracy_percent),
+                  bench::Cell(r_finetune.accuracy_percent),
+                  bench::Cell(r_prodigy.accuracy_percent),
+                  bench::Cell(r_prog.accuracy_percent),
+                  bench::Cell(r_ours.accuracy_percent)});
+    std::printf("  ways=%d done (ours %.2f%%, prodigy %.2f%%)\n", ways,
+                r_ours.accuracy_percent.mean, r_prodigy.accuracy_percent.mean);
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  bench::WriteCsvOrWarn(table, env.outdir + "/table3_arxiv.csv");
+
+  std::printf(
+      "\nPaper reference (Table III, GraphPrompter vs Prodigy):\n"
+      "  ways  3: 78.57 vs 73.09 | 5: 68.85 vs 61.52 | 10: 54.53 vs 46.74\n"
+      "  ways 20: 40.74 vs 34.41 | 40: 29.47 vs 25.13\n"
+      "Expected shape: GraphPrompter > Prodigy > Finetune >= Contrastive\n"
+      ">> NoPretrain at every way count; accuracy decreases with ways.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

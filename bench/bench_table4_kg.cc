@@ -1,0 +1,86 @@
+// Table IV: in-context relation classification on ConceptNet (4-way),
+// FB15K-237 and NELL (ways in {5, 10, 20, 40}), 3-shot prompts. Models are
+// pre-trained on the Wiki-style KG, whose node and relation vocabulary is
+// disjoint from every downstream KG.
+
+#include "bench_common.h"
+
+#include "baselines/contrastive.h"
+#include "baselines/finetune.h"
+#include "baselines/no_pretrain.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Table IV: KG edge classification (3-shot) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+  std::printf("pretrain: %s\n", wiki.graph.DebugString().c_str());
+
+  auto ours = MakePretrained(
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2), wiki,
+      env);
+  auto prodigy = MakePretrained(
+      ProdigyConfig(wiki.graph.feature_dim(), env.seed + 2), wiki, env);
+
+  ContrastiveEncoder contrastive(wiki.graph.feature_dim(), 64,
+                                 SamplerConfig{}, env.seed + 3);
+  ContrastivePretrainConfig cpre;
+  cpre.steps = env.pretrain_steps;
+  cpre.seed = env.seed + 4;
+  PretrainContrastive(&contrastive, wiki, cpre);
+  std::printf("  [pretrained contrastive encoder]\n");
+
+  TablePrinter table({"Dataset", "Classes", "NoPretrain", "Contrastive",
+                      "Finetune", "Prodigy", "GraphPrompter"});
+
+  struct Setting {
+    DatasetBundle dataset;
+    std::vector<int> ways;
+  };
+  std::vector<Setting> settings;
+  settings.push_back({MakeConceptNetSim(env.scale, env.seed + 5), {4}});
+  settings.push_back(
+      {MakeFb15kSim(env.scale, env.seed + 6), {5, 10, 20, 40}});
+  settings.push_back(
+      {MakeNellSim(env.scale, env.seed + 7), {5, 10, 20, 40}});
+
+  for (const auto& [dataset, way_list] : settings) {
+    for (int ways : way_list) {
+      const EvalConfig eval = DefaultEval(env, ways);
+      const auto r_nopre = EvaluateNoPretrain(dataset, eval, env.seed + 9);
+      const auto r_contrast = EvaluateContrastive(contrastive, dataset, eval);
+      const auto r_finetune =
+          EvaluateFinetune(contrastive, dataset, eval, FinetuneConfig{});
+      const auto r_prodigy = EvaluateInContext(*prodigy, dataset, eval);
+      const auto r_ours = EvaluateInContext(*ours, dataset, eval);
+      table.AddRow({dataset.name, std::to_string(ways),
+                    Cell(r_nopre.accuracy_percent),
+                    Cell(r_contrast.accuracy_percent),
+                    Cell(r_finetune.accuracy_percent),
+                    Cell(r_prodigy.accuracy_percent),
+                    Cell(r_ours.accuracy_percent)});
+      std::printf("  %s ways=%d done (ours %.2f%%, prodigy %.2f%%)\n",
+                  dataset.name.c_str(), ways, r_ours.accuracy_percent.mean,
+                  r_prodigy.accuracy_percent.mean);
+    }
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(table, env.outdir + "/table4_kg.csv");
+
+  std::printf(
+      "\nPaper reference (Table IV, GraphPrompter vs Prodigy):\n"
+      "  ConceptNet 4-way: 58.46 vs 53.97\n"
+      "  FB15K-237  5/10/20/40: 99.65/89.52/83.78/66.94 vs"
+      " 88.02/81.10/72.04/59.58\n"
+      "  NELL       5/10/20/40: 93.34/87.47/81.46/75.74 vs"
+      " 87.02/81.06/72.66/60.02\n"
+      "Expected shape: ours > Prodigy everywhere; monotone decline in ways.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

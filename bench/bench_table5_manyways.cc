@@ -1,0 +1,72 @@
+// Table V: generalisation to many classes — FB15K-237 and NELL with ways
+// in {50, 60, 80, 100}, 3-shot. This is the regime motivating the Prompt
+// Augmenter: the pre-training episodes use far fewer classes than the
+// downstream task. Methods: Prodigy, ProG, GraphPrompter.
+
+#include "bench_common.h"
+
+#include "baselines/prog_lite.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Table V: many-way generalisation (3-shot) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+
+  auto ours = MakePretrained(
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2), wiki,
+      env);
+  auto prodigy = MakePretrained(
+      ProdigyConfig(wiki.graph.feature_dim(), env.seed + 2), wiki, env);
+
+  ProgLiteConfig prog_config;
+  prog_config.feature_dim = wiki.graph.feature_dim();
+  prog_config.seed = env.seed + 3;
+  ProgLiteModel prog(prog_config);
+  ProgPretrainConfig ppre;
+  ppre.steps = env.pretrain_steps;
+  ppre.seed = env.seed + 4;
+  PretrainProgLite(&prog, wiki, ppre);
+  std::printf("  [pretrained ProG prompt token]\n");
+
+  TablePrinter table(
+      {"Dataset", "Classes", "Prodigy", "ProG", "GraphPrompter"});
+  std::vector<DatasetBundle> datasets;
+  datasets.push_back(MakeFb15kSim(env.scale, env.seed + 5));
+  datasets.push_back(MakeNellSim(env.scale, env.seed + 6));
+  for (const auto& dataset : datasets) {
+    for (int ways : {50, 60, 80, 100}) {
+      const EvalConfig eval = DefaultEval(env, ways);
+      const auto r_prodigy = EvaluateInContext(*prodigy, dataset, eval);
+      const auto r_prog =
+          EvaluateProgLite(prog, dataset, eval, ProgTuneConfig{});
+      const auto r_ours = EvaluateInContext(*ours, dataset, eval);
+      table.AddRow({dataset.name, std::to_string(ways),
+                    Cell(r_prodigy.accuracy_percent),
+                    Cell(r_prog.accuracy_percent),
+                    Cell(r_ours.accuracy_percent)});
+      std::printf("  %s ways=%d done (ours %.2f%%, prodigy %.2f%%)\n",
+                  dataset.name.c_str(), ways, r_ours.accuracy_percent.mean,
+                  r_prodigy.accuracy_percent.mean);
+    }
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(table, env.outdir + "/table5_manyways.csv");
+
+  std::printf(
+      "\nPaper reference (Table V, GraphPrompter vs Prodigy):\n"
+      "  FB15K 50/60/80/100: 62.74/53.95/42.96/28.03 vs"
+      " 55.34/49.54/37.06/27.39\n"
+      "  NELL  50/60/80/100: 66.36/61.16/53.73/35.95 vs"
+      " 56.72/50.25/40.64/28.47\n"
+      "Expected shape: ours > Prodigy > ProG; decline as ways grow; margin\n"
+      "from the augmenter persists into the many-way regime.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

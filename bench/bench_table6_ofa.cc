@@ -1,0 +1,78 @@
+// Table VI: comparison against OFA (One-For-All, low-resource joint
+// variant) under the same random category selection — arXiv with ways in
+// {3, 5, 10, 20} and FB15K-237 with ways in {5, 10, 20, 40}.
+
+#include "bench_common.h"
+
+#include "baselines/ofa_lite.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Table VI: OFA vs GraphPrompter (3-shot) ===\n");
+
+  // Node domain.
+  DatasetBundle mag = MakeMagSim(env.scale, env.seed);
+  DatasetBundle arxiv = MakeArxivSim(env.scale, env.seed + 1);
+  // Edge domain.
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed + 2);
+  DatasetBundle fb = MakeFb15kSim(env.scale, env.seed + 3);
+
+  GraphPrompterConfig node_config =
+      FullGraphPrompterConfig(mag.graph.feature_dim(), env.seed + 4);
+  node_config.use_augmenter = false;  // augmenter is the edge-task setting
+  auto ours_node = MakePretrained(node_config, mag, env);
+  auto ours_edge = MakePretrained(
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 4), wiki,
+      env);
+
+  // OFA-joint-lr: one model trained jointly across datasets.
+  OfaLiteConfig ofa_config;
+  ofa_config.feature_dim = mag.graph.feature_dim();
+  ofa_config.seed = env.seed + 5;
+  OfaLiteModel ofa(ofa_config);
+  OfaPretrainConfig opre;
+  opre.steps = env.pretrain_steps;
+  opre.seed = env.seed + 6;
+  PretrainOfaLite(&ofa, {&mag, &wiki}, opre);
+  std::printf("  [jointly pretrained OFA-lite on %s + %s]\n",
+              mag.name.c_str(), wiki.name.c_str());
+
+  TablePrinter table({"Dataset", "Classes", "OFA", "GraphPrompter"});
+  for (int ways : {3, 5, 10, 20}) {
+    const EvalConfig eval = DefaultEval(env, ways);
+    const auto r_ofa = EvaluateOfaLite(ofa, arxiv, eval);
+    const auto r_ours = EvaluateInContext(*ours_node, arxiv, eval);
+    table.AddRow({arxiv.name, std::to_string(ways),
+                  Cell(r_ofa.accuracy_percent),
+                  Cell(r_ours.accuracy_percent)});
+    std::printf("  %s ways=%d done\n", arxiv.name.c_str(), ways);
+  }
+  for (int ways : {5, 10, 20, 40}) {
+    const EvalConfig eval = DefaultEval(env, ways);
+    const auto r_ofa = EvaluateOfaLite(ofa, fb, eval);
+    const auto r_ours = EvaluateInContext(*ours_edge, fb, eval);
+    table.AddRow({fb.name, std::to_string(ways),
+                  Cell(r_ofa.accuracy_percent),
+                  Cell(r_ours.accuracy_percent)});
+    std::printf("  %s ways=%d done\n", fb.name.c_str(), ways);
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(table, env.outdir + "/table6_ofa.csv");
+
+  std::printf(
+      "\nPaper reference (Table VI, GraphPrompter vs OFA):\n"
+      "  arXiv 3/5/10/20: 78.57/68.85/54.53/40.74 vs 46.16/32.73/19.8/12.03\n"
+      "  FB15K 5/10/20/40: 99.65/89.52/83.78/66.94 vs"
+      " 75.43/65.67/55.56/45.17\n"
+      "Expected shape: GraphPrompter beats OFA everywhere, with OFA showing\n"
+      "larger variance (few-shot class descriptors are noisy).\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Table VII: robustness to pseudo-label quality — the Prompt Augmenter's
+// cache is filled with *randomly selected* queries (instead of the most
+// confident ones) under five different seeds, on FB15K-237 and NELL at 20
+// ways. The paper reports a ~2% drop vs confident pseudo-labels while
+// remaining above the Prodigy baseline.
+
+#include "bench_common.h"
+
+#include "nn/serialize.h"
+
+namespace gp::bench {
+
+void Run(const Env& env) {
+  std::printf("=== Table VII: random pseudo-label robustness (20-way) ===\n");
+  DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
+  const GraphPrompterConfig base =
+      FullGraphPrompterConfig(wiki.graph.feature_dim(), env.seed + 2);
+  auto ours = MakePretrained(base, wiki, env);
+  const std::string ckpt = env.outdir + "/table7_model.ckpt";
+  CHECK_OK(SaveModule(*ours, ckpt));
+
+  std::vector<DatasetBundle> datasets;
+  datasets.push_back(MakeFb15kSim(env.scale, env.seed + 3));
+  datasets.push_back(MakeNellSim(env.scale, env.seed + 4));
+
+  const std::vector<int> random_seeds = {10, 30, 50, 70, 90};
+  TablePrinter table({"Dataset", "seed 10", "seed 30", "seed 50", "seed 70",
+                      "seed 90", "Avg ±std", "confident (ref)"});
+  for (const auto& dataset : datasets) {
+    std::vector<std::string> row = {dataset.name};
+    std::vector<double> accs;
+    for (int rseed : random_seeds) {
+      GraphPrompterConfig config = base;
+      config.augmenter.random_pseudo_labels = true;
+      config.augmenter.min_confidence = 0.0f;  // truly random insertion
+      config.seed = env.seed + 2;  // same weights
+      GraphPrompterModel model(config);
+      CHECK_OK(LoadModule(&model, ckpt));
+      EvalConfig eval = DefaultEval(env, 20);
+      eval.seed = static_cast<uint64_t>(rseed);
+      const auto result = EvaluateInContext(model, dataset, eval);
+      accs.push_back(result.accuracy_percent.mean);
+      row.push_back(TablePrinter::Num(result.accuracy_percent.mean));
+      std::printf("  %s seed=%d: %.2f%%\n", dataset.name.c_str(), rseed,
+                  result.accuracy_percent.mean);
+    }
+    const MeanStd agg = ComputeMeanStd(accs);
+    row.push_back(TablePrinter::MeanStd(agg.mean, agg.std));
+    // Confident pseudo-labels, same episodes (averaged over the seeds).
+    std::vector<double> confident_accs;
+    for (int rseed : random_seeds) {
+      EvalConfig eval = DefaultEval(env, 20);
+      eval.seed = static_cast<uint64_t>(rseed);
+      confident_accs.push_back(
+          EvaluateInContext(*ours, dataset, eval).accuracy_percent.mean);
+    }
+    row.push_back(
+        TablePrinter::Num(ComputeMeanStd(confident_accs).mean));
+    table.AddRow(row);
+  }
+  std::printf("\nMeasured (this reproduction):\n");
+  table.Print();
+  WriteCsvOrWarn(table, env.outdir + "/table7_pseudolabel.csv");
+
+  std::printf(
+      "\nPaper reference (Table VII): FB15K 80.66 ±1.21, NELL 79.33 ±1.53\n"
+      "with random pseudo-labels — about 2%% below the confident-label\n"
+      "configuration but still above the Prodigy baseline.\n");
+}
+
+}  // namespace gp::bench
+
+int main(int argc, char** argv) {
+  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
+  return 0;
+}

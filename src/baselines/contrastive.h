@@ -1,0 +1,62 @@
+// Contrastive baseline (Sec. V-A3, following You et al. 2020): a GNN
+// encoder pre-trained with a self-supervised InfoNCE objective (two
+// independently sampled subgraph views of the same item are positives,
+// in-batch items are negatives), adapted to in-context learning with a
+// hard-coded nearest-class-mean classifier.
+
+#ifndef GRAPHPROMPTER_BASELINES_CONTRASTIVE_H_
+#define GRAPHPROMPTER_BASELINES_CONTRASTIVE_H_
+
+#include <memory>
+
+#include "core/graph_prompter.h"
+#include "core/prompt_generator.h"
+
+namespace gp {
+
+// A plain subgraph encoder (PromptGenerator without reconstruction).
+class ContrastiveEncoder : public Module {
+ public:
+  ContrastiveEncoder(int feature_dim, int embedding_dim,
+                     const SamplerConfig& sampler, uint64_t seed);
+
+  // (num_items x embedding_dim). `feature_offset` (optional (1 x in))
+  // supports the prompt-token baseline built on top of this encoder.
+  Tensor EmbedItems(const DatasetBundle& dataset,
+                    const std::vector<int>& items, Rng* rng,
+                    const Tensor& feature_offset = Tensor()) const;
+
+  int embedding_dim() const { return generator_->out_dim(); }
+  int feature_dim() const { return generator_->config().gnn.in_dim; }
+  PromptGenerator& generator() { return *generator_; }
+
+ private:
+  std::unique_ptr<PromptGenerator> generator_;
+};
+
+struct ContrastivePretrainConfig {
+  int steps = 300;
+  int batch_size = 16;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  float temperature = 0.2f;  // InfoNCE temperature
+  float grad_clip = 5.0f;
+  uint64_t seed = 21;
+};
+
+// Self-supervised pretraining; returns the mean loss of the final quarter
+// of training (for smoke-testing convergence).
+double PretrainContrastive(ContrastiveEncoder* encoder,
+                           const DatasetBundle& dataset,
+                           const ContrastivePretrainConfig& config);
+
+// In-context evaluation with the nearest-class-mean rule: k random support
+// examples per class define class centroids; queries take the label of the
+// most cosine-similar centroid.
+EvalResult EvaluateContrastive(const ContrastiveEncoder& encoder,
+                               const DatasetBundle& dataset,
+                               const EvalConfig& eval_config);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_BASELINES_CONTRASTIVE_H_

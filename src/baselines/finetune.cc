@@ -1,0 +1,82 @@
+#include "baselines/finetune.h"
+
+#include <algorithm>
+
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace gp {
+
+EvalResult EvaluateFinetune(const ContrastiveEncoder& encoder,
+                            const DatasetBundle& dataset,
+                            const EvalConfig& eval_config,
+                            const FinetuneConfig& finetune_config) {
+  EvalResult result;
+  Rng rng(eval_config.seed);
+  EpisodeSampler sampler(&dataset);
+
+  EpisodeConfig episode;
+  episode.ways = eval_config.ways;
+  episode.candidates_per_class = eval_config.candidates_per_class;
+  episode.num_queries = eval_config.num_queries;
+
+  for (int trial = 0; trial < eval_config.trials; ++trial) {
+    Rng trial_rng = rng.Fork();
+    auto task_or = sampler.Sample(episode, &trial_rng);
+    CHECK_OK(task_or.status());
+    const FewShotTask& task = *task_or;
+    const int ways = task.ways();
+
+    // Support set: k random examples per class (frozen embeddings).
+    std::vector<int> support_items;
+    std::vector<int> support_labels;
+    for (int cls = 0; cls < ways; ++cls) {
+      std::vector<int> members;
+      for (const auto& ex : task.candidates) {
+        if (ex.label == cls) members.push_back(ex.item);
+      }
+      trial_rng.Shuffle(&members);
+      const int keep = std::min<int>(eval_config.shots, members.size());
+      for (int i = 0; i < keep; ++i) {
+        support_items.push_back(members[i]);
+        support_labels.push_back(cls);
+      }
+    }
+    Tensor support_emb;
+    {
+      NoGradGuard no_grad;
+      support_emb = encoder.EmbedItems(dataset, support_items, &trial_rng);
+    }
+
+    // Train a fresh linear head on the support embeddings.
+    Rng head_rng = trial_rng.Fork();
+    Linear head(encoder.embedding_dim(), ways, &head_rng);
+    Adam optimizer(head.Parameters(), finetune_config.learning_rate, 0.9f,
+                   0.999f, 1e-8f, finetune_config.weight_decay);
+    for (int step = 0; step < finetune_config.head_steps; ++step) {
+      optimizer.ZeroGrad();
+      Tensor loss = CrossEntropyWithLogits(head.Forward(support_emb),
+                                           support_labels);
+      Backward(loss);
+      optimizer.Step();
+    }
+
+    // Classify the queries.
+    NoGradGuard no_grad;
+    std::vector<int> query_items, expected;
+    for (const auto& ex : task.queries) {
+      query_items.push_back(ex.item);
+      expected.push_back(ex.label);
+    }
+    Tensor query_emb = encoder.EmbedItems(dataset, query_items, &trial_rng);
+    result.trial_accuracy_percent.push_back(
+        100.0 * Accuracy(ArgmaxRows(head.Forward(query_emb)), expected));
+  }
+  result.accuracy_percent = ComputeMeanStd(result.trial_accuracy_percent);
+  return result;
+}
+
+}  // namespace gp

@@ -1,0 +1,30 @@
+// Finetune baseline (Sec. V-A3, following Hu et al. 2020): the
+// contrastively pre-trained encoder is frozen and a linear classification
+// head is trained on the episode's labelled support examples — the
+// "common practice" adaptation that in-context methods aim to beat without
+// any gradient updates.
+
+#ifndef GRAPHPROMPTER_BASELINES_FINETUNE_H_
+#define GRAPHPROMPTER_BASELINES_FINETUNE_H_
+
+#include "baselines/contrastive.h"
+
+namespace gp {
+
+struct FinetuneConfig {
+  int head_steps = 100;          // gradient steps on the linear head
+  float learning_rate = 5e-2f;
+  float weight_decay = 1e-4f;
+};
+
+// Per trial: embeds k support examples per class with the frozen encoder,
+// trains a fresh linear head (embedding_dim -> ways) by cross-entropy, and
+// classifies the queries with it.
+EvalResult EvaluateFinetune(const ContrastiveEncoder& encoder,
+                            const DatasetBundle& dataset,
+                            const EvalConfig& eval_config,
+                            const FinetuneConfig& finetune_config);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_BASELINES_FINETUNE_H_

@@ -1,0 +1,13 @@
+#include "baselines/no_pretrain.h"
+
+#include "baselines/prodigy.h"
+
+namespace gp {
+
+EvalResult EvaluateNoPretrain(const DatasetBundle& dataset,
+                              const EvalConfig& eval_config, uint64_t seed) {
+  GraphPrompterModel model(ProdigyConfig(dataset.graph.feature_dim(), seed));
+  return EvaluateInContext(model, dataset, eval_config);
+}
+
+}  // namespace gp

@@ -1,0 +1,21 @@
+// NoPretrain baseline (Sec. V-A3): the same architecture as the
+// pre-trained models but with randomly initialised weights — the floor the
+// in-context methods are measured against.
+
+#ifndef GRAPHPROMPTER_BASELINES_NO_PRETRAIN_H_
+#define GRAPHPROMPTER_BASELINES_NO_PRETRAIN_H_
+
+#include <cstdint>
+
+#include "core/graph_prompter.h"
+
+namespace gp {
+
+// Evaluates a freshly initialised (never-trained) Prodigy-architecture
+// model on `dataset`.
+EvalResult EvaluateNoPretrain(const DatasetBundle& dataset,
+                              const EvalConfig& eval_config, uint64_t seed);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_BASELINES_NO_PRETRAIN_H_

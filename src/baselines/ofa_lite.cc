@@ -1,0 +1,146 @@
+#include "baselines/ofa_lite.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace gp {
+namespace {
+
+// Mean raw feature of `items` per class — the simulated text descriptor.
+Tensor DescriptorsFromSupport(const DatasetBundle& dataset,
+                              const std::vector<int>& items,
+                              const std::vector<int>& labels, int ways) {
+  const int dim = dataset.graph.feature_dim();
+  Tensor raw = Tensor::Zeros(static_cast<int>(items.size()), dim);
+  for (size_t i = 0; i < items.size(); ++i) {
+    const auto feat = dataset.ItemRawFeature(items[i]);
+    for (int d = 0; d < dim; ++d) raw.at(static_cast<int>(i), d) = feat[d];
+  }
+  return SegmentMeanRows(raw, labels, ways);
+}
+
+}  // namespace
+
+OfaLiteModel::OfaLiteModel(const OfaLiteConfig& config) : config_(config) {
+  Rng rng(config.seed);
+  encoder_ = std::make_unique<ContrastiveEncoder>(
+      config.feature_dim, config.embedding_dim, config.sampler,
+      rng.NextUint64());
+  RegisterModule("encoder", encoder_.get());
+  class_projection_ = std::make_unique<Linear>(config.feature_dim,
+                                               config.embedding_dim, &rng);
+  RegisterModule("class_projection", class_projection_.get());
+}
+
+Tensor OfaLiteModel::ProjectClassNodes(const Tensor& descriptors) const {
+  return class_projection_->Forward(descriptors);
+}
+
+void PretrainOfaLite(OfaLiteModel* model,
+                     const std::vector<const DatasetBundle*>& datasets,
+                     const OfaPretrainConfig& config) {
+  CHECK(model != nullptr);
+  CHECK(!datasets.empty());
+  Rng rng(config.seed);
+  Adam optimizer(model->Parameters(), config.learning_rate, 0.9f, 0.999f,
+                 1e-8f, config.weight_decay);
+
+  EpisodeConfig episode;
+  episode.ways = config.ways;
+  episode.candidates_per_class = config.shots;
+  episode.num_queries = config.queries_per_task;
+  episode.queries_from_test = false;
+
+  for (int step = 1; step <= config.steps; ++step) {
+    // Round-robin over datasets: the joint training protocol.
+    const DatasetBundle& dataset =
+        *datasets[step % static_cast<int>(datasets.size())];
+    EpisodeSampler sampler(&dataset);
+    auto task_or = sampler.Sample(episode, &rng);
+    if (!task_or.ok()) continue;
+    const FewShotTask& task = *task_or;
+    optimizer.ZeroGrad();
+
+    std::vector<int> support_items, support_labels;
+    for (const auto& ex : task.candidates) {
+      support_items.push_back(ex.item);
+      support_labels.push_back(ex.label);
+    }
+    std::vector<int> query_items, query_labels;
+    for (const auto& ex : task.queries) {
+      query_items.push_back(ex.item);
+      query_labels.push_back(ex.label);
+    }
+
+    Tensor class_nodes = model->ProjectClassNodes(DescriptorsFromSupport(
+        dataset, support_items, support_labels, task.ways()));
+    Tensor query_emb =
+        model->encoder().EmbedItems(dataset, query_items, &rng);
+    Tensor scores = Scale(MatMul(RowL2Normalize(query_emb),
+                                 Transpose(RowL2Normalize(class_nodes))),
+                          model->config().score_temperature);
+    Tensor loss = CrossEntropyWithLogits(scores, query_labels);
+    Backward(loss);
+    optimizer.ClipGradNorm(config.grad_clip);
+    optimizer.Step();
+  }
+}
+
+EvalResult EvaluateOfaLite(const OfaLiteModel& model,
+                           const DatasetBundle& dataset,
+                           const EvalConfig& eval_config) {
+  EvalResult result;
+  Rng rng(eval_config.seed);
+  EpisodeSampler sampler(&dataset);
+
+  EpisodeConfig episode;
+  episode.ways = eval_config.ways;
+  episode.candidates_per_class = eval_config.candidates_per_class;
+  episode.num_queries = eval_config.num_queries;
+
+  for (int trial = 0; trial < eval_config.trials; ++trial) {
+    NoGradGuard no_grad;
+    Rng trial_rng = rng.Fork();
+    auto task_or = sampler.Sample(episode, &trial_rng);
+    CHECK_OK(task_or.status());
+    const FewShotTask& task = *task_or;
+    const int ways = task.ways();
+
+    // k support items per class feed the class descriptors.
+    std::vector<int> support_items, support_labels;
+    for (int cls = 0; cls < ways; ++cls) {
+      std::vector<int> members;
+      for (const auto& ex : task.candidates) {
+        if (ex.label == cls) members.push_back(ex.item);
+      }
+      trial_rng.Shuffle(&members);
+      const int keep = std::min<int>(eval_config.shots, members.size());
+      for (int i = 0; i < keep; ++i) {
+        support_items.push_back(members[i]);
+        support_labels.push_back(cls);
+      }
+    }
+    Tensor class_nodes = model.ProjectClassNodes(DescriptorsFromSupport(
+        dataset, support_items, support_labels, ways));
+
+    std::vector<int> query_items, expected;
+    for (const auto& ex : task.queries) {
+      query_items.push_back(ex.item);
+      expected.push_back(ex.label);
+    }
+    Tensor query_emb =
+        model.encoder().EmbedItems(dataset, query_items, &trial_rng);
+    Tensor scores = MatMul(RowL2Normalize(query_emb),
+                           Transpose(RowL2Normalize(class_nodes)));
+    result.trial_accuracy_percent.push_back(
+        100.0 * Accuracy(ArgmaxRows(scores), expected));
+  }
+  result.accuracy_percent = ComputeMeanStd(result.trial_accuracy_percent);
+  return result;
+}
+
+}  // namespace gp

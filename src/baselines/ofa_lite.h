@@ -1,0 +1,76 @@
+// One-For-All (OFA) baseline (Liu et al., ICLR 2024), lite reproduction of
+// the low-resource joint variant ("OFA-joint-lr", Sec. V-A3).
+//
+// OFA describes classes with natural-language text encoded by an LLM and
+// inserts the resulting class feature nodes into the prompt graph, training
+// one model jointly over all datasets. The LLM is simulated by a
+// deterministic class descriptor: the mean raw feature of the class's
+// support items (what a text encoder of the class name would correlate
+// with), passed through a learned projection. Queries are scored by cosine
+// similarity between their subgraph embedding and the projected class
+// nodes. The few-shot instability the paper reports arises here the same
+// way: with k=3 items the descriptor is a noisy estimate of the class.
+
+#ifndef GRAPHPROMPTER_BASELINES_OFA_LITE_H_
+#define GRAPHPROMPTER_BASELINES_OFA_LITE_H_
+
+#include <memory>
+
+#include "baselines/contrastive.h"
+#include "nn/linear.h"
+
+namespace gp {
+
+struct OfaLiteConfig {
+  int feature_dim = 64;
+  int embedding_dim = 64;
+  SamplerConfig sampler;
+  float score_temperature = 10.0f;
+  uint64_t seed = 41;
+};
+
+class OfaLiteModel : public Module {
+ public:
+  explicit OfaLiteModel(const OfaLiteConfig& config);
+
+  const OfaLiteConfig& config() const { return config_; }
+  ContrastiveEncoder& encoder() { return *encoder_; }
+  const ContrastiveEncoder& encoder() const { return *encoder_; }
+
+  // Projects raw class descriptors ((m x feature_dim)) into embedding
+  // space ((m x embedding_dim)).
+  Tensor ProjectClassNodes(const Tensor& descriptors) const;
+
+ private:
+  OfaLiteConfig config_;
+  std::unique_ptr<ContrastiveEncoder> encoder_;
+  std::unique_ptr<Linear> class_projection_;
+};
+
+struct OfaPretrainConfig {
+  int steps = 300;
+  int ways = 5;
+  int shots = 3;
+  int queries_per_task = 4;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  float grad_clip = 5.0f;
+  uint64_t seed = 42;
+};
+
+// Joint pretraining over several datasets (round-robin episodes) — the
+// "trains and evaluates a single model using all datasets simultaneously"
+// protocol of OFA-joint-lr.
+void PretrainOfaLite(OfaLiteModel* model,
+                     const std::vector<const DatasetBundle*>& datasets,
+                     const OfaPretrainConfig& config);
+
+// Per trial: class descriptors from the k support items per class, queries
+// classified by cosine against the projected class nodes.
+EvalResult EvaluateOfaLite(const OfaLiteModel& model,
+                           const DatasetBundle& dataset,
+                           const EvalConfig& eval_config);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_BASELINES_OFA_LITE_H_

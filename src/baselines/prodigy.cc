@@ -1,0 +1,17 @@
+#include "baselines/prodigy.h"
+
+namespace gp {
+
+GraphPrompterConfig ProdigyConfig(int feature_dim, uint64_t seed) {
+  GraphPrompterConfig config;
+  config.feature_dim = feature_dim;
+  config.use_reconstruction = false;
+  config.use_selection_layer = false;
+  config.use_knn = false;
+  config.use_augmenter = false;
+  config.random_prompt_selection = true;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace gp

@@ -1,0 +1,23 @@
+// Prodigy baseline (Huang et al., NeurIPS 2023) — the paper's primary
+// comparison. Architecturally identical to GraphPrompter (Prodigy is the
+// substrate GraphPrompter extends) but with every prompt-optimization
+// stage disabled: subgraphs are used as sampled (no reconstruction),
+// prompts are chosen uniformly at random from the candidate set, and no
+// test-time augmentation is applied.
+
+#ifndef GRAPHPROMPTER_BASELINES_PRODIGY_H_
+#define GRAPHPROMPTER_BASELINES_PRODIGY_H_
+
+#include <cstdint>
+
+#include "core/graph_prompter.h"
+
+namespace gp {
+
+// The Prodigy configuration: all GraphPrompter stages off, random prompt
+// selection on.
+GraphPrompterConfig ProdigyConfig(int feature_dim, uint64_t seed);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_BASELINES_PRODIGY_H_

@@ -1,0 +1,155 @@
+#include "baselines/prog_lite.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace gp {
+namespace {
+
+// Splits an episode's candidates into (k per class) support arrays.
+void PickSupport(const FewShotTask& task, int shots, Rng* rng,
+                 std::vector<int>* items, std::vector<int>* labels) {
+  for (int cls = 0; cls < task.ways(); ++cls) {
+    std::vector<int> members;
+    for (const auto& ex : task.candidates) {
+      if (ex.label == cls) members.push_back(ex.item);
+    }
+    rng->Shuffle(&members);
+    const int keep = std::min<int>(shots, members.size());
+    for (int i = 0; i < keep; ++i) {
+      items->push_back(members[i]);
+      labels->push_back(cls);
+    }
+  }
+}
+
+}  // namespace
+
+ProgLiteModel::ProgLiteModel(const ProgLiteConfig& config) : config_(config) {
+  encoder_ = std::make_unique<ContrastiveEncoder>(
+      config.feature_dim, config.embedding_dim, config.sampler, config.seed);
+  RegisterModule("encoder", encoder_.get());
+  prompt_token_ = RegisterParameter(
+      "prompt_token", Tensor::Zeros(1, config.feature_dim));
+}
+
+Tensor ProgLiteModel::EmbedWithToken(const DatasetBundle& dataset,
+                                     const std::vector<int>& items, Rng* rng,
+                                     const Tensor& token) const {
+  return encoder_->EmbedItems(dataset, items, rng, token);
+}
+
+void PretrainProgLite(ProgLiteModel* model, const DatasetBundle& dataset,
+                      const ProgPretrainConfig& config) {
+  CHECK(model != nullptr);
+  Rng rng(config.seed);
+  Adam optimizer(model->Parameters(), config.learning_rate, 0.9f, 0.999f,
+                 1e-8f, config.weight_decay);
+  EpisodeSampler sampler(&dataset);
+
+  EpisodeConfig episode;
+  episode.ways = config.ways;
+  episode.candidates_per_class = config.shots;
+  episode.num_queries = config.queries_per_task;
+  episode.queries_from_test = false;
+
+  for (int step = 1; step <= config.steps; ++step) {
+    auto task_or = sampler.Sample(episode, &rng);
+    if (!task_or.ok()) continue;
+    const FewShotTask& task = *task_or;
+    optimizer.ZeroGrad();
+
+    std::vector<int> support_items, support_labels;
+    for (const auto& ex : task.candidates) {
+      support_items.push_back(ex.item);
+      support_labels.push_back(ex.label);
+    }
+    std::vector<int> query_items, query_labels;
+    for (const auto& ex : task.queries) {
+      query_items.push_back(ex.item);
+      query_labels.push_back(ex.label);
+    }
+    Tensor support_emb = model->EmbedWithToken(dataset, support_items, &rng,
+                                               model->prompt_token());
+    Tensor query_emb = model->EmbedWithToken(dataset, query_items, &rng,
+                                             model->prompt_token());
+    Tensor prototypes = SegmentMeanRows(support_emb, support_labels,
+                                        task.ways());
+    Tensor scores = Scale(MatMul(RowL2Normalize(query_emb),
+                                 Transpose(RowL2Normalize(prototypes))),
+                          model->config().score_temperature);
+    Tensor loss = CrossEntropyWithLogits(scores, query_labels);
+    Backward(loss);
+    optimizer.ClipGradNorm(config.grad_clip);
+    optimizer.Step();
+  }
+}
+
+EvalResult EvaluateProgLite(const ProgLiteModel& model,
+                            const DatasetBundle& dataset,
+                            const EvalConfig& eval_config,
+                            const ProgTuneConfig& tune_config) {
+  EvalResult result;
+  Rng rng(eval_config.seed);
+  EpisodeSampler sampler(&dataset);
+
+  EpisodeConfig episode;
+  episode.ways = eval_config.ways;
+  episode.candidates_per_class = eval_config.candidates_per_class;
+  episode.num_queries = eval_config.num_queries;
+
+  for (int trial = 0; trial < eval_config.trials; ++trial) {
+    Rng trial_rng = rng.Fork();
+    auto task_or = sampler.Sample(episode, &trial_rng);
+    CHECK_OK(task_or.status());
+    const FewShotTask& task = *task_or;
+    const int ways = task.ways();
+
+    std::vector<int> support_items, support_labels;
+    PickSupport(task, eval_config.shots, &trial_rng, &support_items,
+                &support_labels);
+
+    // Prompt tuning: only the (copied) token trains; the encoder stays
+    // frozen. Loss = support items classified against support prototypes.
+    Tensor token = model.prompt_token().Clone();
+    token.set_requires_grad(true);
+    Adam optimizer({token}, tune_config.learning_rate);
+    for (int step = 0; step < tune_config.tune_steps; ++step) {
+      optimizer.ZeroGrad();
+      Tensor support_emb =
+          model.EmbedWithToken(dataset, support_items, &trial_rng, token);
+      Tensor prototypes =
+          SegmentMeanRows(support_emb, support_labels, ways);
+      Tensor scores = Scale(MatMul(RowL2Normalize(support_emb),
+                                   Transpose(RowL2Normalize(prototypes))),
+                            model.config().score_temperature);
+      Tensor loss = CrossEntropyWithLogits(scores, support_labels);
+      Backward(loss);
+      optimizer.Step();
+    }
+
+    NoGradGuard no_grad;
+    Tensor support_emb =
+        model.EmbedWithToken(dataset, support_items, &trial_rng, token);
+    Tensor prototypes = SegmentMeanRows(support_emb, support_labels, ways);
+    std::vector<int> query_items, expected;
+    for (const auto& ex : task.queries) {
+      query_items.push_back(ex.item);
+      expected.push_back(ex.label);
+    }
+    Tensor query_emb =
+        model.EmbedWithToken(dataset, query_items, &trial_rng, token);
+    Tensor scores = MatMul(RowL2Normalize(query_emb),
+                           Transpose(RowL2Normalize(prototypes)));
+    result.trial_accuracy_percent.push_back(
+        100.0 * Accuracy(ArgmaxRows(scores), expected));
+  }
+  result.accuracy_percent = ComputeMeanStd(result.trial_accuracy_percent);
+  return result;
+}
+
+}  // namespace gp

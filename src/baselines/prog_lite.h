@@ -1,0 +1,77 @@
+// All-in-One / ProG baseline (Sun et al., KDD 2023), lite reproduction.
+//
+// ProG is the paper's representative *Prompt Token* method: a learnable
+// prompt vector is added to the input features, meta-initialised during
+// pretraining and tuned on the episode's support set at test time. The
+// paper reports that in few-shot cross-domain settings this tuning is
+// data-starved and unstable (large variance, degradation at high way
+// counts) — behaviour this reproduction preserves by construction.
+
+#ifndef GRAPHPROMPTER_BASELINES_PROG_LITE_H_
+#define GRAPHPROMPTER_BASELINES_PROG_LITE_H_
+
+#include <memory>
+
+#include "baselines/contrastive.h"
+
+namespace gp {
+
+struct ProgLiteConfig {
+  int feature_dim = 64;
+  int embedding_dim = 64;
+  SamplerConfig sampler;
+  float score_temperature = 10.0f;
+  uint64_t seed = 31;
+};
+
+// Encoder + learnable prompt token.
+class ProgLiteModel : public Module {
+ public:
+  explicit ProgLiteModel(const ProgLiteConfig& config);
+
+  const ProgLiteConfig& config() const { return config_; }
+  ContrastiveEncoder& encoder() { return *encoder_; }
+  const ContrastiveEncoder& encoder() const { return *encoder_; }
+  const Tensor& prompt_token() const { return prompt_token_; }
+
+  // Embeds items with the prompt token injected into the node features.
+  Tensor EmbedWithToken(const DatasetBundle& dataset,
+                        const std::vector<int>& items, Rng* rng,
+                        const Tensor& token) const;
+
+ private:
+  ProgLiteConfig config_;
+  std::unique_ptr<ContrastiveEncoder> encoder_;
+  Tensor prompt_token_;  // (1 x feature_dim)
+};
+
+struct ProgPretrainConfig {
+  int steps = 300;
+  int ways = 5;
+  int shots = 3;
+  int queries_per_task = 4;
+  float learning_rate = 1e-3f;
+  float weight_decay = 1e-4f;
+  float grad_clip = 5.0f;
+  uint64_t seed = 32;
+};
+
+// Meta-pretraining: episodic prototype classification through the token.
+void PretrainProgLite(ProgLiteModel* model, const DatasetBundle& dataset,
+                      const ProgPretrainConfig& config);
+
+struct ProgTuneConfig {
+  int tune_steps = 20;         // prompt-tuning steps on the support set
+  float learning_rate = 5e-2f;
+};
+
+// Per trial: copies the meta-trained token, tunes it on the support set
+// (prototype CE), then classifies queries by nearest class prototype.
+EvalResult EvaluateProgLite(const ProgLiteModel& model,
+                            const DatasetBundle& dataset,
+                            const EvalConfig& eval_config,
+                            const ProgTuneConfig& tune_config);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_BASELINES_PROG_LITE_H_

@@ -1,0 +1,102 @@
+#include "core/cache_policy.h"
+
+#include "util/logging.h"
+
+namespace gp {
+
+const char* CachePolicyName(CachePolicy policy) {
+  switch (policy) {
+    case CachePolicy::kLfu:
+      return "LFU";
+    case CachePolicy::kLru:
+      return "LRU";
+    case CachePolicy::kFifo:
+      return "FIFO";
+  }
+  return "?";
+}
+
+LruCache::LruCache(int capacity) : capacity_(capacity) {
+  CHECK_GE(capacity, 0);
+}
+
+int64_t LruCache::Insert(CacheEntry entry) {
+  if (capacity_ == 0) return -1;
+  if (size() >= capacity_) {
+    const int64_t victim = order_.front();
+    order_.pop_front();
+    nodes_.erase(victim);
+  }
+  const int64_t id = next_id_++;
+  order_.push_back(id);
+  nodes_[id] = {std::move(entry), std::prev(order_.end())};
+  return id;
+}
+
+bool LruCache::Touch(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  order_.erase(it->second.position);
+  order_.push_back(id);
+  it->second.position = std::prev(order_.end());
+  return true;
+}
+
+std::vector<std::pair<int64_t, const CacheEntry*>> LruCache::Entries() const {
+  std::vector<std::pair<int64_t, const CacheEntry*>> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) out.emplace_back(id, &node.entry);
+  return out;
+}
+
+void LruCache::Clear() {
+  order_.clear();
+  nodes_.clear();
+}
+
+FifoCache::FifoCache(int capacity) : capacity_(capacity) {
+  CHECK_GE(capacity, 0);
+}
+
+int64_t FifoCache::Insert(CacheEntry entry) {
+  if (capacity_ == 0) return -1;
+  if (size() >= capacity_) {
+    const int64_t victim = order_.front();
+    order_.pop_front();
+    nodes_.erase(victim);
+  }
+  const int64_t id = next_id_++;
+  order_.push_back(id);
+  nodes_[id] = std::move(entry);
+  return id;
+}
+
+bool FifoCache::Touch(int64_t id) { return nodes_.count(id) > 0; }
+
+std::vector<std::pair<int64_t, const CacheEntry*>> FifoCache::Entries()
+    const {
+  std::vector<std::pair<int64_t, const CacheEntry*>> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, entry] : nodes_) out.emplace_back(id, &entry);
+  return out;
+}
+
+void FifoCache::Clear() {
+  order_.clear();
+  nodes_.clear();
+}
+
+std::unique_ptr<ReplacementCache> MakeCache(CachePolicy policy,
+                                            int capacity) {
+  switch (policy) {
+    case CachePolicy::kLfu:
+      return std::make_unique<LfuReplacementCache>(capacity);
+    case CachePolicy::kLru:
+      return std::make_unique<LruCache>(capacity);
+    case CachePolicy::kFifo:
+      return std::make_unique<FifoCache>(capacity);
+  }
+  return nullptr;
+}
+
+}  // namespace gp

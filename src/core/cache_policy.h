@@ -1,0 +1,113 @@
+// Alternative cache replacement policies for the Prompt Augmenter.
+//
+// The paper's Further Discussion notes the LFU cache "can be replaced with
+// other caching solutions"; this header provides the common interface plus
+// LRU and FIFO policies. The LFU implementation lives in
+// core/lfu_cache.h and adapts to this interface via LfuReplacementCache.
+
+#ifndef GRAPHPROMPTER_CORE_CACHE_POLICY_H_
+#define GRAPHPROMPTER_CORE_CACHE_POLICY_H_
+
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/lfu_cache.h"
+
+namespace gp {
+
+enum class CachePolicy { kLfu, kLru, kFifo };
+
+const char* CachePolicyName(CachePolicy policy);
+
+// Common interface of the augmenter's prompt caches. Semantics mirror
+// LfuCache: Insert returns a unique id (or -1 at capacity 0); Touch records
+// a "use" (a similarity hit); eviction policy differs per implementation.
+class ReplacementCache {
+ public:
+  virtual ~ReplacementCache() = default;
+
+  virtual int capacity() const = 0;
+  virtual int size() const = 0;
+  bool empty() const { return size() == 0; }
+
+  virtual int64_t Insert(CacheEntry entry) = 0;
+  virtual bool Touch(int64_t id) = 0;
+  virtual std::vector<std::pair<int64_t, const CacheEntry*>> Entries()
+      const = 0;
+  virtual void Clear() = 0;
+};
+
+// LFU adapter around LfuCache.
+class LfuReplacementCache : public ReplacementCache {
+ public:
+  explicit LfuReplacementCache(int capacity) : cache_(capacity) {}
+
+  int capacity() const override { return cache_.capacity(); }
+  int size() const override { return cache_.size(); }
+  int64_t Insert(CacheEntry entry) override {
+    return cache_.Insert(std::move(entry));
+  }
+  bool Touch(int64_t id) override { return cache_.Touch(id); }
+  std::vector<std::pair<int64_t, const CacheEntry*>> Entries()
+      const override {
+    return cache_.Entries();
+  }
+  void Clear() override { cache_.Clear(); }
+
+  const LfuCache& lfu() const { return cache_; }
+
+ private:
+  LfuCache cache_;
+};
+
+// Least-Recently-Used: Touch moves an entry to the back; eviction takes the
+// front (least recently inserted-or-touched).
+class LruCache : public ReplacementCache {
+ public:
+  explicit LruCache(int capacity);
+
+  int capacity() const override { return capacity_; }
+  int size() const override { return static_cast<int>(nodes_.size()); }
+  int64_t Insert(CacheEntry entry) override;
+  bool Touch(int64_t id) override;
+  std::vector<std::pair<int64_t, const CacheEntry*>> Entries() const override;
+  void Clear() override;
+
+ private:
+  struct Node {
+    CacheEntry entry;
+    std::list<int64_t>::iterator position;
+  };
+  int capacity_;
+  int64_t next_id_ = 0;
+  std::list<int64_t> order_;  // front = next eviction victim
+  std::unordered_map<int64_t, Node> nodes_;
+};
+
+// First-In-First-Out: Touch has no effect on eviction order.
+class FifoCache : public ReplacementCache {
+ public:
+  explicit FifoCache(int capacity);
+
+  int capacity() const override { return capacity_; }
+  int size() const override { return static_cast<int>(nodes_.size()); }
+  int64_t Insert(CacheEntry entry) override;
+  bool Touch(int64_t id) override;
+  std::vector<std::pair<int64_t, const CacheEntry*>> Entries() const override;
+  void Clear() override;
+
+ private:
+  int capacity_;
+  int64_t next_id_ = 0;
+  std::list<int64_t> order_;
+  std::unordered_map<int64_t, CacheEntry> nodes_;
+};
+
+// Factory.
+std::unique_ptr<ReplacementCache> MakeCache(CachePolicy policy, int capacity);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_CACHE_POLICY_H_

@@ -1,0 +1,242 @@
+#include "core/graph_prompter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace gp {
+
+GraphPrompterModel::GraphPrompterModel(const GraphPrompterConfig& config)
+    : config_(config) {
+  Rng rng(config.seed);
+
+  PromptGeneratorConfig gen;
+  gen.gnn.arch = config.gnn_arch;
+  gen.gnn.in_dim = config.feature_dim;
+  gen.gnn.hidden_dim = config.embedding_dim;
+  gen.gnn.out_dim = config.embedding_dim;
+  gen.gnn.num_layers = config.gnn_layers;
+  gen.sampler = config.sampler;
+  gen.recon_hidden = config.recon_hidden;
+  gen.recon_arch = config.recon_arch;
+  gen.use_reconstruction = config.use_reconstruction;
+  generator_ = std::make_unique<PromptGenerator>(gen, &rng);
+  RegisterModule("generator", generator_.get());
+
+  SelectionLayerConfig sel;
+  sel.embedding_dim = config.embedding_dim;
+  sel.hidden_dim = config.selection_hidden;
+  selection_ = std::make_unique<SelectionLayer>(sel, &rng);
+  RegisterModule("selection", selection_.get());
+
+  TaskGraphConfig task;
+  task.embedding_dim = config.embedding_dim;
+  task.num_layers = config.task_layers;
+  task.score_temperature = config.score_temperature;
+  task_net_ = std::make_unique<TaskGraphNet>(task, &rng);
+  RegisterModule("task_net", task_net_.get());
+}
+
+GraphPrompterConfig FullGraphPrompterConfig(int feature_dim, uint64_t seed) {
+  GraphPrompterConfig config;
+  config.feature_dim = feature_dim;
+  config.seed = seed;
+  return config;
+}
+
+namespace {
+
+// Row-wise max softmax probability of `scores` — prediction confidence.
+std::vector<float> SoftmaxConfidence(const Tensor& scores) {
+  const int rows = scores.rows();
+  const int cols = scores.cols();
+  std::vector<float> out(rows);
+  for (int r = 0; r < rows; ++r) {
+    float mx = scores.at(r, 0);
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, scores.at(r, c));
+    float total = 0.0f, best = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      const float e = std::exp(scores.at(r, c) - mx);
+      total += e;
+      best = std::max(best, e);
+    }
+    out[r] = best / total;
+  }
+  return out;
+}
+
+}  // namespace
+
+EvalResult EvaluateInContext(const GraphPrompterModel& model,
+                             const DatasetBundle& dataset,
+                             const EvalConfig& eval_config) {
+  const GraphPrompterConfig& mc = model.config();
+  CHECK_EQ(mc.feature_dim, dataset.graph.feature_dim());
+
+  EvalResult result;
+  Rng rng(eval_config.seed);
+  EpisodeSampler sampler(&dataset);
+
+  EpisodeConfig episode;
+  episode.ways = eval_config.ways;
+  episode.candidates_per_class = eval_config.candidates_per_class;
+  episode.num_queries = eval_config.num_queries;
+  episode.queries_from_test = true;
+
+  double total_query_seconds = 0.0;
+  int64_t total_queries = 0;
+
+  for (int trial = 0; trial < eval_config.trials; ++trial) {
+    NoGradGuard no_grad;
+    Rng trial_rng = rng.Fork();
+    auto task_or = sampler.Sample(episode, &trial_rng);
+    CHECK_OK(task_or.status());
+    const FewShotTask& task = *task_or;
+    const int ways = task.ways();
+
+    // ---- Stage 1: generate data-graph embeddings for all candidates.
+    std::vector<int> candidate_items, candidate_labels;
+    for (const auto& ex : task.candidates) {
+      candidate_items.push_back(ex.item);
+      candidate_labels.push_back(ex.label);
+    }
+    Tensor candidate_emb =
+        model.generator().EmbedItems(dataset, candidate_items, &trial_rng);
+
+    Tensor candidate_importance;  // I_p (Eq. 5)
+    if (mc.use_selection_layer) {
+      candidate_importance = model.selection().Importance(candidate_emb);
+    }
+
+    // ---- Embed queries (timed: this is per-query inference work).
+    Stopwatch query_embed_timer;
+    std::vector<int> query_items;
+    std::vector<int> query_expected;
+    for (const auto& ex : task.queries) {
+      query_items.push_back(ex.item);
+      query_expected.push_back(ex.label);
+    }
+    Tensor query_emb =
+        model.generator().EmbedItems(dataset, query_items, &trial_rng);
+    Tensor query_importance;
+    if (mc.use_selection_layer) {
+      query_importance = model.selection().Importance(query_emb);
+    }
+    total_query_seconds += query_embed_timer.ElapsedSeconds();
+
+    // ---- Stage 2: prompt selection -> S-hat (k per class).
+    Stopwatch select_timer;
+    std::vector<int> selected;
+    if (mc.random_prompt_selection ||
+        (!mc.use_knn && !mc.use_selection_layer)) {
+      // Prodigy behaviour: k random candidates per class.
+      for (int cls = 0; cls < ways; ++cls) {
+        std::vector<int> members;
+        for (size_t p = 0; p < candidate_labels.size(); ++p) {
+          if (candidate_labels[p] == cls) {
+            members.push_back(static_cast<int>(p));
+          }
+        }
+        trial_rng.Shuffle(&members);
+        const int keep = std::min<int>(eval_config.shots, members.size());
+        for (int i = 0; i < keep; ++i) selected.push_back(members[i]);
+      }
+    } else {
+      KnnConfig knn;
+      knn.shots = eval_config.shots;
+      knn.metric = mc.metric;
+      knn.use_similarity = mc.use_knn;
+      knn.use_importance = mc.use_selection_layer;
+      const KnnSelection selection =
+          mc.selector == SelectorKind::kClustering
+              ? SelectPromptsByClustering(candidate_emb, candidate_importance,
+                                          candidate_labels, query_emb,
+                                          query_importance, ways, knn,
+                                          &trial_rng)
+              : SelectPrompts(candidate_emb, candidate_importance,
+                              candidate_labels, query_emb, query_importance,
+                              ways, knn);
+      selected = selection.selected;
+    }
+
+    // Refined prompt set S-hat. Note: the importance-weighted embeddings
+    // G'_p = G_p * I_p are a *pretraining* input (Sec. IV-C: "S_I in
+    // pretraining or S-hat' in testing"); at test time the selected
+    // prompts enter the task graph unscaled, with I_p contributing only
+    // to the selection score (Eq. 7).
+    Tensor prompt_emb = GatherRows(candidate_emb, selected);
+    std::vector<int> prompt_labels;
+    for (int p : selected) prompt_labels.push_back(candidate_labels[p]);
+    total_query_seconds += select_timer.ElapsedSeconds();
+
+    // ---- Stage 3 + prediction: stream query batches through the task
+    // graph with optional cache augmentation (Algorithm 2 lines 9-14).
+    PromptAugmenterConfig augmenter_config = mc.augmenter;
+    if (!augmenter_config.random_pseudo_labels) {
+      // Confidence gate relative to chance (1/ways): only predictions at
+      // least 1.5x more confident than chance become pseudo-prompts.
+      augmenter_config.min_confidence = std::max(
+          augmenter_config.min_confidence, 1.5f / static_cast<float>(ways));
+    }
+    PromptAugmenter augmenter(augmenter_config, trial_rng.NextUint64());
+    std::vector<int> predictions(query_expected.size(), -1);
+
+    Stopwatch predict_timer;
+    const int num_queries = static_cast<int>(query_items.size());
+    for (int start = 0; start < num_queries;
+         start += eval_config.query_batch) {
+      const int count =
+          std::min(eval_config.query_batch, num_queries - start);
+      Tensor batch_emb = SliceRows(query_emb, start, count);
+
+      Tensor step_prompts = prompt_emb;
+      std::vector<int> step_labels = prompt_labels;
+      if (mc.use_augmenter) {
+        const auto cached =
+            augmenter.GetCachedPrompts(model.config().embedding_dim);
+        if (cached.embeddings.rows() > 0) {
+          step_prompts = ConcatRows({step_prompts, cached.embeddings});
+          step_labels.insert(step_labels.end(), cached.labels.begin(),
+                             cached.labels.end());
+        }
+      }
+
+      const TaskGraphOutput out =
+          model.task_net().Forward(step_prompts, step_labels, batch_emb, ways);
+      const std::vector<int> batch_pred = ArgmaxRows(out.query_scores);
+      const std::vector<float> confidence =
+          SoftmaxConfidence(out.query_scores);
+      for (int i = 0; i < count; ++i) {
+        predictions[start + i] = batch_pred[i];
+      }
+      if (mc.use_augmenter) {
+        augmenter.ObserveQueries(batch_emb, batch_pred, confidence,
+                                 std::min(mc.cache_inserts_per_batch, ways));
+      }
+    }
+    total_query_seconds += predict_timer.ElapsedSeconds();
+    total_queries += num_queries;
+
+    result.trial_accuracy_percent.push_back(
+        100.0 * Accuracy(predictions, query_expected));
+
+    if (eval_config.keep_embeddings && trial == eval_config.trials - 1) {
+      result.embeddings = ConcatRows({candidate_emb, query_emb});
+      result.embedding_labels = candidate_labels;
+      result.embedding_labels.insert(result.embedding_labels.end(),
+                                     query_expected.begin(),
+                                     query_expected.end());
+    }
+  }
+
+  result.accuracy_percent = ComputeMeanStd(result.trial_accuracy_percent);
+  result.ms_per_query =
+      total_queries > 0 ? 1e3 * total_query_seconds / total_queries : 0.0;
+  return result;
+}
+
+}  // namespace gp

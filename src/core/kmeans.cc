@@ -1,0 +1,131 @@
+#include "core/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gp {
+namespace {
+
+double SquaredDistance(const Tensor& a, int row_a, const Tensor& b,
+                       int row_b) {
+  double total = 0.0;
+  for (int c = 0; c < a.cols(); ++c) {
+    const double d = a.at(row_a, c) - b.at(row_b, c);
+    total += d * d;
+  }
+  return total;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Tensor& points, const KMeansConfig& config,
+                       Rng* rng) {
+  const int n = points.rows();
+  const int d = points.cols();
+  const int k = config.clusters;
+  CHECK_GE(n, k);
+  CHECK_GE(k, 1);
+  CHECK(rng != nullptr);
+
+  KMeansResult result;
+  result.centroids = Tensor::Zeros(k, d);
+  result.assignment.assign(n, 0);
+
+  // k-means++ seeding.
+  std::vector<int> seeds;
+  seeds.push_back(static_cast<int>(rng->UniformInt(n)));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (static_cast<int>(seeds.size()) < k) {
+    const int last = seeds.back();
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double dist = SquaredDistance(points, i, points, last);
+      min_dist[i] = std::min(min_dist[i], dist);
+      total += min_dist[i];
+    }
+    // Sample proportional to squared distance (fallback: uniform).
+    int chosen = -1;
+    if (total > 1e-12) {
+      double target = rng->UniformDouble() * total;
+      for (int i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    }
+    if (chosen < 0) chosen = static_cast<int>(rng->UniformInt(n));
+    seeds.push_back(chosen);
+  }
+  for (int c = 0; c < k; ++c) {
+    for (int j = 0; j < d; ++j) {
+      result.centroids.at(c, j) = points.at(seeds[c], j);
+    }
+  }
+
+  // Lloyd iterations.
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    bool changed = false;
+    // Assign.
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_dist = SquaredDistance(points, i, result.centroids, 0);
+      for (int c = 1; c < k; ++c) {
+        const double dist = SquaredDistance(points, i, result.centroids, c);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[i] != best) {
+        result.assignment[i] = best;
+        changed = true;
+      }
+    }
+    // Update.
+    std::vector<int> counts(k, 0);
+    Tensor sums = Tensor::Zeros(k, d);
+    for (int i = 0; i < n; ++i) {
+      const int c = result.assignment[i];
+      ++counts[c];
+      for (int j = 0; j < d; ++j) sums.at(c, j) += points.at(i, j);
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster from the point farthest from its
+        // centroid.
+        int farthest = 0;
+        double far_dist = -1.0;
+        for (int i = 0; i < n; ++i) {
+          const double dist = SquaredDistance(points, i, result.centroids,
+                                              result.assignment[i]);
+          if (dist > far_dist) {
+            far_dist = dist;
+            farthest = i;
+          }
+        }
+        for (int j = 0; j < d; ++j) {
+          result.centroids.at(c, j) = points.at(farthest, j);
+        }
+        changed = true;
+        continue;
+      }
+      for (int j = 0; j < d; ++j) {
+        result.centroids.at(c, j) = sums.at(c, j) / counts[c];
+      }
+    }
+    if (!changed) break;
+  }
+
+  result.inertia = 0.0;
+  for (int i = 0; i < n; ++i) {
+    result.inertia +=
+        SquaredDistance(points, i, result.centroids, result.assignment[i]);
+  }
+  return result;
+}
+
+}  // namespace gp

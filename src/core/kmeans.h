@@ -1,0 +1,36 @@
+// k-means clustering (k-means++ initialisation, Lloyd iterations).
+//
+// Used by the clustering-based prompt selector — the paper's Further
+// Discussion proposes replacing kNN retrieval with "other clustering
+// methods to dynamically and adaptively select prompts".
+
+#ifndef GRAPHPROMPTER_CORE_KMEANS_H_
+#define GRAPHPROMPTER_CORE_KMEANS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gp {
+
+struct KMeansResult {
+  Tensor centroids;             // (k x d)
+  std::vector<int> assignment;  // cluster index per input row
+  double inertia = 0.0;         // sum of squared distances to centroids
+};
+
+struct KMeansConfig {
+  int clusters = 3;
+  int max_iterations = 25;
+};
+
+// Clusters the rows of `points` ((n x d), n >= clusters). Deterministic
+// given the Rng state. Empty clusters are re-seeded from the farthest
+// point.
+KMeansResult RunKMeans(const Tensor& points, const KMeansConfig& config,
+                       Rng* rng);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_KMEANS_H_

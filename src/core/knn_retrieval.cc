@@ -1,0 +1,188 @@
+#include "core/knn_retrieval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/kmeans.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace gp {
+
+const char* DistanceMetricName(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return "cosine";
+    case DistanceMetric::kEuclidean:
+      return "euclidean";
+    case DistanceMetric::kManhattan:
+      return "manhattan";
+  }
+  return "?";
+}
+
+float EmbeddingSimilarity(const Tensor& a, int row_a, const Tensor& b,
+                          int row_b, DistanceMetric metric) {
+  CHECK_EQ(a.cols(), b.cols());
+  const std::vector<float> va = a.Row(row_a);
+  const std::vector<float> vb = b.Row(row_b);
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return CosineSimilarity(va, vb);
+    case DistanceMetric::kEuclidean:
+      return -EuclideanDistance(va, vb);
+    case DistanceMetric::kManhattan:
+      return -ManhattanDistance(va, vb);
+  }
+  return 0.0f;
+}
+
+KnnSelection SelectPrompts(const Tensor& prompt_embeddings,
+                           const Tensor& prompt_importance,
+                           const std::vector<int>& prompt_labels,
+                           const Tensor& query_embeddings,
+                           const Tensor& query_importance, int num_classes,
+                           const KnnConfig& config) {
+  const int num_prompts = prompt_embeddings.rows();
+  const int num_queries = query_embeddings.rows();
+  CHECK_EQ(static_cast<size_t>(num_prompts), prompt_labels.size());
+  CHECK_GE(num_classes, 1);
+
+  KnnSelection out;
+  out.votes.assign(num_prompts, 0.0);
+  out.hit_counts.assign(num_prompts, 0);
+
+  if (config.use_similarity || config.use_importance) {
+    // score(p, q) per Eq. 7, then top-k votes per query (Eq. 8).
+    for (int q = 0; q < num_queries; ++q) {
+      std::vector<std::pair<double, int>> scored(num_prompts);
+      for (int p = 0; p < num_prompts; ++p) {
+        double score = 0.0;
+        if (config.use_similarity) {
+          score += EmbeddingSimilarity(prompt_embeddings, p,
+                                       query_embeddings, q, config.metric);
+        }
+        if (config.use_importance && prompt_importance.defined() &&
+            query_importance.defined()) {
+          score += static_cast<double>(prompt_importance.at(p, 0)) *
+                   query_importance.at(q, 0);
+        }
+        scored[p] = {score, p};
+      }
+      // T(q) = the query's top-k prompts by score (Eq. 8); k is the shot
+      // count, keeping each query's votes concentrated on its genuinely
+      // closest candidates.
+      const int k = std::min(config.shots, num_prompts);
+      std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first > b.first;
+                        });
+      // 1_{p in T(q)} * score(p, q).
+      for (int i = 0; i < k; ++i) {
+        out.votes[scored[i].second] += scored[i].first;
+        out.hit_counts[scored[i].second] += 1;
+      }
+    }
+  }
+
+  // Keep the k most-voted candidates of every class, so the refined set
+  // S-hat still covers all m classes with k shots each. Stable tie-break
+  // on candidate index keeps the fallback (all-zero votes) deterministic.
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::vector<int> members;
+    for (int p = 0; p < num_prompts; ++p) {
+      if (prompt_labels[p] == cls) members.push_back(p);
+    }
+    std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+      const bool voted_a = out.hit_counts[a] > 0;
+      const bool voted_b = out.hit_counts[b] > 0;
+      if (voted_a != voted_b) return voted_a;
+      return out.votes[a] > out.votes[b];
+    });
+    const int keep = std::min<int>(config.shots, members.size());
+    for (int i = 0; i < keep; ++i) out.selected.push_back(members[i]);
+  }
+  return out;
+}
+
+const char* SelectorKindName(SelectorKind kind) {
+  switch (kind) {
+    case SelectorKind::kKnnVoting:
+      return "knn-voting";
+    case SelectorKind::kClustering:
+      return "kmeans-clustering";
+  }
+  return "?";
+}
+
+KnnSelection SelectPromptsByClustering(
+    const Tensor& prompt_embeddings, const Tensor& prompt_importance,
+    const std::vector<int>& prompt_labels, const Tensor& query_embeddings,
+    const Tensor& query_importance, int num_classes, const KnnConfig& config,
+    Rng* rng) {
+  const int num_prompts = prompt_embeddings.rows();
+  const int num_queries = query_embeddings.rows();
+  CHECK_EQ(static_cast<size_t>(num_prompts), prompt_labels.size());
+  if (num_queries < config.shots ||
+      (!config.use_similarity && !config.use_importance)) {
+    return SelectPrompts(prompt_embeddings, prompt_importance, prompt_labels,
+                         query_embeddings, query_importance, num_classes,
+                         config);
+  }
+
+  KMeansConfig kmeans;
+  kmeans.clusters = config.shots;
+  const KMeansResult clusters = RunKMeans(query_embeddings, kmeans, rng);
+
+  // Mean query importance stands in for I_q against a centroid.
+  float mean_query_importance = 0.0f;
+  if (config.use_importance && query_importance.defined()) {
+    for (int q = 0; q < num_queries; ++q) {
+      mean_query_importance += query_importance.at(q, 0);
+    }
+    mean_query_importance /= std::max(num_queries, 1);
+  }
+
+  KnnSelection out;
+  out.votes.assign(num_prompts, 0.0);
+  out.hit_counts.assign(num_prompts, 0);
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::vector<int> members;
+    for (int p = 0; p < num_prompts; ++p) {
+      if (prompt_labels[p] == cls) members.push_back(p);
+    }
+    std::vector<bool> taken(members.size(), false);
+    const int keep = std::min<int>(config.shots, members.size());
+    for (int c = 0; c < keep; ++c) {
+      // Centroid c claims the best unclaimed class member.
+      int best = -1;
+      double best_score = 0.0;
+      for (size_t mi = 0; mi < members.size(); ++mi) {
+        if (taken[mi]) continue;
+        const int p = members[mi];
+        double score = 0.0;
+        if (config.use_similarity) {
+          score += EmbeddingSimilarity(prompt_embeddings, p,
+                                       clusters.centroids, c, config.metric);
+        }
+        if (config.use_importance && prompt_importance.defined()) {
+          score += static_cast<double>(prompt_importance.at(p, 0)) *
+                   mean_query_importance;
+        }
+        if (best < 0 || score > best_score) {
+          best = static_cast<int>(mi);
+          best_score = score;
+        }
+      }
+      if (best < 0) break;
+      taken[best] = true;
+      out.selected.push_back(members[best]);
+      out.votes[members[best]] = best_score;
+      out.hit_counts[members[best]] = 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace gp

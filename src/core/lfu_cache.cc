@@ -1,0 +1,74 @@
+#include "core/lfu_cache.h"
+
+namespace gp {
+
+LfuCache::LfuCache(int capacity) : capacity_(capacity) {
+  CHECK_GE(capacity, 0);
+}
+
+int64_t LfuCache::Insert(CacheEntry entry) {
+  if (capacity_ == 0) return -1;
+  if (size() >= capacity_) {
+    // Evict from the lowest-frequency bucket (front of its FIFO).
+    CHECK(!buckets_.empty());
+    auto lowest = buckets_.begin();
+    const int64_t victim = lowest->members.front();
+    lowest->members.pop_front();
+    if (lowest->members.empty()) buckets_.erase(lowest);
+    nodes_.erase(victim);
+  }
+  const int64_t id = next_id_++;
+  // Frequency-1 bucket is the head iff it exists.
+  if (buckets_.empty() || buckets_.front().frequency != 1) {
+    buckets_.push_front({1, {}});
+  }
+  auto bucket = buckets_.begin();
+  bucket->members.push_back(id);
+  auto position = std::prev(bucket->members.end());
+  nodes_[id] = {std::move(entry), bucket, position};
+  return id;
+}
+
+bool LfuCache::Touch(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  Promote(id);
+  return true;
+}
+
+void LfuCache::Promote(int64_t id) {
+  NodeInfo& info = nodes_.at(id);
+  auto bucket = info.bucket;
+  const int next_freq = bucket->frequency + 1;
+  auto next_bucket = std::next(bucket);
+  if (next_bucket == buckets_.end() || next_bucket->frequency != next_freq) {
+    next_bucket = buckets_.insert(next_bucket, {next_freq, {}});
+  }
+  bucket->members.erase(info.position);
+  next_bucket->members.push_back(id);
+  info.bucket = next_bucket;
+  info.position = std::prev(next_bucket->members.end());
+  if (bucket->members.empty()) buckets_.erase(bucket);
+}
+
+int LfuCache::FrequencyOf(int64_t id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return 0;
+  return it->second.bucket->frequency;
+}
+
+std::vector<std::pair<int64_t, const CacheEntry*>> LfuCache::Entries() const {
+  std::vector<std::pair<int64_t, const CacheEntry*>> out;
+  out.reserve(nodes_.size());
+  for (const auto& [id, info] : nodes_) {
+    out.emplace_back(id, &info.entry);
+  }
+  return out;
+}
+
+void LfuCache::Clear() {
+  buckets_.clear();
+  nodes_.clear();
+}
+
+}  // namespace gp

@@ -1,0 +1,81 @@
+// O(1) Least-Frequently-Used cache of pseudo-labelled prompt embeddings,
+// after Matani, Shah & Mitra, "An O(1) algorithm for implementing the LFU
+// cache eviction scheme" — the paper's reference [51] and the replacement
+// policy of the Prompt Augmenter (Sec. IV-C).
+//
+// The classic O(1) structure: a doubly linked list of frequency buckets,
+// each holding the set of entries with that use count. Insertion goes to
+// frequency 1; Touch moves an entry to the next bucket; eviction removes an
+// arbitrary entry from the lowest-frequency bucket (FIFO within a bucket,
+// so the stalest of the least-used goes first).
+
+#ifndef GRAPHPROMPTER_CORE_LFU_CACHE_H_
+#define GRAPHPROMPTER_CORE_LFU_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gp {
+
+// A cached online prompt: a data-graph embedding plus its pseudo-label.
+struct CacheEntry {
+  std::vector<float> embedding;
+  int pseudo_label = -1;
+  float confidence = 0.0f;
+};
+
+// Fixed-capacity LFU cache. Entries are addressed by the id returned from
+// Insert(); ids are never reused within one cache instance.
+class LfuCache {
+ public:
+  explicit LfuCache(int capacity);
+
+  int capacity() const { return capacity_; }
+  int size() const { return static_cast<int>(nodes_.size()); }
+  bool empty() const { return nodes_.empty(); }
+
+  // Inserts an entry with use count 1, evicting the least frequently used
+  // entry if at capacity. Returns the new entry's id, or -1 when
+  // capacity == 0.
+  int64_t Insert(CacheEntry entry);
+
+  // Increments the use count of `id` (a "cache hit"). Unknown/evicted ids
+  // are ignored (returns false).
+  bool Touch(int64_t id);
+
+  // Current frequency of an entry; 0 if absent.
+  int FrequencyOf(int64_t id) const;
+
+  // Snapshot of the current entries (ids and payloads), unspecified order.
+  std::vector<std::pair<int64_t, const CacheEntry*>> Entries() const;
+
+  void Clear();
+
+ private:
+  // One frequency bucket: its use count and the member ids (FIFO order).
+  struct Bucket {
+    int frequency;
+    std::list<int64_t> members;
+  };
+  struct NodeInfo {
+    CacheEntry entry;
+    std::list<Bucket>::iterator bucket;
+    std::list<int64_t>::iterator position;  // within bucket->members
+  };
+
+  // Moves `id` from its bucket to one with frequency+1 (creating it).
+  void Promote(int64_t id);
+
+  int capacity_;
+  int64_t next_id_ = 0;
+  std::list<Bucket> buckets_;  // ascending frequency
+  std::unordered_map<int64_t, NodeInfo> nodes_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_LFU_CACHE_H_

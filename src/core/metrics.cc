@@ -1,0 +1,109 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gp {
+
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& expected) {
+  CHECK_EQ(predicted.size(), expected.size());
+  if (predicted.empty()) return 0.0;
+  int correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == expected[i]) ++correct;
+  }
+  return static_cast<double>(correct) / predicted.size();
+}
+
+MeanStd ComputeMeanStd(const std::vector<double>& values) {
+  MeanStd out;
+  if (values.empty()) return out;
+  double total = 0.0;
+  for (double v : values) total += v;
+  out.mean = total / values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - out.mean) * (v - out.mean);
+  out.std = std::sqrt(var / values.size());
+  return out;
+}
+
+namespace {
+
+double RowDistance(const Tensor& embeddings, int a, int b) {
+  double total = 0.0;
+  for (int c = 0; c < embeddings.cols(); ++c) {
+    const double d = embeddings.at(a, c) - embeddings.at(b, c);
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+}  // namespace
+
+double SilhouetteScore(const Tensor& embeddings,
+                       const std::vector<int>& labels) {
+  const int n = embeddings.rows();
+  CHECK_EQ(static_cast<size_t>(n), labels.size());
+  int num_classes = 0;
+  for (int l : labels) num_classes = std::max(num_classes, l + 1);
+  if (num_classes < 2 || n < 3) return 0.0;
+
+  std::vector<int> class_size(num_classes, 0);
+  for (int l : labels) ++class_size[l];
+
+  double total_s = 0.0;
+  int counted = 0;
+  for (int i = 0; i < n; ++i) {
+    if (class_size[labels[i]] < 2) continue;  // silhouette undefined
+    // Mean distance to every class.
+    std::vector<double> mean_dist(num_classes, 0.0);
+    for (int j = 0; j < n; ++j) {
+      if (j == i) continue;
+      mean_dist[labels[j]] += RowDistance(embeddings, i, j);
+    }
+    for (int c = 0; c < num_classes; ++c) {
+      const int denom = (c == labels[i]) ? class_size[c] - 1 : class_size[c];
+      if (denom > 0) mean_dist[c] /= denom;
+    }
+    const double a = mean_dist[labels[i]];
+    double b = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < num_classes; ++c) {
+      if (c != labels[i] && class_size[c] > 0) b = std::min(b, mean_dist[c]);
+    }
+    if (!std::isfinite(b)) continue;
+    const double denom = std::max(a, b);
+    if (denom > 0.0) {
+      total_s += (b - a) / denom;
+      ++counted;
+    }
+  }
+  return counted > 0 ? total_s / counted : 0.0;
+}
+
+double IntraInterDistanceRatio(const Tensor& embeddings,
+                               const std::vector<int>& labels) {
+  const int n = embeddings.rows();
+  CHECK_EQ(static_cast<size_t>(n), labels.size());
+  double intra = 0.0, inter = 0.0;
+  int64_t intra_count = 0, inter_count = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double d = RowDistance(embeddings, i, j);
+      if (labels[i] == labels[j]) {
+        intra += d;
+        ++intra_count;
+      } else {
+        inter += d;
+        ++inter_count;
+      }
+    }
+  }
+  if (intra_count == 0 || inter_count == 0 || inter == 0.0) return 0.0;
+  return (intra / intra_count) / (inter / inter_count);
+}
+
+}  // namespace gp

@@ -1,0 +1,38 @@
+// Evaluation metrics: accuracy aggregation (mean ± std across trials, as
+// reported in the paper's tables) and embedding-cluster quality (the
+// quantitative stand-in for the t-SNE plots of Fig. 7).
+
+#ifndef GRAPHPROMPTER_CORE_METRICS_H_
+#define GRAPHPROMPTER_CORE_METRICS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+// Fraction of positions where predicted == expected.
+double Accuracy(const std::vector<int>& predicted,
+                const std::vector<int>& expected);
+
+// Sample mean and (population) standard deviation of a series.
+struct MeanStd {
+  double mean = 0.0;
+  double std = 0.0;
+};
+MeanStd ComputeMeanStd(const std::vector<double>& values);
+
+// Mean silhouette coefficient of `embeddings` (rows) under `labels`, using
+// Euclidean distance. Higher = tighter, better-separated clusters. Returns
+// 0 for degenerate inputs (single cluster or singleton clusters only).
+double SilhouetteScore(const Tensor& embeddings,
+                       const std::vector<int>& labels);
+
+// Ratio of mean intra-class pairwise distance to mean inter-class pairwise
+// distance (lower is better).
+double IntraInterDistanceRatio(const Tensor& embeddings,
+                               const std::vector<int>& labels);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_METRICS_H_

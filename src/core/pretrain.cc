@@ -1,0 +1,230 @@
+#include "core/pretrain.h"
+
+#include <algorithm>
+
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace gp {
+namespace {
+
+// One episodic forward pass: embeds prompts and queries (jointly, as one
+// packed batch), applies selection-layer weighting, runs the task graph,
+// and returns the CE loss plus the number of correctly predicted queries.
+struct EpisodeLoss {
+  Tensor loss;
+  int correct = 0;
+  int total = 0;
+};
+
+EpisodeLoss ForwardEpisode(const GraphPrompterModel& model,
+                           const Graph& graph,
+                           const std::vector<Subgraph>& prompt_subgraphs,
+                           const std::vector<int>& prompt_labels,
+                           const std::vector<Subgraph>& query_subgraphs,
+                           const std::vector<int>& query_labels, int ways) {
+  // Pack prompts + queries into one generator batch.
+  std::vector<Subgraph> all = prompt_subgraphs;
+  all.insert(all.end(), query_subgraphs.begin(), query_subgraphs.end());
+  Tensor embeddings = model.generator().EmbedSubgraphs(graph, all);
+  const int num_prompts = static_cast<int>(prompt_subgraphs.size());
+  const int num_queries = static_cast<int>(query_subgraphs.size());
+  Tensor prompt_emb = SliceRows(embeddings, 0, num_prompts);
+  Tensor query_emb = SliceRows(embeddings, num_prompts, num_queries);
+
+  if (model.config().use_selection_layer) {
+    // G'_p = G_p * I_p keeps the selection layer in the training loss.
+    prompt_emb = model.selection().WeightedEmbeddings(prompt_emb);
+  }
+
+  const TaskGraphOutput out =
+      model.task_net().Forward(prompt_emb, prompt_labels, query_emb, ways);
+  EpisodeLoss result;
+  result.loss = CrossEntropyWithLogits(out.query_scores, query_labels);
+  const std::vector<int> pred = ArgmaxRows(out.query_scores);
+  for (size_t i = 0; i < query_labels.size(); ++i) {
+    if (pred[i] == query_labels[i]) ++result.correct;
+  }
+  result.total = static_cast<int>(query_labels.size());
+  return result;
+}
+
+// Builds a Multi-Task episode (Eq. 13): a supervised m-way k-shot task
+// over the dataset's own labels, with queries drawn from the train split.
+bool BuildMultiTaskEpisode(const GraphPrompterModel& model,
+                           const DatasetBundle& dataset,
+                           const PretrainConfig& config, Rng* rng,
+                           std::vector<Subgraph>* prompts,
+                           std::vector<int>* prompt_labels,
+                           std::vector<Subgraph>* queries,
+                           std::vector<int>* query_labels) {
+  EpisodeSampler sampler(&dataset);
+  EpisodeConfig episode;
+  episode.ways = config.ways;
+  episode.candidates_per_class = config.shots;
+  episode.num_queries = config.queries_per_task;
+  episode.queries_from_test = false;
+  auto task_or = sampler.Sample(episode, rng);
+  if (!task_or.ok()) return false;
+  const FewShotTask& task = *task_or;
+  for (const auto& ex : task.candidates) {
+    prompts->push_back(model.generator().SampleForItem(dataset, ex.item, rng));
+    prompt_labels->push_back(ex.label);
+  }
+  for (const auto& ex : task.queries) {
+    queries->push_back(model.generator().SampleForItem(dataset, ex.item, rng));
+    query_labels->push_back(ex.label);
+  }
+  return true;
+}
+
+// Builds a Neighbor Matching episode (Eq. 12): classes are the local
+// neighborhoods of m sampled anchor nodes; examples/queries are nodes
+// drawn from those neighborhoods.
+bool BuildNeighborMatchingEpisode(const GraphPrompterModel& model,
+                                  const Graph& graph,
+                                  const PretrainConfig& config, Rng* rng,
+                                  std::vector<Subgraph>* prompts,
+                                  std::vector<int>* prompt_labels,
+                                  std::vector<Subgraph>* queries,
+                                  std::vector<int>* query_labels) {
+  const int needed_neighbors = config.shots + 1;  // k prompts + 1 query
+  std::vector<int> anchors;
+  // Rejection-sample anchors with enough distinct neighbors.
+  for (int attempt = 0; attempt < 50 * config.ways &&
+                        static_cast<int>(anchors.size()) < config.ways;
+       ++attempt) {
+    const int candidate = static_cast<int>(rng->UniformInt(graph.num_nodes()));
+    if (graph.Degree(candidate) < needed_neighbors) continue;
+    if (std::find(anchors.begin(), anchors.end(), candidate) !=
+        anchors.end()) {
+      continue;
+    }
+    anchors.push_back(candidate);
+  }
+  if (static_cast<int>(anchors.size()) < config.ways) return false;
+
+  for (int label = 0; label < config.ways; ++label) {
+    const int anchor = anchors[label];
+    // Distinct neighbor sample.
+    std::vector<int> unique_neighbors;
+    {
+      const AdjEntry* adj = graph.NeighborsBegin(anchor);
+      const int deg = graph.NeighborsCount(anchor);
+      std::vector<int> all(deg);
+      for (int i = 0; i < deg; ++i) all[i] = adj[i].neighbor;
+      std::sort(all.begin(), all.end());
+      all.erase(std::unique(all.begin(), all.end()), all.end());
+      rng->Shuffle(&all);
+      unique_neighbors = std::move(all);
+    }
+    if (static_cast<int>(unique_neighbors.size()) < needed_neighbors) {
+      return false;
+    }
+    for (int s = 0; s < config.shots; ++s) {
+      prompts->push_back(
+          model.generator().SampleForNode(graph, unique_neighbors[s], rng));
+      prompt_labels->push_back(label);
+    }
+    queries->push_back(model.generator().SampleForNode(
+        graph, unique_neighbors[config.shots], rng));
+    query_labels->push_back(label);
+  }
+  // Shuffle queries jointly so label order carries no signal.
+  std::vector<int> perm(queries->size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+  rng->Shuffle(&perm);
+  std::vector<Subgraph> shuffled_queries;
+  std::vector<int> shuffled_labels;
+  for (int i : perm) {
+    shuffled_queries.push_back((*queries)[i]);
+    shuffled_labels.push_back((*query_labels)[i]);
+  }
+  *queries = std::move(shuffled_queries);
+  *query_labels = std::move(shuffled_labels);
+  return true;
+}
+
+}  // namespace
+
+PretrainCurves Pretrain(GraphPrompterModel* model,
+                        const DatasetBundle& dataset,
+                        const PretrainConfig& config) {
+  CHECK(model != nullptr);
+  CHECK(config.neighbor_matching || config.multi_task);
+  Rng rng(config.seed);
+  AdamW optimizer(model->Parameters(), config.learning_rate,
+                  config.weight_decay);
+
+  PretrainCurves curves;
+  double window_loss = 0.0;
+  int window_correct = 0, window_total = 0, window_steps = 0;
+
+  for (int step = 1; step <= config.steps; ++step) {
+    optimizer.ZeroGrad();
+
+    Tensor total_loss;
+    int correct = 0, total = 0;
+
+    if (config.multi_task) {
+      std::vector<Subgraph> prompts, queries;
+      std::vector<int> prompt_labels, query_labels;
+      if (BuildMultiTaskEpisode(*model, dataset, config, &rng, &prompts,
+                                &prompt_labels, &queries, &query_labels)) {
+        EpisodeLoss mt =
+            ForwardEpisode(*model, dataset.graph, prompts, prompt_labels,
+                           queries, query_labels, config.ways);
+        total_loss = mt.loss;
+        correct += mt.correct;
+        total += mt.total;
+      }
+    }
+    if (config.neighbor_matching) {
+      std::vector<Subgraph> prompts, queries;
+      std::vector<int> prompt_labels, query_labels;
+      if (BuildNeighborMatchingEpisode(*model, dataset.graph, config, &rng,
+                                       &prompts, &prompt_labels, &queries,
+                                       &query_labels)) {
+        EpisodeLoss nm =
+            ForwardEpisode(*model, dataset.graph, prompts, prompt_labels,
+                           queries, query_labels, config.ways);
+        total_loss =
+            total_loss.defined() ? Add(total_loss, nm.loss) : nm.loss;
+        correct += nm.correct;
+        total += nm.total;
+      }
+    }
+    if (!total_loss.defined()) continue;  // no episode could be built
+
+    Backward(total_loss);
+    optimizer.ClipGradNorm(config.grad_clip);
+    optimizer.Step();
+
+    window_loss += total_loss.item();
+    window_correct += correct;
+    window_total += total;
+    ++window_steps;
+
+    if (step % config.log_every == 0 || step == config.steps) {
+      const double mean_loss =
+          window_steps > 0 ? window_loss / window_steps : 0.0;
+      const double acc = window_total > 0
+                             ? 100.0 * window_correct / window_total
+                             : 0.0;
+      curves.step.push_back(step);
+      curves.loss.push_back(mean_loss);
+      curves.train_accuracy.push_back(acc);
+      if (config.verbose) {
+        LOG(INFO) << "pretrain step " << step << " loss=" << mean_loss
+                  << " acc=" << acc << "%";
+      }
+      window_loss = 0.0;
+      window_correct = window_total = window_steps = 0;
+    }
+  }
+  return curves;
+}
+
+}  // namespace gp

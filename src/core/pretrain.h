@@ -1,0 +1,47 @@
+// Pre-training (Sec. IV-D, Algorithm 1): joint optimisation of the
+// generator, selection layer, and task network with the two episodic
+// objectives of Prodigy — Neighbor Matching (Eq. 12) and Multi-Task
+// (Eq. 13) — summed into the total loss (Eq. 14), optimised with AdamW.
+
+#ifndef GRAPHPROMPTER_CORE_PRETRAIN_H_
+#define GRAPHPROMPTER_CORE_PRETRAIN_H_
+
+#include <vector>
+
+#include "core/graph_prompter.h"
+#include "data/datasets.h"
+
+namespace gp {
+
+struct PretrainConfig {
+  int steps = 400;
+  int ways = 5;             // m per episode (paper: 30 at full scale)
+  int shots = 3;            // k prompts per class
+  int queries_per_task = 4; // n queries per episode (paper: 4)
+  float learning_rate = 1e-3f;   // paper: AdamW, lr 1e-3
+  float weight_decay = 1e-3f;    // paper: 1e-3
+  float grad_clip = 5.0f;
+  bool neighbor_matching = true;
+  bool multi_task = true;
+  int log_every = 50;
+  bool verbose = false;
+  uint64_t seed = 7;
+};
+
+// Logged training trajectory (Fig. 9 plots these curves).
+struct PretrainCurves {
+  std::vector<int> step;
+  std::vector<double> loss;
+  std::vector<double> train_accuracy;  // episode query accuracy, percent
+};
+
+// Trains `model` in place on `dataset` and returns the loss/accuracy
+// trajectory. The dataset's task type decides whether Multi-Task episodes
+// classify nodes or edges; Neighbor Matching always operates on nodes.
+PretrainCurves Pretrain(GraphPrompterModel* model,
+                        const DatasetBundle& dataset,
+                        const PretrainConfig& config);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_PRETRAIN_H_

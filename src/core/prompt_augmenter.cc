@@ -1,0 +1,94 @@
+#include "core/prompt_augmenter.h"
+
+#include <algorithm>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace gp {
+
+PromptAugmenter::PromptAugmenter(const PromptAugmenterConfig& config,
+                                 uint64_t seed)
+    : config_(config),
+      cache_(MakeCache(config.policy, config.cache_capacity)),
+      rng_(seed) {}
+
+PromptAugmenter::CachedPrompts PromptAugmenter::GetCachedPrompts(
+    int dim) const {
+  CachedPrompts out;
+  const auto entries = cache_->Entries();
+  out.embeddings = Tensor::Zeros(static_cast<int>(entries.size()), dim);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const CacheEntry& entry = *entries[i].second;
+    CHECK_EQ(static_cast<int>(entry.embedding.size()), dim);
+    for (int d = 0; d < dim; ++d) {
+      out.embeddings.at(static_cast<int>(i), d) = entry.embedding[d];
+    }
+    out.labels.push_back(entry.pseudo_label);
+  }
+  return out;
+}
+
+void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
+                                     const std::vector<int>& predicted_labels,
+                                     const std::vector<float>& confidences,
+                                     int max_inserts) {
+  const int num_queries = query_embeddings.rows();
+  CHECK_EQ(static_cast<size_t>(num_queries), predicted_labels.size());
+  CHECK_EQ(static_cast<size_t>(num_queries), confidences.size());
+
+  // 1. LFU frequency update: each query "hits" its top-k most similar
+  //    cache entries.
+  const auto entries = cache_->Entries();
+  if (!entries.empty()) {
+    for (int q = 0; q < num_queries; ++q) {
+      const std::vector<float> qe = query_embeddings.Row(q);
+      std::vector<std::pair<float, int64_t>> sims;
+      sims.reserve(entries.size());
+      for (const auto& [id, entry] : entries) {
+        float sim;
+        switch (config_.metric) {
+          case DistanceMetric::kCosine:
+            sim = CosineSimilarity(qe, entry->embedding);
+            break;
+          case DistanceMetric::kEuclidean:
+            sim = -EuclideanDistance(qe, entry->embedding);
+            break;
+          case DistanceMetric::kManhattan:
+            sim = -ManhattanDistance(qe, entry->embedding);
+            break;
+        }
+        sims.emplace_back(sim, id);
+      }
+      const int k = std::min<int>(config_.top_k_hits, sims.size());
+      std::partial_sort(
+          sims.begin(), sims.begin() + k, sims.end(),
+          [](const auto& a, const auto& b) { return a.first > b.first; });
+      for (int i = 0; i < k; ++i) cache_->Touch(sims[i].second);
+    }
+  }
+
+  // 2. Insert pseudo-labelled queries: the most confident ones (paper's
+  //    default) or random ones (Table VII robustness check).
+  std::vector<int> order(num_queries);
+  for (int i = 0; i < num_queries; ++i) order[i] = i;
+  if (config_.random_pseudo_labels) {
+    rng_.Shuffle(&order);
+  } else {
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+      return confidences[a] > confidences[b];
+    });
+  }
+  const int inserts = std::min(max_inserts, num_queries);
+  for (int i = 0; i < inserts; ++i) {
+    const int q = order[i];
+    if (confidences[q] < config_.min_confidence) continue;
+    CacheEntry entry;
+    entry.embedding = query_embeddings.Row(q);
+    entry.pseudo_label = predicted_labels[q];
+    entry.confidence = confidences[q];
+    cache_->Insert(std::move(entry));
+  }
+}
+
+}  // namespace gp

@@ -1,0 +1,70 @@
+// Stage 3 — Prompt Augmenter (Sec. IV-C).
+//
+// Test-time adaptation: the most confident predicted queries are inserted
+// into an LFU cache as pseudo-labelled prompts; cached entries join the
+// refined prompt set for subsequent queries (Eq. 9, S-hat' = S-hat ∪ C).
+// A cache entry's LFU frequency is bumped whenever it lands in a query's
+// top-k similarity set, exploiting the spatial locality of graph sampling.
+
+#ifndef GRAPHPROMPTER_CORE_PROMPT_AUGMENTER_H_
+#define GRAPHPROMPTER_CORE_PROMPT_AUGMENTER_H_
+
+#include <vector>
+
+#include "core/cache_policy.h"
+#include "core/knn_retrieval.h"
+#include "core/lfu_cache.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gp {
+
+struct PromptAugmenterConfig {
+  int cache_capacity = 3;  // c — Fig. 5 finds c = 3 optimal
+  // Replacement policy; the paper uses LFU, LRU/FIFO are the pluggable
+  // alternatives from its Further Discussion.
+  CachePolicy policy = CachePolicy::kLfu;
+  int top_k_hits = 3;      // similarity hits that bump LFU frequency
+  DistanceMetric metric = DistanceMetric::kCosine;
+  // Table VII robustness variant: insert random queries instead of the
+  // most confident ones.
+  bool random_pseudo_labels = false;
+  // Minimum softmax confidence required to cache a pseudo-label
+  // ("the most confidence probability", Sec. IV-C). The evaluation loop
+  // raises this to a ways-relative gate (1.5/m) for confident insertion,
+  // keeping low-quality pseudo-labels out in hard many-way episodes.
+  float min_confidence = 0.0f;
+};
+
+// Stateful online augmenter. One instance per evaluation episode.
+class PromptAugmenter {
+ public:
+  PromptAugmenter(const PromptAugmenterConfig& config, uint64_t seed);
+
+  // The cached online prompts, as (C x d) embeddings plus pseudo-labels.
+  // `dim` is needed to shape an empty result.
+  struct CachedPrompts {
+    Tensor embeddings;        // (C x d); 0 rows when the cache is empty
+    std::vector<int> labels;  // pseudo-labels, episode-local
+  };
+  CachedPrompts GetCachedPrompts(int dim) const;
+
+  // Feeds back one predicted batch: bumps LFU frequencies of cache entries
+  // similar to the queries, then inserts up to `max_inserts` (<= m, the
+  // paper's |Q-hat| <= m) pseudo-labelled queries.
+  void ObserveQueries(const Tensor& query_embeddings,
+                      const std::vector<int>& predicted_labels,
+                      const std::vector<float>& confidences, int max_inserts);
+
+  const ReplacementCache& cache() const { return *cache_; }
+  void Reset() { cache_->Clear(); }
+
+ private:
+  PromptAugmenterConfig config_;
+  std::unique_ptr<ReplacementCache> cache_;
+  Rng rng_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_PROMPT_AUGMENTER_H_

@@ -1,0 +1,153 @@
+#include "core/prompt_generator.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+#include "util/logging.h"
+
+namespace gp {
+
+const char* ReconArchName(ReconArch arch) {
+  switch (arch) {
+    case ReconArch::kMlp:
+      return "MLP";
+    case ReconArch::kBilinear:
+      return "bilinear";
+  }
+  return "?";
+}
+
+PromptGenerator::PromptGenerator(const PromptGeneratorConfig& config, Rng* rng)
+    : config_(config) {
+  // The reconstruction network only exists when the stage is enabled
+  // (Prodigy's architecture has no reweighting module).
+  if (config.use_reconstruction) {
+    switch (config.recon_arch) {
+      case ReconArch::kMlp:
+        recon_mlp_ = std::make_unique<Mlp>(
+            std::vector<int>{2 * config.gnn.in_dim, config.recon_hidden, 1},
+            rng);
+        RegisterModule("recon_mlp", recon_mlp_.get());
+        break;
+      case ReconArch::kBilinear:
+        recon_bilinear_ = std::make_unique<Linear>(
+            config.gnn.in_dim, config.gnn.in_dim, rng, /*use_bias=*/false);
+        RegisterModule("recon_bilinear", recon_bilinear_.get());
+        break;
+    }
+  }
+  encoder_ = std::make_unique<GnnEncoder>(config.gnn, rng);
+  RegisterModule("gnn_d", encoder_.get());
+}
+
+Subgraph PromptGenerator::SampleForItem(const DatasetBundle& dataset,
+                                        int item, Rng* rng) const {
+  if (config_.use_random_walk) {
+    RandomWalkSampler sampler(&dataset.graph, config_.sampler);
+    return dataset.task == TaskType::kNodeClassification
+               ? sampler.SampleAroundNode(item, rng)
+               : sampler.SampleAroundEdge(item, rng);
+  }
+  NeighborSampler sampler(&dataset.graph, config_.sampler);
+  return dataset.task == TaskType::kNodeClassification
+             ? sampler.SampleAroundNode(item, rng)
+             : sampler.SampleAroundEdge(item, rng);
+}
+
+Subgraph PromptGenerator::SampleForNode(const Graph& graph, int node,
+                                        Rng* rng) const {
+  if (config_.use_random_walk) {
+    RandomWalkSampler sampler(&graph, config_.sampler);
+    return sampler.SampleAroundNode(node, rng);
+  }
+  NeighborSampler sampler(&graph, config_.sampler);
+  return sampler.SampleAroundNode(node, rng);
+}
+
+Tensor PromptGenerator::EdgeWeightsFor(const Tensor& features,
+                                       const std::vector<int>& src,
+                                       const std::vector<int>& dst) const {
+  // Eq. 2: z_uv = MLP_phi(V(u), V(v), E(u,v)). Node features of the two
+  // endpoints are concatenated; the initial edge embedding in our datasets
+  // is itself derived from the endpoints, so this input covers both the
+  // node- and edge-classification forms.
+  Tensor logits;
+  if (config_.recon_arch == ReconArch::kMlp) {
+    Tensor endpoint_pairs =
+        ConcatCols(GatherRows(features, src), GatherRows(features, dst));
+    logits = recon_mlp_->Forward(endpoint_pairs);
+  } else {
+    // Bilinear variant: z_uv = x_u^T W x_v / sqrt(d).
+    Tensor projected = recon_bilinear_->Forward(GatherRows(features, src));
+    logits = Scale(
+        SumCols(Mul(projected, GatherRows(features, dst))),
+        1.0f / std::sqrt(static_cast<float>(config_.gnn.in_dim)));
+  }
+  // Eq. 3: w_uv = sigmoid(z_uv).
+  return Sigmoid(logits);
+}
+
+Tensor PromptGenerator::ReconstructEdgeWeights(const Graph& graph,
+                                               const Subgraph& sg) const {
+  if (sg.edge_src.empty()) return Tensor::Zeros(0, 1);
+  Tensor features = GatherRows(graph.node_features(), sg.nodes);
+  if (!config_.use_reconstruction) {
+    return Tensor::Full(sg.num_edges(), 1, 1.0f);
+  }
+  return EdgeWeightsFor(features, sg.edge_src, sg.edge_dst);
+}
+
+Tensor PromptGenerator::EmbedSubgraphs(const Graph& graph,
+                                       const std::vector<Subgraph>& subgraphs,
+                                       const Tensor& feature_offset) const {
+  CHECK(!subgraphs.empty());
+  // Pack all subgraphs into one disjoint union.
+  std::vector<int> union_nodes;     // original node ids
+  std::vector<int> union_src, union_dst;
+  std::vector<int> center_rows;     // rows of centers within the union
+  std::vector<int> center_segment;  // which subgraph each center belongs to
+  int offset = 0;
+  for (size_t b = 0; b < subgraphs.size(); ++b) {
+    const Subgraph& sg = subgraphs[b];
+    CHECK_GT(sg.num_nodes(), 0);
+    union_nodes.insert(union_nodes.end(), sg.nodes.begin(), sg.nodes.end());
+    for (int e = 0; e < sg.num_edges(); ++e) {
+      union_src.push_back(sg.edge_src[e] + offset);
+      union_dst.push_back(sg.edge_dst[e] + offset);
+    }
+    for (int local : sg.center_local) {
+      center_rows.push_back(local + offset);
+      center_segment.push_back(static_cast<int>(b));
+    }
+    offset += sg.num_nodes();
+  }
+
+  Tensor features = GatherRows(graph.node_features(), union_nodes);
+  if (feature_offset.defined()) {
+    features = Add(features, feature_offset);  // broadcast row
+  }
+  Tensor edge_weight;  // undefined = unit weights
+  if (config_.use_reconstruction && !union_src.empty()) {
+    edge_weight = EdgeWeightsFor(features, union_src, union_dst);
+  }
+  Tensor node_embeddings =
+      encoder_->Forward(features, union_src, union_dst, edge_weight);
+
+  // Readout: mean of each subgraph's center-node embeddings.
+  Tensor centers = GatherRows(node_embeddings, center_rows);
+  return SegmentMeanRows(centers, center_segment,
+                         static_cast<int>(subgraphs.size()));
+}
+
+Tensor PromptGenerator::EmbedItems(const DatasetBundle& dataset,
+                                   const std::vector<int>& items,
+                                   Rng* rng) const {
+  std::vector<Subgraph> subgraphs;
+  subgraphs.reserve(items.size());
+  for (int item : items) {
+    subgraphs.push_back(SampleForItem(dataset, item, rng));
+  }
+  return EmbedSubgraphs(dataset.graph, subgraphs);
+}
+
+}  // namespace gp

@@ -1,0 +1,21 @@
+#include "core/selection_layer.h"
+
+#include "tensor/ops.h"
+
+namespace gp {
+
+SelectionLayer::SelectionLayer(const SelectionLayerConfig& config, Rng* rng) {
+  mlp_ = std::make_unique<Mlp>(
+      std::vector<int>{config.embedding_dim, config.hidden_dim, 1}, rng);
+  RegisterModule("selection_mlp", mlp_.get());
+}
+
+Tensor SelectionLayer::Importance(const Tensor& embeddings) const {
+  return Sigmoid(mlp_->Forward(embeddings));
+}
+
+Tensor SelectionLayer::WeightedEmbeddings(const Tensor& embeddings) const {
+  return RowScale(embeddings, Importance(embeddings));
+}
+
+}  // namespace gp

@@ -1,0 +1,39 @@
+// Stage 2a — pre-trained selection layers (Sec. IV-B1, Eq. 5).
+//
+// I_p = sigmoid(MLP_theta(G_p)) scores the importance of each candidate
+// prompt embedding; the importance re-scales prompt embeddings before the
+// task graph (G'_p = G_p * I_p) and contributes the I_p * I_q term of the
+// combined selection score (Eq. 7).
+
+#ifndef GRAPHPROMPTER_CORE_SELECTION_LAYER_H_
+#define GRAPHPROMPTER_CORE_SELECTION_LAYER_H_
+
+#include <memory>
+
+#include "nn/mlp.h"
+#include "nn/module.h"
+
+namespace gp {
+
+struct SelectionLayerConfig {
+  int embedding_dim = 64;
+  int hidden_dim = 64;  // two-layer MLP (Sec. V-F)
+};
+
+class SelectionLayer : public Module {
+ public:
+  SelectionLayer(const SelectionLayerConfig& config, Rng* rng);
+
+  // Importance of each embedding row: (N x d) -> (N x 1) in (0, 1).
+  Tensor Importance(const Tensor& embeddings) const;
+
+  // Convenience: embeddings re-scaled by their importance (G'_p = G_p*I_p).
+  Tensor WeightedEmbeddings(const Tensor& embeddings) const;
+
+ private:
+  std::unique_ptr<Mlp> mlp_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_SELECTION_LAYER_H_

@@ -1,0 +1,187 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gp {
+
+const char* TaskTypeName(TaskType task) {
+  switch (task) {
+    case TaskType::kNodeClassification:
+      return "node-classification";
+    case TaskType::kEdgeClassification:
+      return "edge-classification";
+  }
+  return "?";
+}
+
+int DatasetBundle::LabelOfItem(int item) const {
+  if (task == TaskType::kNodeClassification) {
+    return graph.node_label(item);
+  }
+  return graph.edge(item).relation;
+}
+
+std::vector<float> DatasetBundle::ItemRawFeature(int item) const {
+  if (task == TaskType::kNodeClassification) {
+    return graph.node_features().Row(item);
+  }
+  const Edge& e = graph.edge(item);
+  std::vector<float> head = graph.node_features().Row(e.src);
+  const std::vector<float> tail = graph.node_features().Row(e.dst);
+  for (size_t i = 0; i < head.size(); ++i) {
+    head[i] = 0.5f * (head[i] + tail[i]);
+  }
+  return head;
+}
+
+std::vector<float> DatasetBundle::ClassDescriptor(int cls) const {
+  CHECK_GE(cls, 0);
+  CHECK_LT(cls, num_classes);
+  const auto& items = train_items_by_class[cls];
+  std::vector<float> mean(graph.feature_dim(), 0.0f);
+  if (items.empty()) return mean;
+  for (int item : items) {
+    const auto feat = ItemRawFeature(item);
+    for (size_t i = 0; i < mean.size(); ++i) mean[i] += feat[i];
+  }
+  const float inv = 1.0f / static_cast<float>(items.size());
+  for (auto& v : mean) v *= inv;
+  return mean;
+}
+
+DatasetBundle MakeBundleFromGraph(std::string name, TaskType task,
+                                  Graph graph, double train_fraction,
+                                  uint64_t seed) {
+  CHECK_GT(train_fraction, 0.0);
+  CHECK_LT(train_fraction, 1.0);
+  DatasetBundle bundle;
+  bundle.name = std::move(name);
+  bundle.task = task;
+  const int num_classes = task == TaskType::kNodeClassification
+                              ? graph.num_node_classes()
+                              : graph.num_relations();
+  bundle.num_classes = num_classes;
+  bundle.train_items_by_class.assign(num_classes, {});
+  bundle.test_items_by_class.assign(num_classes, {});
+
+  // Temporal split: items are ordered by recency (node id as creation
+  // time; edges by the mean of their endpoint ids) and the earliest
+  // fraction becomes the train split — mirroring the temporal train/test
+  // partitions of the real datasets, and exposing the feature drift the
+  // Prompt Augmenter adapts to at test time. Ties are broken by a seeded
+  // shuffle.
+  Rng rng(seed);
+  auto recency_of = [&](int item) {
+    if (task == TaskType::kNodeClassification) return 2 * item;
+    const Edge& e = graph.edge(item);
+    return e.src + e.dst;
+  };
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::vector<int> items = task == TaskType::kNodeClassification
+                                 ? graph.NodesOfClass(cls)
+                                 : graph.EdgesOfRelation(cls);
+    rng.Shuffle(&items);
+    std::stable_sort(items.begin(), items.end(), [&](int a, int b) {
+      return recency_of(a) < recency_of(b);
+    });
+    const int train_count = std::max(
+        1, static_cast<int>(std::floor(items.size() * train_fraction)));
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (static_cast<int>(i) < train_count) {
+        bundle.train_items_by_class[cls].push_back(items[i]);
+      } else {
+        bundle.test_items_by_class[cls].push_back(items[i]);
+      }
+    }
+  }
+  bundle.graph = std::move(graph);
+  return bundle;
+}
+
+namespace {
+
+// One FeatureSpace seed per domain (see header).
+constexpr uint64_t kNodeDomainSeed = 7001;
+constexpr uint64_t kEdgeDomainSeed = 7002;
+
+int Scaled(double scale, int base) {
+  return std::max(1, static_cast<int>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+DatasetBundle MakeMagSim(double scale, uint64_t seed) {
+  NodeGraphConfig config;
+  config.num_nodes = Scaled(scale, 4000);
+  config.num_classes = 40;
+  config.avg_degree = 10.0;
+  config.seed = seed;
+  config.domain_seed = kNodeDomainSeed;
+  return MakeBundleFromGraph("MAG240M-sim", TaskType::kNodeClassification,
+                             MakeNodeClassificationGraph(config), 0.6, seed);
+}
+
+DatasetBundle MakeArxivSim(double scale, uint64_t seed) {
+  NodeGraphConfig config;
+  config.num_nodes = Scaled(scale, 2400);
+  config.num_classes = 40;  // Table II: arXiv has 40 paper categories.
+  config.avg_degree = 9.0;
+  config.seed = seed;
+  config.domain_seed = kNodeDomainSeed;
+  return MakeBundleFromGraph("arXiv-sim", TaskType::kNodeClassification,
+                             MakeNodeClassificationGraph(config), 0.6, seed);
+}
+
+DatasetBundle MakeWikiSim(double scale, uint64_t seed) {
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 4000);
+  config.num_relations = 120;
+  config.num_clusters = 18;
+  config.num_edges = Scaled(scale, 18000);
+  config.seed = seed;
+  config.domain_seed = kEdgeDomainSeed;
+  return MakeBundleFromGraph("Wiki-sim", TaskType::kEdgeClassification,
+                             MakeKnowledgeGraph(config), 0.6, seed);
+}
+
+DatasetBundle MakeConceptNetSim(double scale, uint64_t seed) {
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 1500);
+  config.num_relations = 14;  // Table II: ConceptNet has 14 relation types.
+  config.num_clusters = 8;
+  config.num_edges = Scaled(scale, 6000);
+  config.seed = seed;
+  config.domain_seed = kEdgeDomainSeed;
+  return MakeBundleFromGraph("ConceptNet-sim", TaskType::kEdgeClassification,
+                             MakeKnowledgeGraph(config), 0.6, seed);
+}
+
+DatasetBundle MakeFb15kSim(double scale, uint64_t seed) {
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 2500);
+  config.num_relations = 200;  // Table II: FB15K-237 has 200 classes.
+  config.num_clusters = 16;
+  config.num_edges = Scaled(scale, 16000);
+  config.seed = seed;
+  config.domain_seed = kEdgeDomainSeed;
+  return MakeBundleFromGraph("FB15K-237-sim", TaskType::kEdgeClassification,
+                             MakeKnowledgeGraph(config), 0.6, seed);
+}
+
+DatasetBundle MakeNellSim(double scale, uint64_t seed) {
+  KnowledgeGraphConfig config;
+  config.num_nodes = Scaled(scale, 3000);
+  config.num_relations = 291;  // Table II: NELL has 291 classes.
+  config.num_clusters = 18;
+  config.num_edges = Scaled(scale, 20000);
+  config.seed = seed;
+  config.domain_seed = kEdgeDomainSeed;
+  return MakeBundleFromGraph("NELL-sim", TaskType::kEdgeClassification,
+                             MakeKnowledgeGraph(config), 0.6, seed);
+}
+
+}  // namespace gp

@@ -1,0 +1,64 @@
+// Named dataset constructors mirroring the paper's Table II at laptop
+// scale, plus the train/test item splits used for few-shot evaluation.
+//
+// Domains:
+//   * node domain  (citation): MagSim (pretrain)  -> ArxivSim (downstream)
+//   * edge domain  (KG):       WikiSim (pretrain)  -> ConceptNetSim,
+//                              Fb15kSim, NellSim    (downstream)
+// Datasets of one domain share a FeatureSpace (semantic basis) but have
+// disjoint label vocabularies — the paper's cross-graph transfer setting.
+
+#ifndef GRAPHPROMPTER_DATA_DATASETS_H_
+#define GRAPHPROMPTER_DATA_DATASETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+#include "graph/graph.h"
+
+namespace gp {
+
+enum class TaskType { kNodeClassification, kEdgeClassification };
+
+const char* TaskTypeName(TaskType task);
+
+// A dataset = graph + task + per-class train/test item splits. Items are
+// node ids for node classification and edge ids for edge classification.
+struct DatasetBundle {
+  std::string name;
+  TaskType task = TaskType::kNodeClassification;
+  Graph graph;
+  int num_classes = 0;
+  std::vector<std::vector<int>> train_items_by_class;
+  std::vector<std::vector<int>> test_items_by_class;
+
+  // The dataset-level label of `item` (class or relation id).
+  int LabelOfItem(int item) const;
+
+  // Raw input feature of an item: the node's feature row, or the mean of
+  // the edge's endpoint features.
+  std::vector<float> ItemRawFeature(int item) const;
+
+  // Mean raw feature of a class's training items — the stand-in for OFA's
+  // text-encoded class descriptions.
+  std::vector<float> ClassDescriptor(int cls) const;
+};
+
+// Scale multiplies node/edge counts (1.0 = defaults listed in DESIGN.md).
+DatasetBundle MakeMagSim(double scale = 1.0, uint64_t seed = 11);
+DatasetBundle MakeArxivSim(double scale = 1.0, uint64_t seed = 12);
+DatasetBundle MakeWikiSim(double scale = 1.0, uint64_t seed = 13);
+DatasetBundle MakeConceptNetSim(double scale = 1.0, uint64_t seed = 14);
+DatasetBundle MakeFb15kSim(double scale = 1.0, uint64_t seed = 15);
+DatasetBundle MakeNellSim(double scale = 1.0, uint64_t seed = 16);
+
+// Builds the split structure for an already-generated graph. Exposed for
+// constructing custom datasets through the public API (see examples/).
+DatasetBundle MakeBundleFromGraph(std::string name, TaskType task,
+                                  Graph graph, double train_fraction,
+                                  uint64_t seed);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_DATA_DATASETS_H_

@@ -1,0 +1,84 @@
+#include "data/episode.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gp {
+namespace {
+
+// A class is usable if it can supply N candidates and at least one query.
+bool Eligible(const DatasetBundle& dataset, int cls,
+              const EpisodeConfig& config) {
+  if (static_cast<int>(dataset.train_items_by_class[cls].size()) <
+      config.candidates_per_class) {
+    return false;
+  }
+  const auto& query_pool = config.queries_from_test
+                               ? dataset.test_items_by_class[cls]
+                               : dataset.train_items_by_class[cls];
+  return !query_pool.empty();
+}
+
+}  // namespace
+
+EpisodeSampler::EpisodeSampler(const DatasetBundle* dataset)
+    : dataset_(dataset) {
+  CHECK(dataset != nullptr);
+}
+
+int EpisodeSampler::NumEligibleClasses(const EpisodeConfig& config) const {
+  int count = 0;
+  for (int cls = 0; cls < dataset_->num_classes; ++cls) {
+    if (Eligible(*dataset_, cls, config)) ++count;
+  }
+  return count;
+}
+
+StatusOr<FewShotTask> EpisodeSampler::Sample(const EpisodeConfig& config,
+                                             Rng* rng) const {
+  CHECK(rng != nullptr);
+  CHECK_GE(config.ways, 2);
+  CHECK_GE(config.candidates_per_class, 1);
+  CHECK_GE(config.num_queries, 1);
+
+  std::vector<int> eligible;
+  for (int cls = 0; cls < dataset_->num_classes; ++cls) {
+    if (Eligible(*dataset_, cls, config)) eligible.push_back(cls);
+  }
+  if (static_cast<int>(eligible.size()) < config.ways) {
+    return InvalidArgumentError(
+        "dataset " + dataset_->name + " has only " +
+        std::to_string(eligible.size()) + " eligible classes for a " +
+        std::to_string(config.ways) + "-way episode");
+  }
+  rng->Shuffle(&eligible);
+  eligible.resize(config.ways);
+
+  FewShotTask task;
+  task.class_global = eligible;
+
+  // N candidates per class from the train split.
+  for (int label = 0; label < config.ways; ++label) {
+    const auto& pool = dataset_->train_items_by_class[eligible[label]];
+    const auto picks = rng->SampleWithoutReplacement(
+        static_cast<int>(pool.size()), config.candidates_per_class);
+    for (int p : picks) task.candidates.push_back({pool[p], label});
+  }
+
+  // Queries: round-robin over the episode classes so labels stay balanced,
+  // sampling with replacement from each class's query pool.
+  for (int q = 0; q < config.num_queries; ++q) {
+    const int label = q % config.ways;
+    const auto& pool = config.queries_from_test
+                           ? dataset_->test_items_by_class[eligible[label]]
+                           : dataset_->train_items_by_class[eligible[label]];
+    const int pick = static_cast<int>(rng->UniformInt(pool.size()));
+    task.queries.push_back({pool[pick], label});
+  }
+  // Shuffle so query order does not encode the label.
+  rng->Shuffle(&task.queries);
+  return task;
+}
+
+}  // namespace gp

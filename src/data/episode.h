@@ -1,0 +1,60 @@
+// Few-shot episode construction: m-way tasks with N candidate prompts per
+// class and n queries (Sec. III, Definition 2 and Sec. V-A2).
+
+#ifndef GRAPHPROMPTER_DATA_EPISODE_H_
+#define GRAPHPROMPTER_DATA_EPISODE_H_
+
+#include <vector>
+
+#include "data/datasets.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gp {
+
+// One labelled input of an episode. `item` is a node id or edge id
+// (depending on the dataset's task); `label` is the episode-local class in
+// [0, ways).
+struct ExampleItem {
+  int item = -1;
+  int label = -1;
+};
+
+// An m-way few-shot task: `candidates` holds N examples per class drawn
+// from the train split (the candidate prompt set S), `queries` holds test
+// items to predict (Q).
+struct FewShotTask {
+  std::vector<int> class_global;  // dataset class id per episode label
+  std::vector<ExampleItem> candidates;
+  std::vector<ExampleItem> queries;
+
+  int ways() const { return static_cast<int>(class_global.size()); }
+};
+
+struct EpisodeConfig {
+  int ways = 5;                  // m
+  int candidates_per_class = 10;  // N (paper: 10)
+  int num_queries = 4;            // n per episode
+  // Train-split queries are used during pretraining; test-split at eval.
+  bool queries_from_test = true;
+};
+
+// Samples episodes from a dataset. Classes with too few items (fewer than
+// candidates_per_class train items or no query items) are excluded.
+class EpisodeSampler {
+ public:
+  explicit EpisodeSampler(const DatasetBundle* dataset);
+
+  // Number of classes eligible under `config`.
+  int NumEligibleClasses(const EpisodeConfig& config) const;
+
+  // Samples one episode; fails if fewer than `ways` eligible classes.
+  StatusOr<FewShotTask> Sample(const EpisodeConfig& config, Rng* rng) const;
+
+ private:
+  const DatasetBundle* dataset_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_DATA_EPISODE_H_

@@ -1,0 +1,214 @@
+#include "data/synthetic.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gp {
+
+FeatureSpace::FeatureSpace(int feature_dim, int intrinsic_dim, uint64_t seed)
+    : feature_dim_(feature_dim), intrinsic_dim_(intrinsic_dim) {
+  CHECK_GT(feature_dim, 0);
+  CHECK_GT(intrinsic_dim, 0);
+  CHECK_LE(intrinsic_dim, feature_dim);
+  Rng rng(seed);
+  basis_.resize(intrinsic_dim);
+  for (auto& direction : basis_) {
+    direction.resize(feature_dim);
+    double norm = 0.0;
+    for (auto& v : direction) {
+      v = rng.Normal();
+      norm += static_cast<double>(v) * v;
+    }
+    // Random Gaussian directions are near-orthogonal in high dimension;
+    // normalising each is enough for our purposes.
+    const float inv = 1.0f / static_cast<float>(std::sqrt(norm) + 1e-12);
+    for (auto& v : direction) v *= inv;
+  }
+}
+
+std::vector<float> FeatureSpace::SamplePrototype(Rng* rng) const {
+  // Coefficients ~ N(0, 1/intrinsic) give prototypes of roughly unit norm.
+  const float scale = 1.0f / std::sqrt(static_cast<float>(intrinsic_dim_));
+  std::vector<float> proto(feature_dim_, 0.0f);
+  for (int k = 0; k < intrinsic_dim_; ++k) {
+    const float coeff = rng->Normal() * scale;
+    for (int d = 0; d < feature_dim_; ++d) {
+      proto[d] += coeff * basis_[k][d];
+    }
+  }
+  return proto;
+}
+
+namespace {
+
+// Fills node features: prototype of the node's group + isotropic noise +
+// temporal drift. Drift grows linearly with the node id (node ids play the
+// role of creation time; group assignment is shuffled so id carries no
+// class information), along one random dataset-specific direction.
+Tensor MakeFeatures(const std::vector<int>& group_of_node,
+                    const std::vector<std::vector<float>>& prototypes,
+                    int feature_dim, double feature_noise,
+                    double temporal_drift, Rng* rng) {
+  const int n = static_cast<int>(group_of_node.size());
+  const float noise_scale = static_cast<float>(feature_noise) /
+                            std::sqrt(static_cast<float>(feature_dim));
+  std::vector<float> drift_direction(feature_dim);
+  {
+    double norm = 0.0;
+    for (auto& v : drift_direction) {
+      v = rng->Normal();
+      norm += static_cast<double>(v) * v;
+    }
+    const float inv = static_cast<float>(temporal_drift) /
+                      static_cast<float>(std::sqrt(norm) + 1e-12);
+    for (auto& v : drift_direction) v *= inv;
+  }
+  Tensor features = Tensor::Zeros(n, feature_dim);
+  for (int v = 0; v < n; ++v) {
+    const auto& proto = prototypes[group_of_node[v]];
+    const float recency = static_cast<float>(v) / std::max(n - 1, 1);
+    for (int d = 0; d < feature_dim; ++d) {
+      features.at(v, d) = proto[d] + rng->Normal() * noise_scale +
+                          recency * drift_direction[d];
+    }
+  }
+  return features;
+}
+
+}  // namespace
+
+Graph MakeNodeClassificationGraph(const NodeGraphConfig& config) {
+  CHECK_GT(config.num_nodes, 0);
+  CHECK_GT(config.num_classes, 0);
+  CHECK_GE(config.num_nodes, config.num_classes);
+  Rng rng(config.seed);
+  FeatureSpace space(config.feature_dim, config.intrinsic_dim,
+                     config.domain_seed);
+
+  // Balanced class assignment, then shuffled.
+  std::vector<int> label_of(config.num_nodes);
+  for (int v = 0; v < config.num_nodes; ++v) {
+    label_of[v] = v % config.num_classes;
+  }
+  rng.Shuffle(&label_of);
+
+  std::vector<std::vector<float>> prototypes(config.num_classes);
+  for (auto& proto : prototypes) proto = space.SamplePrototype(&rng);
+
+  std::vector<std::vector<int>> nodes_of_class(config.num_classes);
+  for (int v = 0; v < config.num_nodes; ++v) {
+    nodes_of_class[label_of[v]].push_back(v);
+  }
+
+  GraphBuilder builder(/*num_relations=*/1);
+  for (int v = 0; v < config.num_nodes; ++v) builder.AddNode(label_of[v]);
+  builder.SetNodeFeatures(MakeFeatures(label_of, prototypes,
+                                       config.feature_dim,
+                                       config.feature_noise,
+                                       config.temporal_drift, &rng));
+
+  // Structural edges: homophilous with probability `homophily`.
+  const int64_t num_struct_edges = static_cast<int64_t>(
+      config.num_nodes * config.avg_degree / 2.0);
+  for (int64_t e = 0; e < num_struct_edges; ++e) {
+    const int u = static_cast<int>(rng.UniformInt(config.num_nodes));
+    int v;
+    if (rng.Bernoulli(config.homophily)) {
+      const auto& peers = nodes_of_class[label_of[u]];
+      v = peers[rng.UniformInt(peers.size())];
+    } else {
+      v = static_cast<int>(rng.UniformInt(config.num_nodes));
+    }
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+  }
+  // Noise edges: uniform pairs, task-irrelevant by construction.
+  const int64_t num_noise_edges =
+      static_cast<int64_t>(num_struct_edges * config.noise_edge_fraction);
+  for (int64_t e = 0; e < num_noise_edges; ++e) {
+    const int u = static_cast<int>(rng.UniformInt(config.num_nodes));
+    const int v = static_cast<int>(rng.UniformInt(config.num_nodes));
+    if (u == v) continue;
+    builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph MakeKnowledgeGraph(const KnowledgeGraphConfig& config) {
+  CHECK_GT(config.num_nodes, 0);
+  CHECK_GT(config.num_relations, 0);
+  CHECK_GT(config.num_clusters, 1);
+  Rng rng(config.seed);
+  FeatureSpace space(config.feature_dim, config.intrinsic_dim,
+                     config.domain_seed);
+
+  // Entity clusters.
+  std::vector<int> cluster_of(config.num_nodes);
+  for (int v = 0; v < config.num_nodes; ++v) {
+    cluster_of[v] = v % config.num_clusters;
+  }
+  rng.Shuffle(&cluster_of);
+  std::vector<std::vector<int>> nodes_of_cluster(config.num_clusters);
+  for (int v = 0; v < config.num_nodes; ++v) {
+    nodes_of_cluster[cluster_of[v]].push_back(v);
+  }
+
+  std::vector<std::vector<float>> prototypes(config.num_clusters);
+  for (auto& proto : prototypes) proto = space.SamplePrototype(&rng);
+
+  // Assign each relation an ordered cluster pair; distinct pairs while the
+  // supply lasts (num_clusters^2 pairs), then reuse with replacement.
+  std::vector<std::pair<int, int>> pair_of_relation(config.num_relations);
+  {
+    std::vector<int> pair_ids(config.num_clusters * config.num_clusters);
+    for (size_t i = 0; i < pair_ids.size(); ++i) {
+      pair_ids[i] = static_cast<int>(i);
+    }
+    rng.Shuffle(&pair_ids);
+    for (int r = 0; r < config.num_relations; ++r) {
+      int pair_id;
+      if (r < static_cast<int>(pair_ids.size())) {
+        pair_id = pair_ids[r];
+      } else {
+        pair_id = static_cast<int>(rng.UniformInt(pair_ids.size()));
+      }
+      pair_of_relation[r] = {pair_id / config.num_clusters,
+                             pair_id % config.num_clusters};
+    }
+  }
+
+  GraphBuilder builder(config.num_relations);
+  for (int v = 0; v < config.num_nodes; ++v) builder.AddNode(cluster_of[v]);
+  builder.SetNodeFeatures(MakeFeatures(cluster_of, prototypes,
+                                       config.feature_dim,
+                                       config.feature_noise,
+                                       config.temporal_drift, &rng));
+
+  const int64_t num_noise =
+      static_cast<int64_t>(config.num_edges * config.noise_edge_fraction);
+  const int64_t num_struct = config.num_edges - num_noise;
+  for (int64_t e = 0; e < num_struct; ++e) {
+    // Round-robin over relations keeps per-relation support balanced, so
+    // every relation has enough edges to serve as prompts/queries.
+    const int r = static_cast<int>(e % config.num_relations);
+    const auto& [ca, cb] = pair_of_relation[r];
+    const auto& heads = nodes_of_cluster[ca];
+    const auto& tails = nodes_of_cluster[cb];
+    if (heads.empty() || tails.empty()) continue;
+    const int u = heads[rng.UniformInt(heads.size())];
+    const int v = tails[rng.UniformInt(tails.size())];
+    if (u == v) continue;
+    builder.AddEdge(u, v, r);
+  }
+  for (int64_t e = 0; e < num_noise; ++e) {
+    const int u = static_cast<int>(rng.UniformInt(config.num_nodes));
+    const int v = static_cast<int>(rng.UniformInt(config.num_nodes));
+    const int r = static_cast<int>(rng.UniformInt(config.num_relations));
+    if (u == v) continue;
+    builder.AddEdge(u, v, r);
+  }
+  return builder.Build();
+}
+
+}  // namespace gp

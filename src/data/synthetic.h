@@ -1,0 +1,103 @@
+// Synthetic graph generators standing in for the paper's datasets
+// (MAG240M, Wiki, arXiv, ConceptNet, FB15K-237, NELL — Table II).
+//
+// Design (see DESIGN.md "Substitutions"): the evaluation measures how well
+// prompt strategies transfer a pre-trained model to graphs with *disjoint
+// label vocabularies*, as a function of the number of classes, shots, and
+// hops. We therefore generate planted-structure graphs where
+//
+//  * every class/relation has a prototype living in a low-dimensional
+//    "semantic subspace" shared across all datasets of one domain, so a
+//    model pre-trained on one dataset is meaningfully (but imperfectly)
+//    transferable to the others — prototypes crowd as the class count
+//    grows, reproducing the paper's accuracy-vs-ways decline;
+//  * node-classification graphs are homophilous SBMs (citation-style);
+//  * knowledge graphs tie each relation to an ordered pair of entity
+//    clusters, so a relation is predictable from its endpoints' context;
+//  * a configurable fraction of edges is pure noise, giving the Prompt
+//    Generator's reconstruction layer task-irrelevant structure to filter.
+
+#ifndef GRAPHPROMPTER_DATA_SYNTHETIC_H_
+#define GRAPHPROMPTER_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gp {
+
+// The shared semantic space of one domain. All datasets constructed with
+// the same FeatureSpace seed embed their class prototypes through the same
+// intrinsic basis, which is what makes cross-dataset in-context transfer
+// possible at all (mirroring the shared "paper/entity semantics" of the
+// real datasets).
+class FeatureSpace {
+ public:
+  FeatureSpace(int feature_dim, int intrinsic_dim, uint64_t seed);
+
+  int feature_dim() const { return feature_dim_; }
+  int intrinsic_dim() const { return intrinsic_dim_; }
+
+  // Draws a fresh class prototype (unit-ish norm) in feature space.
+  std::vector<float> SamplePrototype(Rng* rng) const;
+
+ private:
+  int feature_dim_;
+  int intrinsic_dim_;
+  // basis_[k] is the k-th intrinsic direction in feature space.
+  std::vector<std::vector<float>> basis_;
+};
+
+struct NodeGraphConfig {
+  int num_nodes = 2000;
+  int num_classes = 20;
+  int feature_dim = 64;
+  int intrinsic_dim = 8;
+  double avg_degree = 8.0;
+  // Probability that an edge connects two same-class nodes.
+  double homophily = 0.75;
+  // Fraction of additional edges wired uniformly at random (task noise).
+  double noise_edge_fraction = 0.2;
+  // Per-coordinate feature noise scale (relative to unit prototypes).
+  double feature_noise = 4.0;
+  // Temporal drift: node v's features shift by (v / num_nodes) * drift
+  // along a dataset-specific direction, mimicking the distribution shift
+  // between early (train) and late (test) items of real temporal splits —
+  // the gap the Prompt Augmenter's test-time adaptation corrects.
+  double temporal_drift = 1.5;
+  uint64_t seed = 1;
+  uint64_t domain_seed = 101;  // FeatureSpace seed (shared per domain)
+};
+
+// Homophilous SBM with class-conditioned Gaussian features; node labels in
+// [0, num_classes). Single relation type.
+Graph MakeNodeClassificationGraph(const NodeGraphConfig& config);
+
+struct KnowledgeGraphConfig {
+  int num_nodes = 3000;
+  int num_relations = 100;
+  int num_clusters = 16;
+  int num_edges = 12000;
+  int feature_dim = 64;
+  int intrinsic_dim = 8;
+  // Fraction of edges whose endpoints/relation are uniform noise.
+  double noise_edge_fraction = 0.15;
+  double feature_noise = 1.0;
+  // See NodeGraphConfig::temporal_drift.
+  double temporal_drift = 1.5;
+  uint64_t seed = 2;
+  uint64_t domain_seed = 202;
+};
+
+// Multi-relational graph: entities belong to clusters (cluster prototype +
+// noise features); each relation r links a fixed ordered cluster pair
+// (a_r, b_r), pairs assigned distinctly while possible. Edge labels are
+// relation ids. Node labels record the cluster (useful for diagnostics).
+Graph MakeKnowledgeGraph(const KnowledgeGraphConfig& config);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_DATA_SYNTHETIC_H_

@@ -1,0 +1,64 @@
+// GnnEncoder: a configurable stack of message-passing layers producing node
+// embeddings, plus the subgraph readout that yields the data-graph embedding
+// G_i of Eq. 4.
+
+#ifndef GRAPHPROMPTER_GNN_ENCODER_H_
+#define GRAPHPROMPTER_GNN_ENCODER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/gat_conv.h"
+#include "gnn/gcn_conv.h"
+#include "gnn/sage_conv.h"
+#include "graph/sampler.h"
+#include "nn/module.h"
+
+namespace gp {
+
+// Which convolution the encoder stacks (Fig. 4 compares kSage vs kGat).
+enum class GnnArch { kSage, kGcn, kGat };
+
+const char* GnnArchName(GnnArch arch);
+
+struct GnnEncoderConfig {
+  GnnArch arch = GnnArch::kSage;
+  int in_dim = 64;
+  int hidden_dim = 64;
+  int out_dim = 64;
+  int num_layers = 2;
+};
+
+// Stacks `num_layers` convolutions with ReLU in between. All layers accept
+// an optional (E x 1) edge-weight tensor, through which the Prompt
+// Generator's reconstruction gradients flow.
+class GnnEncoder : public Module {
+ public:
+  GnnEncoder(const GnnEncoderConfig& config, Rng* rng);
+
+  // Returns per-node embeddings (N x out_dim).
+  Tensor Forward(const Tensor& x, const std::vector<int>& src,
+                 const std::vector<int>& dst, const Tensor& edge_weight) const;
+
+  // Readout: mean of the center-node embeddings -> a single (1 x out_dim)
+  // subgraph embedding. For node inputs this is the center node; for edge
+  // inputs the mean of head and tail.
+  Tensor Readout(const Subgraph& subgraph, const Tensor& node_embeddings) const;
+
+  const GnnEncoderConfig& config() const { return config_; }
+
+ private:
+  Tensor ApplyLayer(int layer, const Tensor& x, const std::vector<int>& src,
+                    const std::vector<int>& dst,
+                    const Tensor& edge_weight) const;
+
+  GnnEncoderConfig config_;
+  std::vector<std::unique_ptr<SageConv>> sage_layers_;
+  std::vector<std::unique_ptr<GcnConv>> gcn_layers_;
+  std::vector<std::unique_ptr<GatConv>> gat_layers_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_GNN_ENCODER_H_

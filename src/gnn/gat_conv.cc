@@ -1,0 +1,39 @@
+#include "gnn/gat_conv.h"
+
+#include "tensor/ops.h"
+
+namespace gp {
+
+GatConv::GatConv(int in_dim, int out_dim, Rng* rng, float negative_slope)
+    : negative_slope_(negative_slope) {
+  linear_ = std::make_unique<Linear>(in_dim, out_dim, rng);
+  RegisterModule("linear", linear_.get());
+  attn_src_ = RegisterParameter("attn_src", Tensor::Xavier(out_dim, 1, rng));
+  attn_dst_ = RegisterParameter("attn_dst", Tensor::Xavier(out_dim, 1, rng));
+}
+
+Tensor GatConv::Forward(const Tensor& x, const std::vector<int>& src,
+                        const std::vector<int>& dst,
+                        const Tensor& edge_weight) const {
+  CHECK_EQ(src.size(), dst.size());
+  const int num_nodes = x.rows();
+  Tensor h = linear_->Forward(x);
+  if (src.empty()) return h;
+
+  // Per-node attention scores, then per-edge logits.
+  Tensor score_src = MatMul(h, attn_src_);  // (N x 1)
+  Tensor score_dst = MatMul(h, attn_dst_);  // (N x 1)
+  Tensor logits = LeakyRelu(
+      Add(GatherRows(score_src, src), GatherRows(score_dst, dst)),
+      negative_slope_);
+  // Softmax over each destination node's incoming edges.
+  Tensor alpha = SegmentSoftmax(logits, dst, num_nodes);
+  if (edge_weight.defined()) {
+    CHECK_EQ(edge_weight.rows(), static_cast<int>(src.size()));
+    alpha = Mul(alpha, edge_weight);
+  }
+  Tensor messages = RowScale(GatherRows(h, src), alpha);
+  return Add(h, ScatterAddRows(messages, dst, num_nodes));
+}
+
+}  // namespace gp

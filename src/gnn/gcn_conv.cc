@@ -1,0 +1,46 @@
+#include "gnn/gcn_conv.h"
+
+#include <cmath>
+
+#include "tensor/ops.h"
+
+namespace gp {
+
+GcnConv::GcnConv(int in_dim, int out_dim, Rng* rng) {
+  linear_ = std::make_unique<Linear>(in_dim, out_dim, rng);
+  RegisterModule("linear", linear_.get());
+}
+
+Tensor GcnConv::Forward(const Tensor& x, const std::vector<int>& src,
+                        const std::vector<int>& dst,
+                        const Tensor& edge_weight) const {
+  CHECK_EQ(src.size(), dst.size());
+  const int num_nodes = x.rows();
+
+  // Degrees (+1 for the implicit self loop); constants w.r.t. autograd.
+  std::vector<float> degree(num_nodes, 1.0f);
+  for (int d : dst) degree[d] += 1.0f;
+
+  // Self term: x_i / (d_i + 1).
+  std::vector<float> self_coeff(num_nodes);
+  for (int i = 0; i < num_nodes; ++i) self_coeff[i] = 1.0f / degree[i];
+  Tensor agg = RowScale(x, Tensor::FromData(num_nodes, 1, self_coeff));
+
+  if (!src.empty()) {
+    const int num_edges = static_cast<int>(src.size());
+    std::vector<float> norm(num_edges);
+    for (int e = 0; e < num_edges; ++e) {
+      norm[e] = 1.0f / std::sqrt(degree[src[e]] * degree[dst[e]]);
+    }
+    Tensor coeff = Tensor::FromData(num_edges, 1, std::move(norm));
+    if (edge_weight.defined()) {
+      CHECK_EQ(edge_weight.rows(), num_edges);
+      coeff = Mul(edge_weight, coeff);
+    }
+    Tensor messages = RowScale(GatherRows(x, src), coeff);
+    agg = Add(agg, ScatterAddRows(messages, dst, num_nodes));
+  }
+  return linear_->Forward(agg);
+}
+
+}  // namespace gp

@@ -1,0 +1,40 @@
+#include "gnn/sage_conv.h"
+
+#include "tensor/ops.h"
+
+namespace gp {
+
+SageConv::SageConv(int in_dim, int out_dim, Rng* rng) {
+  self_ = std::make_unique<Linear>(in_dim, out_dim, rng);
+  neighbor_ = std::make_unique<Linear>(in_dim, out_dim, rng,
+                                       /*use_bias=*/false);
+  RegisterModule("self", self_.get());
+  RegisterModule("neighbor", neighbor_.get());
+}
+
+Tensor SageConv::Forward(const Tensor& x, const std::vector<int>& src,
+                         const std::vector<int>& dst,
+                         const Tensor& edge_weight) const {
+  CHECK_EQ(src.size(), dst.size());
+  const int num_nodes = x.rows();
+  Tensor out = self_->Forward(x);
+  if (src.empty()) return out;
+
+  Tensor messages = GatherRows(x, src);
+  Tensor weight_sums;
+  if (edge_weight.defined()) {
+    CHECK_EQ(edge_weight.rows(), static_cast<int>(src.size()));
+    CHECK_EQ(edge_weight.cols(), 1);
+    messages = RowScale(messages, edge_weight);
+    weight_sums = ScatterAddRows(edge_weight, dst, num_nodes);
+  } else {
+    Tensor ones = Tensor::Full(static_cast<int>(src.size()), 1, 1.0f);
+    weight_sums = ScatterAddRows(ones, dst, num_nodes);
+  }
+  Tensor sums = ScatterAddRows(messages, dst, num_nodes);
+  // Weighted mean; epsilon guards isolated nodes / all-zero weights.
+  Tensor mean = Div(sums, AddScalar(weight_sums, 1e-6f));
+  return Add(out, neighbor_->Forward(mean));
+}
+
+}  // namespace gp

@@ -1,0 +1,90 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gp {
+
+GraphBuilder::GraphBuilder(int num_relations)
+    : num_relations_(num_relations) {
+  CHECK_GE(num_relations, 1);
+}
+
+int GraphBuilder::AddNode(int label) {
+  CHECK(!built_);
+  node_labels_.push_back(label);
+  return static_cast<int>(node_labels_.size()) - 1;
+}
+
+void GraphBuilder::AddEdge(int src, int dst, int relation, bool undirected) {
+  CHECK(!built_);
+  CHECK_GE(src, 0);
+  CHECK_GE(dst, 0);
+  CHECK_LT(src, static_cast<int>(node_labels_.size()));
+  CHECK_LT(dst, static_cast<int>(node_labels_.size()));
+  CHECK_GE(relation, 0);
+  CHECK_LT(relation, num_relations_);
+  pending_.push_back({src, dst, relation, undirected});
+}
+
+void GraphBuilder::SetNodeFeatures(Tensor features) {
+  CHECK(!built_);
+  CHECK_EQ(features.rows(), static_cast<int>(node_labels_.size()));
+  features_ = std::move(features);
+}
+
+Graph GraphBuilder::Build() {
+  CHECK(!built_);
+  built_ = true;
+  const int n = static_cast<int>(node_labels_.size());
+
+  Graph graph;
+  graph.num_nodes_ = n;
+  graph.num_relations_ = num_relations_;
+  graph.node_labels_ = std::move(node_labels_);
+  if (features_.defined()) {
+    graph.node_features_ = std::move(features_);
+  } else {
+    graph.node_features_ = Tensor::Zeros(n, 1);
+  }
+
+  // Count adjacency entries per node (undirected edges contribute twice).
+  std::vector<int> degree(n, 0);
+  for (const auto& e : pending_) {
+    ++degree[e.src];
+    if (e.undirected && e.src != e.dst) ++degree[e.dst];
+  }
+  graph.offsets_.assign(n + 1, 0);
+  for (int i = 0; i < n; ++i) graph.offsets_[i + 1] = graph.offsets_[i] + degree[i];
+  graph.adjacency_.resize(graph.offsets_[n]);
+
+  std::vector<int> cursor(graph.offsets_.begin(), graph.offsets_.end() - 1);
+  graph.edges_.reserve(pending_.size());
+  graph.edges_by_relation_.assign(num_relations_, {});
+  for (const auto& e : pending_) {
+    const int edge_id = static_cast<int>(graph.edges_.size());
+    graph.edges_.push_back({e.src, e.dst, e.relation});
+    graph.edges_by_relation_[e.relation].push_back(edge_id);
+    graph.adjacency_[cursor[e.src]++] = {e.dst, e.relation, edge_id};
+    if (e.undirected && e.src != e.dst) {
+      graph.adjacency_[cursor[e.dst]++] = {e.src, e.relation, edge_id};
+    }
+  }
+
+  // Node class index.
+  int num_classes = 0;
+  for (int label : graph.node_labels_) {
+    num_classes = std::max(num_classes, label + 1);
+  }
+  graph.num_node_classes_ = num_classes;
+  graph.nodes_by_class_.assign(num_classes, {});
+  for (int v = 0; v < n; ++v) {
+    if (graph.node_labels_[v] >= 0) {
+      graph.nodes_by_class_[graph.node_labels_[v]].push_back(v);
+    }
+  }
+  return graph;
+}
+
+}  // namespace gp

@@ -1,0 +1,47 @@
+// Incremental construction of Graph objects.
+
+#ifndef GRAPHPROMPTER_GRAPH_BUILDER_H_
+#define GRAPHPROMPTER_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gp {
+
+// Accumulates nodes/edges and finalises into an immutable CSR Graph.
+class GraphBuilder {
+ public:
+  // `num_relations` >= 1; relation ids must be in [0, num_relations).
+  explicit GraphBuilder(int num_relations = 1);
+
+  // Adds a node and returns its id.
+  int AddNode(int label = -1);
+
+  // Adds an edge (u, r, v). When `undirected` (the default), the reverse
+  // adjacency is added too — the paper's datasets are treated as undirected
+  // for neighborhood sampling while keeping the oriented Edge record.
+  void AddEdge(int src, int dst, int relation = 0, bool undirected = true);
+
+  // Sets the dense feature matrix; must have one row per node.
+  void SetNodeFeatures(Tensor features);
+
+  // Finalises the CSR structure. The builder must not be reused after.
+  Graph Build();
+
+ private:
+  int num_relations_;
+  std::vector<int> node_labels_;
+  struct PendingEdge {
+    int src, dst, relation;
+    bool undirected;
+  };
+  std::vector<PendingEdge> pending_;
+  Tensor features_;
+  bool built_ = false;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_GRAPH_BUILDER_H_

@@ -1,0 +1,16 @@
+#include "graph/graph.h"
+
+#include <sstream>
+
+namespace gp {
+
+std::string Graph::DebugString() const {
+  std::ostringstream out;
+  out << "Graph(nodes=" << num_nodes_ << ", edges=" << edges_.size()
+      << ", relations=" << num_relations_
+      << ", node_classes=" << num_node_classes_
+      << ", feature_dim=" << feature_dim() << ")";
+  return out.str();
+}
+
+}  // namespace gp

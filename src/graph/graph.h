@@ -1,0 +1,96 @@
+// In-memory graph storage: CSR adjacency with typed (multi-relational)
+// edges, dense node features, and optional node labels. This is the source
+// graph "G = (V, E, R)" of the paper (Sec. III).
+
+#ifndef GRAPHPROMPTER_GRAPH_GRAPH_H_
+#define GRAPHPROMPTER_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+// One directed edge (u, r, v) of the source graph. For undirected graphs the
+// builder inserts the reverse adjacency as well, but `Edge` records keep the
+// original orientation (used as edge-classification inputs).
+struct Edge {
+  int src = -1;
+  int dst = -1;
+  int relation = 0;
+};
+
+// An adjacency entry: neighbor node, relation, and the id of the underlying
+// Edge record (shared by both directions of an undirected edge).
+struct AdjEntry {
+  int neighbor = -1;
+  int relation = 0;
+  int edge_id = -1;
+};
+
+// Immutable multi-relational graph. Construct through GraphBuilder.
+class Graph {
+ public:
+  int num_nodes() const { return num_nodes_; }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+  int num_relations() const { return num_relations_; }
+  int feature_dim() const {
+    return node_features_.defined() ? node_features_.cols() : 0;
+  }
+
+  // Out-degree in the CSR structure (counts both directions for undirected).
+  int Degree(int node) const {
+    return offsets_[node + 1] - offsets_[node];
+  }
+
+  // Adjacency list of `node` (begin pointer + count).
+  const AdjEntry* NeighborsBegin(int node) const {
+    return adjacency_.data() + offsets_[node];
+  }
+  int NeighborsCount(int node) const { return Degree(node); }
+
+  const Edge& edge(int edge_id) const { return edges_[edge_id]; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  // Node features (num_nodes x feature_dim); not trainable.
+  const Tensor& node_features() const { return node_features_; }
+
+  // Per-node class labels (-1 when unlabeled).
+  const std::vector<int>& node_labels() const { return node_labels_; }
+  int node_label(int node) const { return node_labels_[node]; }
+
+  // Number of distinct node classes (0 when unlabeled).
+  int num_node_classes() const { return num_node_classes_; }
+
+  // Nodes of a given class (computed lazily at build time).
+  const std::vector<int>& NodesOfClass(int cls) const {
+    return nodes_by_class_[cls];
+  }
+
+  // Edges of a given relation.
+  const std::vector<int>& EdgesOfRelation(int relation) const {
+    return edges_by_relation_[relation];
+  }
+
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  int num_nodes_ = 0;
+  int num_relations_ = 1;
+  int num_node_classes_ = 0;
+  std::vector<int> offsets_;        // CSR offsets, size num_nodes + 1
+  std::vector<AdjEntry> adjacency_;  // CSR payload
+  std::vector<Edge> edges_;          // original edge records
+  Tensor node_features_;
+  std::vector<int> node_labels_;
+  std::vector<std::vector<int>> nodes_by_class_;
+  std::vector<std::vector<int>> edges_by_relation_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_GRAPH_GRAPH_H_

@@ -1,0 +1,23 @@
+// Binary (de)serialisation of graphs, so generated datasets can be saved
+// once and reloaded across benchmark runs, and users can import their own
+// graphs without regenerating.
+
+#ifndef GRAPHPROMPTER_GRAPH_GRAPH_IO_H_
+#define GRAPHPROMPTER_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace gp {
+
+// Writes `graph` (topology, relations, labels, features) to `path`.
+Status SaveGraph(const Graph& graph, const std::string& path);
+
+// Reads a graph previously written by SaveGraph.
+StatusOr<Graph> LoadGraph(const std::string& path);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,162 @@
+#include "graph/sampler.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace gp {
+
+void InduceEdges(const Graph& graph, Subgraph* subgraph) {
+  std::unordered_map<int, int> local_of;
+  local_of.reserve(subgraph->nodes.size());
+  for (size_t i = 0; i < subgraph->nodes.size(); ++i) {
+    local_of[subgraph->nodes[i]] = static_cast<int>(i);
+  }
+  for (size_t i = 0; i < subgraph->nodes.size(); ++i) {
+    const int u = subgraph->nodes[i];
+    const AdjEntry* adj = graph.NeighborsBegin(u);
+    const int deg = graph.NeighborsCount(u);
+    for (int k = 0; k < deg; ++k) {
+      auto it = local_of.find(adj[k].neighbor);
+      if (it == local_of.end()) continue;
+      subgraph->edge_src.push_back(static_cast<int>(i));
+      subgraph->edge_dst.push_back(it->second);
+      subgraph->edge_rel.push_back(adj[k].relation);
+      subgraph->edge_ids.push_back(adj[k].edge_id);
+    }
+  }
+}
+
+namespace {
+
+// Shared helper: seeds `nodes` with centers and records their local indices.
+Subgraph SeedCenters(const std::vector<int>& centers) {
+  Subgraph sg;
+  std::unordered_set<int> seen;
+  for (int c : centers) {
+    if (seen.insert(c).second) {
+      sg.center_local.push_back(static_cast<int>(sg.nodes.size()));
+      sg.nodes.push_back(c);
+    } else {
+      // Duplicate center (self-loop edge): reuse the existing local index.
+      for (size_t i = 0; i < sg.nodes.size(); ++i) {
+        if (sg.nodes[i] == c) {
+          sg.center_local.push_back(static_cast<int>(i));
+          break;
+        }
+      }
+    }
+  }
+  return sg;
+}
+
+}  // namespace
+
+NeighborSampler::NeighborSampler(const Graph* graph, SamplerConfig config)
+    : graph_(graph), config_(config) {
+  CHECK(graph != nullptr);
+  CHECK_GE(config.num_hops, 0);
+  CHECK_GE(config.max_nodes, 1);
+}
+
+Subgraph NeighborSampler::SampleAroundNode(int node, Rng* rng) const {
+  return SampleAroundNodes({node}, rng);
+}
+
+Subgraph NeighborSampler::SampleAroundEdge(int edge_id, Rng* rng) const {
+  const Edge& e = graph_->edge(edge_id);
+  return SampleAroundNodes({e.src, e.dst}, rng);
+}
+
+Subgraph NeighborSampler::SampleAroundNodes(const std::vector<int>& centers,
+                                            Rng* rng) const {
+  Subgraph sg = SeedCenters(centers);
+  std::unordered_set<int> seen(sg.nodes.begin(), sg.nodes.end());
+
+  // BFS frontier expansion, hop by hop. When a hop would exceed the node
+  // cap, a random subset of that hop's candidates is kept.
+  std::vector<int> frontier = sg.nodes;
+  for (int hop = 0; hop < config_.num_hops; ++hop) {
+    std::vector<int> next;
+    for (int u : frontier) {
+      const AdjEntry* adj = graph_->NeighborsBegin(u);
+      const int deg = graph_->NeighborsCount(u);
+      for (int k = 0; k < deg; ++k) {
+        const int v = adj[k].neighbor;
+        if (seen.insert(v).second) next.push_back(v);
+      }
+    }
+    const int room = config_.max_nodes - static_cast<int>(sg.nodes.size());
+    if (room <= 0) break;
+    if (static_cast<int>(next.size()) > room) {
+      CHECK(rng != nullptr);
+      rng->Shuffle(&next);
+      next.resize(room);
+    }
+    sg.nodes.insert(sg.nodes.end(), next.begin(), next.end());
+    frontier = std::move(next);
+    if (static_cast<int>(sg.nodes.size()) >= config_.max_nodes) break;
+  }
+  InduceEdges(*graph_, &sg);
+  return sg;
+}
+
+RandomWalkSampler::RandomWalkSampler(const Graph* graph, SamplerConfig config)
+    : graph_(graph), config_(config) {
+  CHECK(graph != nullptr);
+  CHECK_GE(config.num_hops, 0);
+  CHECK_GE(config.max_nodes, 1);
+  CHECK_GE(config.num_walks, 1);
+}
+
+Subgraph RandomWalkSampler::SampleAroundNode(int node, Rng* rng) const {
+  return SampleAroundNodes({node}, rng);
+}
+
+Subgraph RandomWalkSampler::SampleAroundEdge(int edge_id, Rng* rng) const {
+  const Edge& e = graph_->edge(edge_id);
+  return SampleAroundNodes({e.src, e.dst}, rng);
+}
+
+Subgraph RandomWalkSampler::SampleAroundNodes(const std::vector<int>& centers,
+                                              Rng* rng) const {
+  CHECK(rng != nullptr);
+  Subgraph sg = SeedCenters(centers);
+  std::unordered_set<int> seen(sg.nodes.begin(), sg.nodes.end());
+
+  // Adds the neighbors of `u` (deduplicated) until the cap is hit.
+  auto add_neighbors = [&](int u) {
+    const AdjEntry* adj = graph_->NeighborsBegin(u);
+    const int deg = graph_->NeighborsCount(u);
+    for (int k = 0; k < deg; ++k) {
+      if (static_cast<int>(sg.nodes.size()) >= config_.max_nodes) return;
+      const int v = adj[k].neighbor;
+      if (seen.insert(v).second) sg.nodes.push_back(v);
+    }
+  };
+
+  std::vector<int> starts;
+  for (int local : sg.center_local) starts.push_back(sg.nodes[local]);
+  for (int start : starts) {
+    for (int walk = 0; walk < config_.num_walks; ++walk) {
+      int current = start;
+      add_neighbors(current);
+      // "Randomly choose a direction to move to the next node … repeated l
+      // times; terminate if the subgraph reaches the preset limit."
+      for (int step = 0; step < config_.num_hops; ++step) {
+        if (static_cast<int>(sg.nodes.size()) >= config_.max_nodes) break;
+        const int deg = graph_->NeighborsCount(current);
+        if (deg == 0) break;
+        const AdjEntry* adj = graph_->NeighborsBegin(current);
+        current = adj[rng->UniformInt(deg)].neighbor;
+        add_neighbors(current);
+      }
+      if (static_cast<int>(sg.nodes.size()) >= config_.max_nodes) break;
+    }
+  }
+  InduceEdges(*graph_, &sg);
+  return sg;
+}
+
+}  // namespace gp

@@ -1,0 +1,80 @@
+// Data-graph construction (Eq. 1): contextualises an input node or edge by
+// sampling its l-hop neighborhood from the source graph, either exactly
+// (NeighborSampler) or with the paper's random-walk procedure
+// (RandomWalkSampler, Sec. IV-A1).
+
+#ifndef GRAPHPROMPTER_GRAPH_SAMPLER_H_
+#define GRAPHPROMPTER_GRAPH_SAMPLER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace gp {
+
+// A sampled data graph G_i^D in local index space. `nodes[i]` is the source
+// graph id of local node i; the input node(s) come first.
+struct Subgraph {
+  std::vector<int> nodes;         // original node ids, centers first
+  std::vector<int> center_local;  // local indices of the input node(s)
+  // Induced directed adjacency (both directions of undirected edges).
+  std::vector<int> edge_src;
+  std::vector<int> edge_dst;
+  std::vector<int> edge_rel;
+  std::vector<int> edge_ids;      // original Edge record ids
+
+  int num_nodes() const { return static_cast<int>(nodes.size()); }
+  int num_edges() const { return static_cast<int>(edge_src.size()); }
+};
+
+struct SamplerConfig {
+  // l — the neighborhood radius (walk length for the random-walk sampler).
+  int num_hops = 1;
+  // Hard cap on subgraph size; sampling stops once reached (paper's "preset
+  // limit").
+  int max_nodes = 30;
+  // Number of walk restarts per center node (random-walk sampler only).
+  int num_walks = 2;
+};
+
+// Exact l-hop BFS neighborhood with a node cap.
+class NeighborSampler {
+ public:
+  NeighborSampler(const Graph* graph, SamplerConfig config);
+
+  // Samples the neighborhood of one node (node classification input).
+  Subgraph SampleAroundNode(int node, Rng* rng) const;
+  // Samples around both endpoints of an edge (edge classification input).
+  Subgraph SampleAroundEdge(int edge_id, Rng* rng) const;
+  // General form: centers are included and expanded jointly.
+  Subgraph SampleAroundNodes(const std::vector<int>& centers, Rng* rng) const;
+
+ private:
+  const Graph* graph_;
+  SamplerConfig config_;
+};
+
+// The paper's sampler: starting from each center, add its neighbors, take a
+// random step, add that node's neighbors (duplicates removed), repeat l
+// times; stop early at the node cap.
+class RandomWalkSampler {
+ public:
+  RandomWalkSampler(const Graph* graph, SamplerConfig config);
+
+  Subgraph SampleAroundNode(int node, Rng* rng) const;
+  Subgraph SampleAroundEdge(int edge_id, Rng* rng) const;
+  Subgraph SampleAroundNodes(const std::vector<int>& centers, Rng* rng) const;
+
+ private:
+  const Graph* graph_;
+  SamplerConfig config_;
+};
+
+// Fills a Subgraph's edge arrays with the induced adjacency among
+// `subgraph->nodes` (shared by both samplers; exposed for testing).
+void InduceEdges(const Graph& graph, Subgraph* subgraph);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_GRAPH_SAMPLER_H_

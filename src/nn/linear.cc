@@ -1,0 +1,27 @@
+#include "nn/linear.h"
+
+#include "tensor/ops.h"
+
+namespace gp {
+
+Linear::Linear(int in_features, int out_features, Rng* rng, bool use_bias)
+    : in_features_(in_features),
+      out_features_(out_features),
+      use_bias_(use_bias) {
+  CHECK_GT(in_features, 0);
+  CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", Tensor::Xavier(in_features, out_features, rng));
+  if (use_bias_) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros(1, out_features));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  CHECK_EQ(x.cols(), in_features_);
+  Tensor out = MatMul(x, weight_);
+  if (use_bias_) out = Add(out, bias_);
+  return out;
+}
+
+}  // namespace gp

@@ -1,0 +1,36 @@
+// Fully-connected layer: y = x W + b.
+
+#ifndef GRAPHPROMPTER_NN_LINEAR_H_
+#define GRAPHPROMPTER_NN_LINEAR_H_
+
+#include "nn/module.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gp {
+
+// A dense affine map. Weights are Xavier-initialised; bias starts at zero.
+class Linear : public Module {
+ public:
+  Linear(int in_features, int out_features, Rng* rng, bool use_bias = true);
+
+  // x: (N x in) -> (N x out).
+  Tensor Forward(const Tensor& x) const;
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+  const Tensor& weight() const { return weight_; }
+  const Tensor& bias() const { return bias_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  bool use_bias_;
+  Tensor weight_;  // (in x out)
+  Tensor bias_;    // (1 x out)
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_NN_LINEAR_H_

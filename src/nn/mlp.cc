@@ -1,0 +1,41 @@
+#include "nn/mlp.h"
+
+#include "tensor/ops.h"
+
+namespace gp {
+
+Tensor ApplyActivation(const Tensor& x, Activation activation) {
+  switch (activation) {
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kLeakyRelu:
+      return LeakyRelu(x);
+    case Activation::kIdentity:
+      return x;
+  }
+  return x;
+}
+
+Mlp::Mlp(const std::vector<int>& dims, Rng* rng, Activation activation)
+    : activation_(activation) {
+  CHECK_GE(dims.size(), 2u);
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterModule("layer" + std::to_string(i), layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = ApplyActivation(h, activation_);
+  }
+  return h;
+}
+
+}  // namespace gp

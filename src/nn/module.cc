@@ -1,0 +1,47 @@
+#include "nn/module.h"
+
+namespace gp {
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor tensor) {
+  tensor.set_requires_grad(true);
+  params_.emplace_back(name, tensor);
+  return tensor;
+}
+
+void Module::RegisterModule(const std::string& name, Module* child) {
+  CHECK(child != nullptr);
+  children_.emplace_back(name, child);
+}
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> out;
+  for (const auto& [name, t] : params_) out.push_back(t);
+  for (const auto& [name, child] : children_) {
+    auto sub = child->Parameters();
+    out.insert(out.end(), sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> out;
+  for (const auto& [name, t] : params_) out.emplace_back(name, t);
+  for (const auto& [name, child] : children_) {
+    for (const auto& [sub_name, t] : child->NamedParameters()) {
+      out.emplace_back(name + "/" + sub_name, t);
+    }
+  }
+  return out;
+}
+
+void Module::ZeroGrad() {
+  for (auto& t : Parameters()) t.ZeroGrad();
+}
+
+int64_t Module::NumParameters() const {
+  int64_t total = 0;
+  for (const auto& t : Parameters()) total += t.size();
+  return total;
+}
+
+}  // namespace gp

@@ -1,0 +1,54 @@
+// Module base class: a named-parameter registry for neural network
+// components, mirroring the torch.nn.Module idiom at a much smaller scale.
+
+#ifndef GRAPHPROMPTER_NN_MODULE_H_
+#define GRAPHPROMPTER_NN_MODULE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+// Base class for anything that owns trainable parameters. Subclasses call
+// RegisterParameter / RegisterModule in their constructors; the optimizer
+// and (de)serializer then enumerate everything through Parameters() /
+// NamedParameters().
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // All trainable tensors of this module and its registered children.
+  std::vector<Tensor> Parameters() const;
+
+  // Same, with hierarchical "child/param" names.
+  std::vector<std::pair<std::string, Tensor>> NamedParameters() const;
+
+  // Zeroes every parameter's gradient buffer.
+  void ZeroGrad();
+
+  // Total number of trainable scalars.
+  int64_t NumParameters() const;
+
+ protected:
+  // Registers `tensor` as a trainable parameter; marks requires_grad and
+  // returns it for convenient member initialisation.
+  Tensor RegisterParameter(const std::string& name, Tensor tensor);
+
+  // Registers `child` (not owned; must outlive this module).
+  void RegisterModule(const std::string& name, Module* child);
+
+ private:
+  std::vector<std::pair<std::string, Tensor>> params_;
+  std::vector<std::pair<std::string, Module*>> children_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_NN_MODULE_H_

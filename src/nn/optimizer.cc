@@ -1,0 +1,103 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace gp {
+
+Optimizer::Optimizer(std::vector<Tensor> params)
+    : params_(std::move(params)) {}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p.ZeroGrad();
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (const auto& p : params_) {
+    for (float g : p.grad()) total += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (auto& p : params_) {
+      for (float& g : p.mutable_grad()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Tensor> params, float learning_rate, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  learning_rate_ = learning_rate;
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& data = p.mutable_data();
+    const auto& grad = p.grad();
+    auto& vel = velocity_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      if (momentum_ > 0.0f) {
+        vel[j] = momentum_ * vel[j] + grad[j];
+        data[j] -= learning_rate_ * vel[j];
+      } else {
+        data[j] -= learning_rate_ * grad[j];
+      }
+    }
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, float learning_rate, float beta1,
+           float beta2, float eps, float weight_decay,
+           bool decoupled_weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay),
+      decoupled_(decoupled_weight_decay) {
+  learning_rate_ = learning_rate;
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].size(), 0.0f);
+    v_[i].assign(params_[i].size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    if (p.grad().empty()) continue;
+    auto& data = p.mutable_data();
+    const auto& grad = p.grad();
+    auto& m = m_[i];
+    auto& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j];
+      if (!decoupled_ && weight_decay_ > 0.0f) g += weight_decay_ * data[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      float update = m_hat / (std::sqrt(v_hat) + eps_);
+      if (decoupled_ && weight_decay_ > 0.0f) {
+        update += weight_decay_ * data[j];
+      }
+      data[j] -= learning_rate_ * update;
+    }
+  }
+}
+
+}  // namespace gp

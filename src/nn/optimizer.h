@@ -1,0 +1,85 @@
+// First-order optimizers: SGD (with momentum), Adam, AdamW.
+//
+// The paper pre-trains with AdamW (lr 1e-3, weight decay 1e-3, Sec. V-A4);
+// SGD and Adam are provided for the ablation/baseline configurations.
+
+#ifndef GRAPHPROMPTER_NN_OPTIMIZER_H_
+#define GRAPHPROMPTER_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+// Interface shared by all optimizers. Parameters are captured at
+// construction; Step() applies one update from the accumulated gradients.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Tensor> params);
+  virtual ~Optimizer() = default;
+
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  virtual void Step() = 0;
+
+  // Zeroes all parameter gradients.
+  void ZeroGrad();
+
+  // Rescales gradients so their global L2 norm is at most `max_norm`.
+  // Returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+  float learning_rate() const { return learning_rate_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float learning_rate_ = 1e-3f;
+};
+
+// Vanilla SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float learning_rate, float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+// Adam (Kingma & Ba). `decoupled_weight_decay=false` gives classic Adam with
+// L2-in-gradient decay; AdamW below uses the decoupled form.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float learning_rate, float beta1 = 0.9f,
+       float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f,
+       bool decoupled_weight_decay = false);
+
+  void Step() override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  bool decoupled_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+// AdamW: Adam with decoupled weight decay — the paper's pretraining
+// optimizer (lr = 1e-3, weight decay = 1e-3).
+class AdamW : public Adam {
+ public:
+  AdamW(std::vector<Tensor> params, float learning_rate = 1e-3f,
+        float weight_decay = 1e-3f, float beta1 = 0.9f, float beta2 = 0.999f,
+        float eps = 1e-8f)
+      : Adam(std::move(params), learning_rate, beta1, beta2, eps,
+             weight_decay, /*decoupled_weight_decay=*/true) {}
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_NN_OPTIMIZER_H_

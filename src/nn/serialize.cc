@@ -1,0 +1,90 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+
+namespace gp {
+namespace {
+
+constexpr uint32_t kMagic = 0x47505031;  // "GPP1"
+
+void WriteU32(std::ofstream& out, uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* v) {
+  in.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return in.good();
+}
+
+}  // namespace
+
+Status SaveModule(const Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    return InternalError("cannot open checkpoint for writing: " + path);
+  }
+  const auto named = module.NamedParameters();
+  WriteU32(out, kMagic);
+  WriteU32(out, static_cast<uint32_t>(named.size()));
+  for (const auto& [name, tensor] : named) {
+    WriteU32(out, static_cast<uint32_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    WriteU32(out, static_cast<uint32_t>(tensor.rows()));
+    WriteU32(out, static_cast<uint32_t>(tensor.cols()));
+    out.write(reinterpret_cast<const char*>(tensor.data().data()),
+              static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+  }
+  if (!out.good()) return InternalError("write failed: " + path);
+  return Status::Ok();
+}
+
+Status LoadModule(Module* module, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return NotFoundError("cannot open checkpoint: " + path);
+  }
+  uint32_t magic = 0, count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return InvalidArgumentError("bad checkpoint magic in " + path);
+  }
+  if (!ReadU32(in, &count)) {
+    return InvalidArgumentError("truncated checkpoint: " + path);
+  }
+  std::map<std::string, std::pair<std::pair<int, int>, std::vector<float>>>
+      stored;
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t name_len = 0, rows = 0, cols = 0;
+    if (!ReadU32(in, &name_len)) {
+      return InvalidArgumentError("truncated checkpoint: " + path);
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), name_len);
+    if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) {
+      return InvalidArgumentError("truncated checkpoint: " + path);
+    }
+    std::vector<float> data(static_cast<size_t>(rows) * cols);
+    in.read(reinterpret_cast<char*>(data.data()),
+            static_cast<std::streamsize>(data.size() * sizeof(float)));
+    if (!in.good()) {
+      return InvalidArgumentError("truncated checkpoint: " + path);
+    }
+    stored[name] = {{static_cast<int>(rows), static_cast<int>(cols)},
+                    std::move(data)};
+  }
+  for (auto& [name, tensor] : module->NamedParameters()) {
+    auto it = stored.find(name);
+    if (it == stored.end()) {
+      return NotFoundError("parameter missing from checkpoint: " + name);
+    }
+    const auto& [shape, data] = it->second;
+    if (shape.first != tensor.rows() || shape.second != tensor.cols()) {
+      return InvalidArgumentError("shape mismatch for parameter: " + name);
+    }
+    tensor.mutable_data() = data;
+  }
+  return Status::Ok();
+}
+
+}  // namespace gp

@@ -1,0 +1,26 @@
+// Binary checkpointing of module parameters.
+//
+// Format: magic, count, then for each parameter: name length, name bytes,
+// rows, cols, float32 data. Loading matches by name and checks shapes, so a
+// checkpoint can be restored into a freshly constructed model.
+
+#ifndef GRAPHPROMPTER_NN_SERIALIZE_H_
+#define GRAPHPROMPTER_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "nn/module.h"
+#include "util/status.h"
+
+namespace gp {
+
+// Writes every named parameter of `module` to `path`.
+Status SaveModule(const Module& module, const std::string& path);
+
+// Restores parameters from `path` into `module`. Every parameter of
+// `module` must be present in the file with a matching shape.
+Status LoadModule(Module* module, const std::string& path);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_NN_SERIALIZE_H_

@@ -1,0 +1,67 @@
+#include "tensor/autograd.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace gp {
+namespace {
+
+bool g_grad_enabled = true;
+
+// Iterative post-order DFS producing a topological order of the autograd
+// graph (parents appear before children in `order`).
+void TopologicalSort(TensorImpl* root, std::vector<TensorImpl*>* order) {
+  std::unordered_set<TensorImpl*> visited;
+  // Stack of (node, next-parent-index).
+  std::vector<std::pair<TensorImpl*, size_t>> stack;
+  stack.emplace_back(root, 0);
+  visited.insert(root);
+  while (!stack.empty()) {
+    auto& [node, next] = stack.back();
+    if (next < node->parents.size()) {
+      TensorImpl* parent = node->parents[next++].get();
+      if (parent != nullptr && visited.insert(parent).second) {
+        stack.emplace_back(parent, 0);
+      }
+    } else {
+      order->push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Tensor& root) {
+  CHECK_EQ(root.size(), 1);
+  BackwardWithSeed(root, {1.0f});
+}
+
+void BackwardWithSeed(const Tensor& root, const std::vector<float>& seed) {
+  CHECK(root.defined());
+  CHECK_EQ(static_cast<int64_t>(seed.size()), root.size());
+  std::vector<TensorImpl*> order;
+  TopologicalSort(root.raw(), &order);
+
+  root.raw()->EnsureGrad();
+  for (size_t i = 0; i < seed.size(); ++i) root.raw()->grad[i] += seed[i];
+
+  // `order` is post-order (parents first); walk it backwards so each node's
+  // gradient is complete before it pushes into its parents.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+NoGradGuard::NoGradGuard() : previous_(g_grad_enabled) {
+  g_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = previous_; }
+
+bool GradEnabled() { return g_grad_enabled; }
+
+}  // namespace gp

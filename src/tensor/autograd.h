@@ -1,0 +1,41 @@
+// Reverse-mode automatic differentiation over the Tensor graph.
+
+#ifndef GRAPHPROMPTER_TENSOR_AUTOGRAD_H_
+#define GRAPHPROMPTER_TENSOR_AUTOGRAD_H_
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+// Runs backpropagation from `root`, which must be a scalar (1x1) tensor.
+// Seeds d(root)/d(root) = 1 and accumulates gradients into every reachable
+// tensor. Leaf tensors created with requires_grad keep their .grad(); call
+// ZeroGrad() (or optimizer.ZeroGrad()) between steps, since gradients
+// accumulate.
+void Backward(const Tensor& root);
+
+// Same, but seeds the root gradient with `seed` (must match root's shape).
+void BackwardWithSeed(const Tensor& root, const std::vector<float>& seed);
+
+// RAII guard that disables graph construction inside its scope. Ops still
+// compute values but record no parents / backward functions; useful for
+// inference paths (kNN retrieval, cache updates) where gradients are never
+// needed.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+// True when graph construction is enabled (no NoGradGuard active).
+bool GradEnabled();
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_TENSOR_AUTOGRAD_H_

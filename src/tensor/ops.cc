@@ -1,0 +1,940 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/autograd.h"
+
+namespace gp {
+namespace {
+
+// How the second operand of a binary op maps onto the first.
+enum class Broadcast { kSame, kRow, kCol, kScalar };
+
+Broadcast BroadcastModeOf(const Tensor& a, const Tensor& b) {
+  if (b.rows() == 1 && b.cols() == 1) return Broadcast::kScalar;
+  if (b.rows() == a.rows() && b.cols() == a.cols()) return Broadcast::kSame;
+  if (b.rows() == 1 && b.cols() == a.cols()) return Broadcast::kRow;
+  if (b.cols() == 1 && b.rows() == a.rows()) return Broadcast::kCol;
+  LOG(FATAL) << "incompatible shapes for broadcast: " << a.rows() << "x"
+             << a.cols() << " vs " << b.rows() << "x" << b.cols();
+  return Broadcast::kSame;
+}
+
+// Index into the (possibly broadcast) second operand.
+inline size_t BIndex(Broadcast mode, int r, int c, int cols) {
+  switch (mode) {
+    case Broadcast::kSame:
+      return static_cast<size_t>(r) * cols + c;
+    case Broadcast::kRow:
+      return static_cast<size_t>(c);
+    case Broadcast::kCol:
+      return static_cast<size_t>(r);
+    case Broadcast::kScalar:
+      return 0;
+  }
+  return 0;
+}
+
+// Builds the result tensor; records the backward function only when autograd
+// is enabled and some parent needs a gradient.
+Tensor FinishOp(int rows, int cols, std::vector<float> data,
+                std::vector<TensorImplPtr> parents,
+                std::function<void(TensorImpl&)> backward_fn) {
+  bool build_graph = GradEnabled();
+  if (build_graph) {
+    bool any = false;
+    for (const auto& p : parents) any = any || (p && p->requires_grad);
+    build_graph = any;
+  }
+  if (!build_graph) {
+    return Tensor::FromData(rows, cols, std::move(data));
+  }
+  TensorImplPtr impl = MakeResultImpl(rows, cols, std::move(parents));
+  impl->data = std::move(data);
+  impl->backward_fn = std::move(backward_fn);
+  return Tensor::Wrap(std::move(impl));
+}
+
+inline bool WantsGrad(const TensorImplPtr& p) {
+  return p && p->requires_grad;
+}
+
+// Adds `g` into the gradient of the broadcast operand `b`, reducing over the
+// broadcast dimension(s).
+void ReduceIntoBroadcast(const std::vector<float>& g, int rows, int cols,
+                         Broadcast mode, TensorImpl* b) {
+  b->EnsureGrad();
+  switch (mode) {
+    case Broadcast::kSame:
+      for (size_t i = 0; i < g.size(); ++i) b->grad[i] += g[i];
+      break;
+    case Broadcast::kRow:
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          b->grad[c] += g[static_cast<size_t>(r) * cols + c];
+        }
+      }
+      break;
+    case Broadcast::kCol:
+      for (int r = 0; r < rows; ++r) {
+        for (int c = 0; c < cols; ++c) {
+          b->grad[r] += g[static_cast<size_t>(r) * cols + c];
+        }
+      }
+      break;
+    case Broadcast::kScalar: {
+      float total = 0.0f;
+      for (float v : g) total += v;
+      b->grad[0] += total;
+      break;
+    }
+  }
+}
+
+// Generic elementwise unary op: value(v) and derivative expressed with the
+// input value x and the output value y.
+template <typename ValueFn, typename GradFn>
+Tensor UnaryOp(const Tensor& a, ValueFn value_fn, GradFn grad_fn) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) out[i] = value_fn(a.data()[i]);
+  auto pa = a.impl();
+  return FinishOp(rows, cols, std::move(out), {pa},
+                  [pa, grad_fn](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    for (size_t i = 0; i < node.grad.size(); ++i) {
+                      pa->grad[i] +=
+                          node.grad[i] * grad_fn(pa->data[i], node.data[i]);
+                    }
+                  });
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  const Broadcast mode = BroadcastModeOf(a, b);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const size_t i = static_cast<size_t>(r) * cols + c;
+      out[i] = a.data()[i] + b.data()[BIndex(mode, r, c, cols)];
+    }
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return FinishOp(rows, cols, std::move(out), {pa, pb},
+                  [pa, pb, mode, rows, cols](TensorImpl& node) {
+                    if (WantsGrad(pa)) {
+                      pa->EnsureGrad();
+                      for (size_t i = 0; i < node.grad.size(); ++i) {
+                        pa->grad[i] += node.grad[i];
+                      }
+                    }
+                    if (WantsGrad(pb)) {
+                      ReduceIntoBroadcast(node.grad, rows, cols, mode,
+                                          pb.get());
+                    }
+                  });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  const Broadcast mode = BroadcastModeOf(a, b);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const size_t i = static_cast<size_t>(r) * cols + c;
+      out[i] = a.data()[i] - b.data()[BIndex(mode, r, c, cols)];
+    }
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return FinishOp(rows, cols, std::move(out), {pa, pb},
+                  [pa, pb, mode, rows, cols](TensorImpl& node) {
+                    if (WantsGrad(pa)) {
+                      pa->EnsureGrad();
+                      for (size_t i = 0; i < node.grad.size(); ++i) {
+                        pa->grad[i] += node.grad[i];
+                      }
+                    }
+                    if (WantsGrad(pb)) {
+                      std::vector<float> neg(node.grad.size());
+                      for (size_t i = 0; i < neg.size(); ++i) {
+                        neg[i] = -node.grad[i];
+                      }
+                      ReduceIntoBroadcast(neg, rows, cols, mode, pb.get());
+                    }
+                  });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  const Broadcast mode = BroadcastModeOf(a, b);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const size_t i = static_cast<size_t>(r) * cols + c;
+      out[i] = a.data()[i] * b.data()[BIndex(mode, r, c, cols)];
+    }
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return FinishOp(
+      rows, cols, std::move(out), {pa, pb},
+      [pa, pb, mode, rows, cols](TensorImpl& node) {
+        if (WantsGrad(pa)) {
+          pa->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+              const size_t i = static_cast<size_t>(r) * cols + c;
+              pa->grad[i] += node.grad[i] * pb->data[BIndex(mode, r, c, cols)];
+            }
+          }
+        }
+        if (WantsGrad(pb)) {
+          std::vector<float> scaled(node.grad.size());
+          for (size_t i = 0; i < scaled.size(); ++i) {
+            scaled[i] = node.grad[i] * pa->data[i];
+          }
+          ReduceIntoBroadcast(scaled, rows, cols, mode, pb.get());
+        }
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  const Broadcast mode = BroadcastModeOf(a, b);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const size_t i = static_cast<size_t>(r) * cols + c;
+      out[i] = a.data()[i] / b.data()[BIndex(mode, r, c, cols)];
+    }
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return FinishOp(
+      rows, cols, std::move(out), {pa, pb},
+      [pa, pb, mode, rows, cols](TensorImpl& node) {
+        if (WantsGrad(pa)) {
+          pa->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+              const size_t i = static_cast<size_t>(r) * cols + c;
+              pa->grad[i] += node.grad[i] / pb->data[BIndex(mode, r, c, cols)];
+            }
+          }
+        }
+        if (WantsGrad(pb)) {
+          std::vector<float> scaled(node.grad.size());
+          for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+              const size_t i = static_cast<size_t>(r) * cols + c;
+              const float bv = pb->data[BIndex(mode, r, c, cols)];
+              scaled[i] = -node.grad[i] * pa->data[i] / (bv * bv);
+            }
+          }
+          ReduceIntoBroadcast(scaled, rows, cols, mode, pb.get());
+        }
+      });
+}
+
+Tensor Neg(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return -v; }, [](float, float) { return -1.0f; });
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float v) { return v * s; }, [s](float, float) { return s; });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      a, [s](float v) { return v + s; }, [](float, float) { return 1.0f; });
+}
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.cols(), b.rows());
+  const int rows = a.rows();
+  const int inner = a.cols();
+  const int cols = b.cols();
+  std::vector<float> out(static_cast<size_t>(rows) * cols, 0.0f);
+  // i-k-j loop order for cache-friendly row-major access.
+  for (int i = 0; i < rows; ++i) {
+    const float* arow = a.data().data() + static_cast<size_t>(i) * inner;
+    float* orow = out.data() + static_cast<size_t>(i) * cols;
+    for (int k = 0; k < inner; ++k) {
+      const float av = arow[k];
+      if (av == 0.0f) continue;
+      const float* brow = b.data().data() + static_cast<size_t>(k) * cols;
+      for (int j = 0; j < cols; ++j) orow[j] += av * brow[j];
+    }
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return FinishOp(
+      rows, cols, std::move(out), {pa, pb},
+      [pa, pb, rows, inner, cols](TensorImpl& node) {
+        if (WantsGrad(pa)) {
+          // dA = G * B^T
+          pa->EnsureGrad();
+          for (int i = 0; i < rows; ++i) {
+            const float* grow = node.grad.data() + static_cast<size_t>(i) * cols;
+            float* darow = pa->grad.data() + static_cast<size_t>(i) * inner;
+            for (int k = 0; k < inner; ++k) {
+              const float* brow =
+                  pb->data.data() + static_cast<size_t>(k) * cols;
+              float acc = 0.0f;
+              for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
+              darow[k] += acc;
+            }
+          }
+        }
+        if (WantsGrad(pb)) {
+          // dB = A^T * G
+          pb->EnsureGrad();
+          for (int i = 0; i < rows; ++i) {
+            const float* arow = pa->data.data() + static_cast<size_t>(i) * inner;
+            const float* grow = node.grad.data() + static_cast<size_t>(i) * cols;
+            for (int k = 0; k < inner; ++k) {
+              const float av = arow[k];
+              if (av == 0.0f) continue;
+              float* dbrow = pb->grad.data() + static_cast<size_t>(k) * cols;
+              for (int j = 0; j < cols; ++j) dbrow[j] += av * grow[j];
+            }
+          }
+        }
+      });
+}
+
+Tensor Transpose(const Tensor& a) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out[static_cast<size_t>(c) * rows + r] =
+          a.data()[static_cast<size_t>(r) * cols + c];
+    }
+  }
+  auto pa = a.impl();
+  return FinishOp(cols, rows, std::move(out), {pa},
+                  [pa, rows, cols](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    for (int r = 0; r < rows; ++r) {
+                      for (int c = 0; c < cols; ++c) {
+                        pa->grad[static_cast<size_t>(r) * cols + c] +=
+                            node.grad[static_cast<size_t>(c) * rows + r];
+                      }
+                    }
+                  });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      a,
+      [](float v) {
+        // Split by sign to avoid overflow in exp.
+        if (v >= 0.0f) {
+          return 1.0f / (1.0f + std::exp(-v));
+        }
+        const float e = std::exp(v);
+        return e / (1.0f + e);
+      },
+      [](float, float y) { return y * (1.0f - y); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return v > 0.0f ? v : 0.0f; },
+      [](float x, float) { return x > 0.0f ? 1.0f : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      a,
+      [negative_slope](float v) {
+        return v > 0.0f ? v : negative_slope * v;
+      },
+      [negative_slope](float x, float) {
+        return x > 0.0f ? 1.0f : negative_slope;
+      });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::tanh(v); },
+      [](float, float y) { return 1.0f - y * y; });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return std::exp(v); },
+      [](float, float y) { return y; });
+}
+
+Tensor Log(const Tensor& a, float eps) {
+  return UnaryOp(
+      a, [eps](float v) { return std::log(std::max(v, eps)); },
+      [eps](float x, float) { return 1.0f / std::max(x, eps); });
+}
+
+Tensor Square(const Tensor& a) {
+  return UnaryOp(
+      a, [](float v) { return v * v; },
+      [](float x, float) { return 2.0f * x; });
+}
+
+Tensor Softmax(const Tensor& a) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+    float* o = out.data() + static_cast<size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float total = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      o[c] = std::exp(in[c] - mx);
+      total += o[c];
+    }
+    for (int c = 0; c < cols; ++c) o[c] /= total;
+  }
+  auto pa = a.impl();
+  return FinishOp(
+      rows, cols, std::move(out), {pa}, [pa, rows, cols](TensorImpl& node) {
+        if (!WantsGrad(pa)) return;
+        pa->EnsureGrad();
+        for (int r = 0; r < rows; ++r) {
+          const float* y = node.data.data() + static_cast<size_t>(r) * cols;
+          const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+          float dot = 0.0f;
+          for (int c = 0; c < cols; ++c) dot += y[c] * g[c];
+          float* da = pa->grad.data() + static_cast<size_t>(r) * cols;
+          for (int c = 0; c < cols; ++c) da[c] += y[c] * (g[c] - dot);
+        }
+      });
+}
+
+Tensor LogSoftmax(const Tensor& a) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+    float* o = out.data() + static_cast<size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float total = 0.0f;
+    for (int c = 0; c < cols; ++c) total += std::exp(in[c] - mx);
+    const float lse = mx + std::log(total);
+    for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
+  }
+  auto pa = a.impl();
+  return FinishOp(
+      rows, cols, std::move(out), {pa}, [pa, rows, cols](TensorImpl& node) {
+        if (!WantsGrad(pa)) return;
+        pa->EnsureGrad();
+        for (int r = 0; r < rows; ++r) {
+          const float* y = node.data.data() + static_cast<size_t>(r) * cols;
+          const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+          float gsum = 0.0f;
+          for (int c = 0; c < cols; ++c) gsum += g[c];
+          float* da = pa->grad.data() + static_cast<size_t>(r) * cols;
+          for (int c = 0; c < cols; ++c) {
+            da[c] += g[c] - std::exp(y[c]) * gsum;
+          }
+        }
+      });
+}
+
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& labels) {
+  CHECK_EQ(static_cast<size_t>(logits.rows()), labels.size());
+  const int rows = logits.rows();
+  const int cols = logits.cols();
+  // Forward: mean of -log softmax(logits)[i, labels[i]].
+  std::vector<float> probs(logits.data().size());
+  double loss = 0.0;
+  for (int r = 0; r < rows; ++r) {
+    const float* in = logits.data().data() + static_cast<size_t>(r) * cols;
+    float* p = probs.data() + static_cast<size_t>(r) * cols;
+    float mx = in[0];
+    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+    float total = 0.0f;
+    for (int c = 0; c < cols; ++c) {
+      p[c] = std::exp(in[c] - mx);
+      total += p[c];
+    }
+    for (int c = 0; c < cols; ++c) p[c] /= total;
+    CHECK_GE(labels[r], 0);
+    CHECK_LT(labels[r], cols);
+    loss -= std::log(std::max(p[labels[r]], 1e-12f));
+  }
+  loss /= std::max(rows, 1);
+  auto pl = logits.impl();
+  auto labels_copy = labels;
+  auto probs_ptr = std::make_shared<std::vector<float>>(std::move(probs));
+  return FinishOp(
+      1, 1, {static_cast<float>(loss)}, {pl},
+      [pl, labels_copy, probs_ptr, rows, cols](TensorImpl& node) {
+        if (!WantsGrad(pl)) return;
+        pl->EnsureGrad();
+        const float g = node.grad[0] / static_cast<float>(std::max(rows, 1));
+        for (int r = 0; r < rows; ++r) {
+          const float* p = probs_ptr->data() + static_cast<size_t>(r) * cols;
+          float* d = pl->grad.data() + static_cast<size_t>(r) * cols;
+          for (int c = 0; c < cols; ++c) {
+            const float target = (c == labels_copy[r]) ? 1.0f : 0.0f;
+            d[c] += g * (p[c] - target);
+          }
+        }
+      });
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  CHECK_EQ(a.rows(), b.rows());
+  const int rows = a.rows();
+  const int ca = a.cols();
+  const int cb = b.cols();
+  std::vector<float> out(static_cast<size_t>(rows) * (ca + cb));
+  for (int r = 0; r < rows; ++r) {
+    std::copy_n(a.data().data() + static_cast<size_t>(r) * ca, ca,
+                out.data() + static_cast<size_t>(r) * (ca + cb));
+    std::copy_n(b.data().data() + static_cast<size_t>(r) * cb, cb,
+                out.data() + static_cast<size_t>(r) * (ca + cb) + ca);
+  }
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return FinishOp(
+      rows, ca + cb, std::move(out), {pa, pb},
+      [pa, pb, rows, ca, cb](TensorImpl& node) {
+        if (WantsGrad(pa)) {
+          pa->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < ca; ++c) {
+              pa->grad[static_cast<size_t>(r) * ca + c] +=
+                  node.grad[static_cast<size_t>(r) * (ca + cb) + c];
+            }
+          }
+        }
+        if (WantsGrad(pb)) {
+          pb->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cb; ++c) {
+              pb->grad[static_cast<size_t>(r) * cb + c] +=
+                  node.grad[static_cast<size_t>(r) * (ca + cb) + ca + c];
+            }
+          }
+        }
+      });
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  CHECK(!parts.empty());
+  const int cols = parts[0].cols();
+  int rows = 0;
+  for (const auto& p : parts) {
+    CHECK_EQ(p.cols(), cols);
+    rows += p.rows();
+  }
+  std::vector<float> out;
+  out.reserve(static_cast<size_t>(rows) * cols);
+  std::vector<TensorImplPtr> parents;
+  std::vector<int> offsets;
+  int offset = 0;
+  for (const auto& p : parts) {
+    out.insert(out.end(), p.data().begin(), p.data().end());
+    parents.push_back(p.impl());
+    offsets.push_back(offset);
+    offset += p.rows();
+  }
+  return FinishOp(
+      rows, cols, std::move(out), parents,
+      [parents, offsets, cols](TensorImpl& node) {
+        for (size_t k = 0; k < parents.size(); ++k) {
+          const auto& p = parents[k];
+          if (!WantsGrad(p)) continue;
+          p->EnsureGrad();
+          const size_t base = static_cast<size_t>(offsets[k]) * cols;
+          for (size_t i = 0; i < p->data.size(); ++i) {
+            p->grad[i] += node.grad[base + i];
+          }
+        }
+      });
+}
+
+Tensor GatherRows(const Tensor& a, const std::vector<int>& index) {
+  const int cols = a.cols();
+  const int rows = static_cast<int>(index.size());
+  std::vector<float> out(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    DCHECK_GE(index[r], 0);
+    DCHECK_LT(index[r], a.rows());
+    std::copy_n(a.data().data() + static_cast<size_t>(index[r]) * cols, cols,
+                out.data() + static_cast<size_t>(r) * cols);
+  }
+  auto pa = a.impl();
+  auto index_copy = index;
+  return FinishOp(rows, cols, std::move(out), {pa},
+                  [pa, index_copy, cols](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    for (size_t r = 0; r < index_copy.size(); ++r) {
+                      const float* g = node.grad.data() + r * cols;
+                      float* d = pa->grad.data() +
+                                 static_cast<size_t>(index_copy[r]) * cols;
+                      for (int c = 0; c < cols; ++c) d[c] += g[c];
+                    }
+                  });
+}
+
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& index,
+                      int num_rows) {
+  CHECK_EQ(static_cast<size_t>(src.rows()), index.size());
+  const int cols = src.cols();
+  std::vector<float> out(static_cast<size_t>(num_rows) * cols, 0.0f);
+  for (int r = 0; r < src.rows(); ++r) {
+    DCHECK_GE(index[r], 0);
+    DCHECK_LT(index[r], num_rows);
+    const float* s = src.data().data() + static_cast<size_t>(r) * cols;
+    float* o = out.data() + static_cast<size_t>(index[r]) * cols;
+    for (int c = 0; c < cols; ++c) o[c] += s[c];
+  }
+  auto ps = src.impl();
+  auto index_copy = index;
+  return FinishOp(num_rows, cols, std::move(out), {ps},
+                  [ps, index_copy, cols](TensorImpl& node) {
+                    if (!WantsGrad(ps)) return;
+                    ps->EnsureGrad();
+                    for (size_t r = 0; r < index_copy.size(); ++r) {
+                      const float* g = node.grad.data() +
+                                       static_cast<size_t>(index_copy[r]) * cols;
+                      float* d = ps->grad.data() + r * cols;
+                      for (int c = 0; c < cols; ++c) d[c] += g[c];
+                    }
+                  });
+}
+
+Tensor SliceRows(const Tensor& a, int start, int count) {
+  CHECK_GE(start, 0);
+  CHECK_GE(count, 0);
+  CHECK_LE(start + count, a.rows());
+  const int cols = a.cols();
+  std::vector<float> out(
+      a.data().begin() + static_cast<size_t>(start) * cols,
+      a.data().begin() + static_cast<size_t>(start + count) * cols);
+  auto pa = a.impl();
+  return FinishOp(count, cols, std::move(out), {pa},
+                  [pa, start, cols](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    const size_t base = static_cast<size_t>(start) * cols;
+                    for (size_t i = 0; i < node.grad.size(); ++i) {
+                      pa->grad[base + i] += node.grad[i];
+                    }
+                  });
+}
+
+Tensor RowScale(const Tensor& a, const Tensor& weights) {
+  CHECK_EQ(weights.rows(), a.rows());
+  CHECK_EQ(weights.cols(), 1);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  for (int r = 0; r < rows; ++r) {
+    const float w = weights.data()[r];
+    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+    float* o = out.data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) o[c] = in[c] * w;
+  }
+  auto pa = a.impl();
+  auto pw = weights.impl();
+  return FinishOp(
+      rows, cols, std::move(out), {pa, pw},
+      [pa, pw, rows, cols](TensorImpl& node) {
+        if (WantsGrad(pa)) {
+          pa->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            const float w = pw->data[r];
+            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+            float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) d[c] += g[c] * w;
+          }
+        }
+        if (WantsGrad(pw)) {
+          pw->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+            const float* x = pa->data.data() + static_cast<size_t>(r) * cols;
+            float acc = 0.0f;
+            for (int c = 0; c < cols; ++c) acc += g[c] * x[c];
+            pw->grad[r] += acc;
+          }
+        }
+      });
+}
+
+Tensor SumAll(const Tensor& a) {
+  double total = 0.0;
+  for (float v : a.data()) total += v;
+  auto pa = a.impl();
+  return FinishOp(1, 1, {static_cast<float>(total)}, {pa},
+                  [pa](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    for (auto& g : pa->grad) g += node.grad[0];
+                  });
+}
+
+Tensor MeanAll(const Tensor& a) {
+  return Scale(SumAll(a), 1.0f / static_cast<float>(std::max<int64_t>(
+                              a.size(), 1)));
+}
+
+Tensor SumRows(const Tensor& a) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(cols, 0.0f);
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) out[c] += in[c];
+  }
+  auto pa = a.impl();
+  return FinishOp(1, cols, std::move(out), {pa},
+                  [pa, rows, cols](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    for (int r = 0; r < rows; ++r) {
+                      float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
+                      for (int c = 0; c < cols; ++c) d[c] += node.grad[c];
+                    }
+                  });
+}
+
+Tensor MeanRows(const Tensor& a) {
+  return Scale(SumRows(a), 1.0f / static_cast<float>(std::max(a.rows(), 1)));
+}
+
+Tensor SumCols(const Tensor& a) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(rows, 0.0f);
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) out[r] += in[c];
+  }
+  auto pa = a.impl();
+  return FinishOp(rows, 1, std::move(out), {pa},
+                  [pa, rows, cols](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    for (int r = 0; r < rows; ++r) {
+                      float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
+                      for (int c = 0; c < cols; ++c) d[c] += node.grad[r];
+                    }
+                  });
+}
+
+Tensor RowL2Normalize(const Tensor& a, float eps) {
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out(a.data().size());
+  std::vector<float> norms(rows);
+  for (int r = 0; r < rows; ++r) {
+    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+    double total = 0.0;
+    for (int c = 0; c < cols; ++c) total += static_cast<double>(in[c]) * in[c];
+    const float norm = std::max(static_cast<float>(std::sqrt(total)), eps);
+    norms[r] = norm;
+    float* o = out.data() + static_cast<size_t>(r) * cols;
+    for (int c = 0; c < cols; ++c) o[c] = in[c] / norm;
+  }
+  auto pa = a.impl();
+  auto norms_ptr = std::make_shared<std::vector<float>>(std::move(norms));
+  return FinishOp(
+      rows, cols, std::move(out), {pa},
+      [pa, norms_ptr, rows, cols](TensorImpl& node) {
+        if (!WantsGrad(pa)) return;
+        pa->EnsureGrad();
+        for (int r = 0; r < rows; ++r) {
+          const float* y = node.data.data() + static_cast<size_t>(r) * cols;
+          const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+          float dot = 0.0f;
+          for (int c = 0; c < cols; ++c) dot += g[c] * y[c];
+          const float inv = 1.0f / (*norms_ptr)[r];
+          float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
+          for (int c = 0; c < cols; ++c) d[c] += (g[c] - dot * y[c]) * inv;
+        }
+      });
+}
+
+Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
+  if (!training || p <= 0.0f) return a;
+  CHECK(rng != nullptr);
+  CHECK_LT(p, 1.0f);
+  const float keep = 1.0f - p;
+  const float inv_keep = 1.0f / keep;
+  std::vector<float> mask(a.data().size());
+  std::vector<float> out(a.data().size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    mask[i] = rng->Bernoulli(keep) ? inv_keep : 0.0f;
+    out[i] = a.data()[i] * mask[i];
+  }
+  auto pa = a.impl();
+  auto mask_ptr = std::make_shared<std::vector<float>>(std::move(mask));
+  return FinishOp(a.rows(), a.cols(), std::move(out), {pa},
+                  [pa, mask_ptr](TensorImpl& node) {
+                    if (!WantsGrad(pa)) return;
+                    pa->EnsureGrad();
+                    for (size_t i = 0; i < node.grad.size(); ++i) {
+                      pa->grad[i] += node.grad[i] * (*mask_ptr)[i];
+                    }
+                  });
+}
+
+Tensor SegmentSoftmax(const Tensor& a, const std::vector<int>& segment,
+                      int num_segments) {
+  CHECK_EQ(a.cols(), 1);
+  CHECK_EQ(static_cast<size_t>(a.rows()), segment.size());
+  const int rows = a.rows();
+  std::vector<float> seg_max(num_segments,
+                             -std::numeric_limits<float>::infinity());
+  for (int r = 0; r < rows; ++r) {
+    DCHECK_GE(segment[r], 0);
+    DCHECK_LT(segment[r], num_segments);
+    seg_max[segment[r]] = std::max(seg_max[segment[r]], a.data()[r]);
+  }
+  std::vector<float> out(rows);
+  std::vector<float> seg_sum(num_segments, 0.0f);
+  for (int r = 0; r < rows; ++r) {
+    out[r] = std::exp(a.data()[r] - seg_max[segment[r]]);
+    seg_sum[segment[r]] += out[r];
+  }
+  for (int r = 0; r < rows; ++r) {
+    out[r] /= std::max(seg_sum[segment[r]], 1e-12f);
+  }
+  auto pa = a.impl();
+  auto segment_copy = segment;
+  return FinishOp(
+      rows, 1, std::move(out), {pa},
+      [pa, segment_copy, num_segments](TensorImpl& node) {
+        if (!WantsGrad(pa)) return;
+        pa->EnsureGrad();
+        std::vector<float> seg_dot(num_segments, 0.0f);
+        for (size_t r = 0; r < segment_copy.size(); ++r) {
+          seg_dot[segment_copy[r]] += node.data[r] * node.grad[r];
+        }
+        for (size_t r = 0; r < segment_copy.size(); ++r) {
+          pa->grad[r] +=
+              node.data[r] * (node.grad[r] - seg_dot[segment_copy[r]]);
+        }
+      });
+}
+
+Tensor SegmentMeanRows(const Tensor& src, const std::vector<int>& segment,
+                       int num_segments) {
+  CHECK_EQ(static_cast<size_t>(src.rows()), segment.size());
+  const int cols = src.cols();
+  std::vector<float> counts(num_segments, 0.0f);
+  for (int s : segment) {
+    DCHECK_GE(s, 0);
+    DCHECK_LT(s, num_segments);
+    counts[s] += 1.0f;
+  }
+  std::vector<float> out(static_cast<size_t>(num_segments) * cols, 0.0f);
+  for (int r = 0; r < src.rows(); ++r) {
+    const float inv = 1.0f / std::max(counts[segment[r]], 1.0f);
+    const float* s = src.data().data() + static_cast<size_t>(r) * cols;
+    float* o = out.data() + static_cast<size_t>(segment[r]) * cols;
+    for (int c = 0; c < cols; ++c) o[c] += s[c] * inv;
+  }
+  auto ps = src.impl();
+  auto segment_copy = segment;
+  auto counts_ptr = std::make_shared<std::vector<float>>(std::move(counts));
+  return FinishOp(
+      num_segments, cols, std::move(out), {ps},
+      [ps, segment_copy, counts_ptr, cols](TensorImpl& node) {
+        if (!WantsGrad(ps)) return;
+        ps->EnsureGrad();
+        for (size_t r = 0; r < segment_copy.size(); ++r) {
+          const float inv =
+              1.0f / std::max((*counts_ptr)[segment_copy[r]], 1.0f);
+          const float* g = node.grad.data() +
+                           static_cast<size_t>(segment_copy[r]) * cols;
+          float* d = ps->grad.data() + r * cols;
+          for (int c = 0; c < cols; ++c) d[c] += g[c] * inv;
+        }
+      });
+}
+
+std::vector<int> ArgmaxRows(const Tensor& a) {
+  std::vector<int> out(a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    int best = 0;
+    for (int c = 1; c < a.cols(); ++c) {
+      if (a.at(r, c) > a.at(r, best)) best = c;
+    }
+    out[r] = best;
+  }
+  return out;
+}
+
+std::vector<float> RowMax(const Tensor& a) {
+  std::vector<float> out(a.rows());
+  for (int r = 0; r < a.rows(); ++r) {
+    float best = a.at(r, 0);
+    for (int c = 1; c < a.cols(); ++c) best = std::max(best, a.at(r, c));
+    out[r] = best;
+  }
+  return out;
+}
+
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b) {
+  CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    na += static_cast<double>(a[i]) * a[i];
+    nb += static_cast<double>(b[i]) * b[i];
+  }
+  const double denom = std::sqrt(na) * std::sqrt(nb);
+  if (denom < 1e-12) return 0.0f;
+  return static_cast<float>(dot / denom);
+}
+
+float EuclideanDistance(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return static_cast<float>(std::sqrt(total));
+}
+
+float ManhattanDistance(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  CHECK_EQ(a.size(), b.size());
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += std::abs(static_cast<double>(a[i]) - b[i]);
+  }
+  return static_cast<float>(total);
+}
+
+}  // namespace gp

@@ -1,0 +1,116 @@
+// Differentiable tensor operations.
+//
+// Every function returns a new Tensor. When autograd is enabled (see
+// NoGradGuard) and any input requires a gradient, the result records a
+// backward function so Backward() can propagate through it.
+//
+// Broadcasting for binary elementwise ops: the second operand may be
+//   - the same shape as the first,
+//   - a 1 x C row vector (broadcast down the rows),
+//   - an R x 1 column vector (broadcast across the columns), or
+//   - a 1 x 1 scalar.
+
+#ifndef GRAPHPROMPTER_TENSOR_OPS_H_
+#define GRAPHPROMPTER_TENSOR_OPS_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+// ---------------------------------------------------------------- arithmetic
+
+Tensor Add(const Tensor& a, const Tensor& b);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Mul(const Tensor& a, const Tensor& b);
+// Elementwise division a / b (same broadcast rules); b must be nonzero.
+Tensor Div(const Tensor& a, const Tensor& b);
+Tensor Neg(const Tensor& a);
+Tensor Scale(const Tensor& a, float s);
+Tensor AddScalar(const Tensor& a, float s);
+
+// Matrix product: (R x K) * (K x C) -> (R x C).
+Tensor MatMul(const Tensor& a, const Tensor& b);
+Tensor Transpose(const Tensor& a);
+
+// --------------------------------------------------------------- activations
+
+Tensor Sigmoid(const Tensor& a);
+Tensor Relu(const Tensor& a);
+Tensor LeakyRelu(const Tensor& a, float negative_slope = 0.2f);
+Tensor Tanh(const Tensor& a);
+Tensor Exp(const Tensor& a);
+// Natural log; inputs are clamped to >= eps for stability.
+Tensor Log(const Tensor& a, float eps = 1e-12f);
+Tensor Square(const Tensor& a);
+
+// Row-wise softmax / log-softmax (numerically stabilised).
+Tensor Softmax(const Tensor& a);
+Tensor LogSoftmax(const Tensor& a);
+
+// Mean cross-entropy of row-wise logits against integer labels; returns a
+// scalar (1x1). Gradient flows to `logits` only.
+Tensor CrossEntropyWithLogits(const Tensor& logits,
+                              const std::vector<int>& labels);
+
+// ---------------------------------------------------------------- structure
+
+// Concatenates along columns: (R x C1), (R x C2) -> (R x C1+C2).
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+// Concatenates along rows; all inputs must share the column count.
+Tensor ConcatRows(const std::vector<Tensor>& parts);
+// result[i] = a[index[i]]; rows may repeat. Backward scatter-adds.
+Tensor GatherRows(const Tensor& a, const std::vector<int>& index);
+// result has `num_rows` rows; result[index[i]] += src[i]. Backward gathers.
+Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& index,
+                      int num_rows);
+// Contiguous row slice [start, start+count).
+Tensor SliceRows(const Tensor& a, int start, int count);
+// Scales row i of `a` by scalar weights[i]; `weights` is R x 1.
+Tensor RowScale(const Tensor& a, const Tensor& weights);
+
+// ---------------------------------------------------------------- reductions
+
+Tensor SumAll(const Tensor& a);   // 1 x 1
+Tensor MeanAll(const Tensor& a);  // 1 x 1
+Tensor SumRows(const Tensor& a);  // 1 x C (sum over rows)
+Tensor MeanRows(const Tensor& a);
+Tensor SumCols(const Tensor& a);  // R x 1 (sum over columns)
+
+// L2-normalises each row: y_i = x_i / max(||x_i||, eps).
+Tensor RowL2Normalize(const Tensor& a, float eps = 1e-8f);
+
+// Inverted dropout: scales surviving activations by 1/(1-p). Identity when
+// `training` is false or p == 0.
+Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training);
+
+// ------------------------------------------------------------- segment ops
+
+// Softmax over groups of rows: rows i with equal segment[i] form one softmax.
+// `a` must be R x 1. Used for graph attention over variable-degree nodes.
+Tensor SegmentSoftmax(const Tensor& a, const std::vector<int>& segment,
+                      int num_segments);
+
+// Per-segment mean of rows: result[s] = mean over {i : segment[i]==s} of
+// src[i]; empty segments yield zero rows.
+Tensor SegmentMeanRows(const Tensor& src, const std::vector<int>& segment,
+                       int num_segments);
+
+// ------------------------------------------------------- non-grad utilities
+
+// Index of the max entry of each row.
+std::vector<int> ArgmaxRows(const Tensor& a);
+// Row-wise max value.
+std::vector<float> RowMax(const Tensor& a);
+// Cosine similarity between two equal-length vectors.
+float CosineSimilarity(const std::vector<float>& a,
+                       const std::vector<float>& b);
+float EuclideanDistance(const std::vector<float>& a,
+                        const std::vector<float>& b);
+float ManhattanDistance(const std::vector<float>& a,
+                        const std::vector<float>& b);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_TENSOR_OPS_H_

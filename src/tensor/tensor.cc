@@ -1,0 +1,128 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace gp {
+
+Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
+  return Full(rows, cols, 0.0f, requires_grad);
+}
+
+Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
+  CHECK_GE(rows, 0);
+  CHECK_GE(cols, 0);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<size_t>(rows) * cols, value);
+  impl->requires_grad = requires_grad;
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::FromData(int rows, int cols, std::vector<float> data,
+                        bool requires_grad) {
+  CHECK_EQ(static_cast<int64_t>(data.size()),
+           static_cast<int64_t>(rows) * cols);
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data = std::move(data);
+  impl->requires_grad = requires_grad;
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::Randn(int rows, int cols, Rng* rng, float stddev,
+                     bool requires_grad) {
+  CHECK(rng != nullptr);
+  Tensor t = Zeros(rows, cols, requires_grad);
+  for (auto& v : t.mutable_data()) v = rng->Normal(0.0f, stddev);
+  return t;
+}
+
+Tensor Tensor::Xavier(int fan_in, int fan_out, Rng* rng, bool requires_grad) {
+  CHECK(rng != nullptr);
+  const float limit = std::sqrt(6.0f / static_cast<float>(fan_in + fan_out));
+  Tensor t = Zeros(fan_in, fan_out, requires_grad);
+  for (auto& v : t.mutable_data()) {
+    v = (2.0f * rng->UniformFloat() - 1.0f) * limit;
+  }
+  return t;
+}
+
+Tensor Tensor::OneHot(const std::vector<int>& labels, int num_classes) {
+  Tensor t = Zeros(static_cast<int>(labels.size()), num_classes);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    CHECK_GE(labels[i], 0);
+    CHECK_LT(labels[i], num_classes);
+    t.at(static_cast<int>(i), labels[i]) = 1.0f;
+  }
+  return t;
+}
+
+void Tensor::ZeroGrad() {
+  if (!impl_->grad.empty()) {
+    std::fill(impl_->grad.begin(), impl_->grad.end(), 0.0f);
+  }
+}
+
+Tensor Tensor::Detach() const {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows();
+  impl->cols = cols();
+  impl->data = impl_->data;
+  impl->requires_grad = false;
+  return Wrap(std::move(impl));
+}
+
+Tensor Tensor::Clone() const {
+  Tensor t = Detach();
+  t.set_requires_grad(requires_grad());
+  return t;
+}
+
+std::vector<float> Tensor::Row(int r) const {
+  DCHECK_GE(r, 0);
+  DCHECK_LT(r, rows());
+  const float* begin = impl_->data.data() + static_cast<size_t>(r) * cols();
+  return std::vector<float>(begin, begin + cols());
+}
+
+float Tensor::Norm() const {
+  double total = 0.0;
+  for (float v : impl_->data) total += static_cast<double>(v) * v;
+  return static_cast<float>(std::sqrt(total));
+}
+
+std::string Tensor::ToString(int max_values) const {
+  if (!defined()) return "Tensor(undefined)";
+  std::ostringstream out;
+  out << "Tensor(" << rows() << "x" << cols() << ")[";
+  const int n = static_cast<int>(std::min<int64_t>(size(), max_values));
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out << ", ";
+    out << impl_->data[i];
+  }
+  if (size() > max_values) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+TensorImplPtr MakeResultImpl(int rows, int cols,
+                             std::vector<TensorImplPtr> parents) {
+  auto impl = std::make_shared<TensorImpl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  impl->requires_grad = false;
+  for (const auto& parent : parents) {
+    if (parent && parent->requires_grad) {
+      impl->requires_grad = true;
+      break;
+    }
+  }
+  impl->parents = std::move(parents);
+  return impl;
+}
+
+}  // namespace gp

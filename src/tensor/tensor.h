@@ -1,0 +1,144 @@
+// A small dense float32 matrix type with reverse-mode automatic
+// differentiation, replacing libtorch for this reproduction.
+//
+// Tensors are 2-D (rows x cols), stored row-major. A Tensor is a cheap
+// value-semantic handle onto a shared TensorImpl node; operations defined in
+// tensor/ops.h build a computation graph, and Backward() (tensor/autograd.h)
+// propagates gradients to every node with requires_grad set.
+
+#ifndef GRAPHPROMPTER_TENSOR_TENSOR_H_
+#define GRAPHPROMPTER_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gp {
+
+struct TensorImpl;
+using TensorImplPtr = std::shared_ptr<TensorImpl>;
+
+// The shared node: data, (lazily allocated) gradient, and the autograd edge
+// back to its parents.
+struct TensorImpl {
+  int rows = 0;
+  int cols = 0;
+  std::vector<float> data;
+  std::vector<float> grad;  // empty until gradients are needed
+  bool requires_grad = false;
+
+  // Autograd: parents this value was computed from and the function that
+  // accumulates `grad` into the parents' grads.
+  std::vector<TensorImplPtr> parents;
+  std::function<void(TensorImpl&)> backward_fn;
+
+  int64_t Size() const { return static_cast<int64_t>(rows) * cols; }
+  void EnsureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
+  }
+};
+
+// Value-semantic handle to a TensorImpl.
+class Tensor {
+ public:
+  // An empty (null) tensor; defined() is false.
+  Tensor() = default;
+
+  // Factory constructors. `requires_grad` marks the tensor as a leaf
+  // parameter whose gradient should be retained by Backward().
+  static Tensor Zeros(int rows, int cols, bool requires_grad = false);
+  static Tensor Full(int rows, int cols, float value,
+                     bool requires_grad = false);
+  static Tensor FromData(int rows, int cols, std::vector<float> data,
+                         bool requires_grad = false);
+  // I.i.d. normal entries: mean 0, given stddev.
+  static Tensor Randn(int rows, int cols, Rng* rng, float stddev = 1.0f,
+                      bool requires_grad = false);
+  // Xavier/Glorot-uniform initialisation for weight matrices.
+  static Tensor Xavier(int fan_in, int fan_out, Rng* rng,
+                       bool requires_grad = false);
+  // One-hot rows: result[i][labels[i]] = 1.
+  static Tensor OneHot(const std::vector<int>& labels, int num_classes);
+
+  bool defined() const { return impl_ != nullptr; }
+  int rows() const { return impl_->rows; }
+  int cols() const { return impl_->cols; }
+  int64_t size() const { return impl_->Size(); }
+  bool requires_grad() const { return impl_->requires_grad; }
+  void set_requires_grad(bool value) { impl_->requires_grad = value; }
+
+  // Element access (bounds-checked in debug builds).
+  float at(int r, int c) const {
+    DCHECK_GE(r, 0);
+    DCHECK_LT(r, rows());
+    DCHECK_GE(c, 0);
+    DCHECK_LT(c, cols());
+    return impl_->data[static_cast<size_t>(r) * cols() + c];
+  }
+  float& at(int r, int c) {
+    DCHECK_GE(r, 0);
+    DCHECK_LT(r, rows());
+    DCHECK_GE(c, 0);
+    DCHECK_LT(c, cols());
+    return impl_->data[static_cast<size_t>(r) * cols() + c];
+  }
+
+  // Scalar value of a 1x1 tensor.
+  float item() const {
+    CHECK_EQ(size(), 1);
+    return impl_->data[0];
+  }
+
+  const std::vector<float>& data() const { return impl_->data; }
+  std::vector<float>& mutable_data() { return impl_->data; }
+  const std::vector<float>& grad() const { return impl_->grad; }
+  std::vector<float>& mutable_grad() {
+    impl_->EnsureGrad();
+    return impl_->grad;
+  }
+
+  // Clears this tensor's gradient buffer (keeps allocation).
+  void ZeroGrad();
+
+  // Returns a detached copy that shares no autograd history (fresh leaf).
+  Tensor Detach() const;
+
+  // Deep copy of values (no autograd history).
+  Tensor Clone() const;
+
+  // Extracts row `r` as a std::vector (no autograd).
+  std::vector<float> Row(int r) const;
+
+  // Frobenius norm of the values (no autograd).
+  float Norm() const;
+
+  // Debug string "Tensor(RxC)[v0, v1, ...]" (truncated).
+  std::string ToString(int max_values = 8) const;
+
+  TensorImplPtr impl() const { return impl_; }
+  TensorImpl* raw() const { return impl_.get(); }
+
+  // Wraps an existing impl (used by ops).
+  static Tensor Wrap(TensorImplPtr impl) {
+    Tensor t;
+    t.impl_ = std::move(impl);
+    return t;
+  }
+
+ private:
+  TensorImplPtr impl_;
+};
+
+// Creates a result impl for an op with the given parents; requires_grad is
+// inherited (true if any parent requires grad).
+TensorImplPtr MakeResultImpl(int rows, int cols,
+                             std::vector<TensorImplPtr> parents);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_TENSOR_TENSOR_H_

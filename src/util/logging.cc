@@ -1,0 +1,48 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gp {
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogSeverity SetMinLogSeverity(LogSeverity severity) {
+  LogSeverity previous = g_min_severity;
+  g_min_severity = severity;
+  return previous;
+}
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  }
+  if (severity_ == LogSeverity::kFatal) {
+    std::abort();
+  }
+}
+
+}  // namespace gp

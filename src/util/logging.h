@@ -1,0 +1,98 @@
+// Minimal logging and CHECK macros.
+//
+// CHECK* macros abort on failure and are always on; DCHECK* compile away in
+// NDEBUG builds. LOG(level) streams to stderr with a severity prefix.
+
+#ifndef GRAPHPROMPTER_UTIL_LOGGING_H_
+#define GRAPHPROMPTER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+#include "util/status.h"
+
+namespace gp {
+
+enum class LogSeverity { kInfo = 0, kWarning = 1, kError = 2, kFatal = 3 };
+
+// Accumulates a message and emits it (to stderr) on destruction. A kFatal
+// message aborts the program after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Sets the minimum severity that is actually printed (kFatal always prints
+// and aborts). Returns the previous threshold. Used by tests to silence logs.
+LogSeverity SetMinLogSeverity(LogSeverity severity);
+
+}  // namespace gp
+
+#define GP_LOG_INFO \
+  ::gp::LogMessage(::gp::LogSeverity::kInfo, __FILE__, __LINE__).stream()
+#define GP_LOG_WARNING \
+  ::gp::LogMessage(::gp::LogSeverity::kWarning, __FILE__, __LINE__).stream()
+#define GP_LOG_ERROR \
+  ::gp::LogMessage(::gp::LogSeverity::kError, __FILE__, __LINE__).stream()
+#define GP_LOG_FATAL \
+  ::gp::LogMessage(::gp::LogSeverity::kFatal, __FILE__, __LINE__).stream()
+
+#define LOG(severity) GP_LOG_##severity
+
+#define CHECK(condition)                                      \
+  if (!(condition))                                           \
+  GP_LOG_FATAL << "Check failed: " #condition " "
+
+#define CHECK_OP(lhs, rhs, op)                                          \
+  if (!((lhs)op(rhs)))                                                  \
+  GP_LOG_FATAL << "Check failed: " #lhs " " #op " " #rhs " (" << (lhs)  \
+               << " vs " << (rhs) << ") "
+
+#define CHECK_EQ(lhs, rhs) CHECK_OP(lhs, rhs, ==)
+#define CHECK_NE(lhs, rhs) CHECK_OP(lhs, rhs, !=)
+#define CHECK_LT(lhs, rhs) CHECK_OP(lhs, rhs, <)
+#define CHECK_LE(lhs, rhs) CHECK_OP(lhs, rhs, <=)
+#define CHECK_GT(lhs, rhs) CHECK_OP(lhs, rhs, >)
+#define CHECK_GE(lhs, rhs) CHECK_OP(lhs, rhs, >=)
+
+// Aborts if `status_expr` (a gp::Status) is not OK.
+#define CHECK_OK(status_expr)                                 \
+  do {                                                        \
+    ::gp::Status gp_check_ok_status_ = (status_expr);         \
+    CHECK(gp_check_ok_status_.ok())                           \
+        << gp_check_ok_status_.ToString();                    \
+  } while (false)
+
+#ifdef NDEBUG
+#define DCHECK(condition) \
+  while (false) CHECK(condition)
+#define DCHECK_EQ(lhs, rhs) \
+  while (false) CHECK_EQ(lhs, rhs)
+#define DCHECK_LT(lhs, rhs) \
+  while (false) CHECK_LT(lhs, rhs)
+#define DCHECK_LE(lhs, rhs) \
+  while (false) CHECK_LE(lhs, rhs)
+#define DCHECK_GE(lhs, rhs) \
+  while (false) CHECK_GE(lhs, rhs)
+#define DCHECK_GT(lhs, rhs) \
+  while (false) CHECK_GT(lhs, rhs)
+#else
+#define DCHECK(condition) CHECK(condition)
+#define DCHECK_EQ(lhs, rhs) CHECK_EQ(lhs, rhs)
+#define DCHECK_LT(lhs, rhs) CHECK_LT(lhs, rhs)
+#define DCHECK_LE(lhs, rhs) CHECK_LE(lhs, rhs)
+#define DCHECK_GE(lhs, rhs) CHECK_GE(lhs, rhs)
+#define DCHECK_GT(lhs, rhs) CHECK_GT(lhs, rhs)
+#endif
+
+#endif  // GRAPHPROMPTER_UTIL_LOGGING_H_

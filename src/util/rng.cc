@@ -1,0 +1,103 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace gp {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t bound) {
+  DCHECK_GT(bound, 0u);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = (0 - bound) % bound;
+  uint64_t r;
+  do {
+    r = NextUint64();
+  } while (r < threshold);
+  return r % bound;
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  DCHECK_LE(lo, hi);
+  return lo + static_cast<int64_t>(
+                  UniformInt(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+float Rng::UniformFloat() {
+  return static_cast<float>(NextUint64() >> 40) * (1.0f / 16777216.0f);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(NextUint64() >> 11) *
+         (1.0 / 9007199254740992.0);
+}
+
+float Rng::Normal() {
+  if (have_cached_normal_) {
+    have_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller.
+  float u1 = UniformFloat();
+  float u2 = UniformFloat();
+  while (u1 <= 1e-7f) u1 = UniformFloat();
+  const float radius = std::sqrt(-2.0f * std::log(u1));
+  const float theta = 2.0f * static_cast<float>(M_PI) * u2;
+  cached_normal_ = radius * std::sin(theta);
+  have_cached_normal_ = true;
+  return radius * std::cos(theta);
+}
+
+float Rng::Normal(float mean, float stddev) {
+  return mean + stddev * Normal();
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+std::vector<int> Rng::SampleWithoutReplacement(int population, int count) {
+  CHECK_GE(population, count);
+  CHECK_GE(count, 0);
+  // Partial Fisher-Yates over an index vector; O(population) memory which is
+  // fine at the graph sizes this library targets.
+  std::vector<int> indices(population);
+  for (int i = 0; i < population; ++i) indices[i] = i;
+  for (int i = 0; i < count; ++i) {
+    int j = i + static_cast<int>(UniformInt(population - i));
+    std::swap(indices[i], indices[j]);
+  }
+  indices.resize(count);
+  return indices;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace gp

@@ -1,0 +1,124 @@
+// Lightweight Status / StatusOr error-handling primitives.
+//
+// The library follows the Google style guide and does not use C++
+// exceptions. Recoverable errors are reported through `Status` (or
+// `StatusOr<T>` for value-returning functions); programmer errors abort via
+// the CHECK macros in util/logging.h.
+
+#ifndef GRAPHPROMPTER_UTIL_STATUS_H_
+#define GRAPHPROMPTER_UTIL_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace gp {
+
+// Canonical error codes, modelled after absl::StatusCode.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+};
+
+// Returns a short human-readable name for `code` ("OK", "INVALID_ARGUMENT"…).
+const char* StatusCodeName(StatusCode code);
+
+// A success-or-error result carrying a code and a message.
+class Status {
+ public:
+  // Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+// Convenience constructors for common error codes.
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+
+// Holds either a value of type T or an error Status.
+//
+// Accessing `value()` on a non-OK StatusOr aborts the program, in keeping
+// with the no-exceptions policy: callers must test `ok()` first.
+template <typename T>
+class StatusOr {
+ public:
+  // Intentionally implicit, mirroring absl::StatusOr ergonomics: functions
+  // can `return value;` or `return SomeError(...)`.
+  StatusOr(const T& value) : value_(value) {}                 // NOLINT
+  StatusOr(T&& value) : value_(std::move(value)) {}           // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {}     // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Defined in status.cc; prints `message` to stderr and aborts.
+[[noreturn]] void DieBecauseStatus(const std::string& message);
+}  // namespace internal
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!ok()) {
+    internal::DieBecauseStatus("StatusOr access on error: " +
+                               status_.ToString());
+  }
+}
+
+}  // namespace gp
+
+// Propagates an error Status from an expression, absl-style.
+#define GP_RETURN_IF_ERROR(expr)              \
+  do {                                        \
+    ::gp::Status gp_status_ = (expr);         \
+    if (!gp_status_.ok()) return gp_status_;  \
+  } while (false)
+
+#endif  // GRAPHPROMPTER_UTIL_STATUS_H_

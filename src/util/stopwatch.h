@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by the timing experiments (Table VIII).
+
+#ifndef GRAPHPROMPTER_UTIL_STOPWATCH_H_
+#define GRAPHPROMPTER_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace gp {
+
+// Measures elapsed wall time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_UTIL_STOPWATCH_H_

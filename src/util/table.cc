@@ -1,0 +1,135 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace gp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string TablePrinter::MeanStd(double mean, double std, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << mean << " ±" << std;
+  return out.str();
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    out << "|";
+    for (size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      out << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+  emit_row(header_);
+  out << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+void TablePrinter::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fflush(stdout);
+}
+
+namespace {
+
+std::string CsvEscape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Status TablePrinter::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return InternalError("cannot open file for writing: " + path);
+  }
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) file << ",";
+      file << CsvEscape(row[c]);
+    }
+    file << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return Status::Ok();
+}
+
+SeriesWriter::SeriesWriter(std::string x_name,
+                           std::vector<std::string> series_names)
+    : x_name_(std::move(x_name)), series_names_(std::move(series_names)) {}
+
+void SeriesWriter::AddPoint(double x, const std::vector<double>& ys) {
+  CHECK_EQ(ys.size(), series_names_.size());
+  points_.emplace_back(x, ys);
+}
+
+Status SeriesWriter::WriteCsv(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file.is_open()) {
+    return InternalError("cannot open file for writing: " + path);
+  }
+  file << x_name_;
+  for (const auto& name : series_names_) file << "," << name;
+  file << "\n";
+  for (const auto& [x, ys] : points_) {
+    file << x;
+    for (double y : ys) file << "," << y;
+    file << "\n";
+  }
+  return Status::Ok();
+}
+
+std::string SeriesWriter::ToString() const {
+  TablePrinter table([&] {
+    std::vector<std::string> header = {x_name_};
+    header.insert(header.end(), series_names_.begin(), series_names_.end());
+    return header;
+  }());
+  for (const auto& [x, ys] : points_) {
+    std::vector<std::string> row = {TablePrinter::Num(x, 0)};
+    for (double y : ys) row.push_back(TablePrinter::Num(y, 3));
+    table.AddRow(std::move(row));
+  }
+  return table.ToString();
+}
+
+}  // namespace gp

@@ -1,0 +1,62 @@
+// ASCII table and CSV emitters used by the benchmark harnesses to print
+// paper-style result tables and to dump series for figures.
+
+#ifndef GRAPHPROMPTER_UTIL_TABLE_H_
+#define GRAPHPROMPTER_UTIL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gp {
+
+// Collects rows of string cells and renders them as an aligned ASCII table.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Adds one row; it is padded/truncated to the header width.
+  void AddRow(std::vector<std::string> row);
+
+  // Formats helpers for numeric cells.
+  static std::string Num(double value, int precision = 2);
+  // "mean ±std" cell, paper-style.
+  static std::string MeanStd(double mean, double std, int precision = 2);
+
+  // Renders the table (with a separator under the header).
+  std::string ToString() const;
+
+  // Prints to stdout.
+  void Print() const;
+
+  // Writes the table as CSV to `path` (creating parent-less path as given).
+  Status WriteCsv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Accumulates (x, series...) rows for a figure and writes them to CSV.
+class SeriesWriter {
+ public:
+  // `x_name` labels the sweep variable; `series_names` one column per curve.
+  SeriesWriter(std::string x_name, std::vector<std::string> series_names);
+
+  void AddPoint(double x, const std::vector<double>& ys);
+
+  Status WriteCsv(const std::string& path) const;
+
+  // Renders as an aligned table (for console output).
+  std::string ToString() const;
+
+ private:
+  std::string x_name_;
+  std::vector<std::string> series_names_;
+  std::vector<std::pair<double, std::vector<double>>> points_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_UTIL_TABLE_H_

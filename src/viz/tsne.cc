@@ -1,0 +1,162 @@
+#include "viz/tsne.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+// Squared Euclidean distances between all rows.
+std::vector<double> PairwiseSquaredDistances(const Tensor& x) {
+  const int n = x.rows();
+  const int d = x.cols();
+  std::vector<double> dist(static_cast<size_t>(n) * n, 0.0);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      double total = 0.0;
+      for (int c = 0; c < d; ++c) {
+        const double diff = x.at(i, c) - x.at(j, c);
+        total += diff * diff;
+      }
+      dist[static_cast<size_t>(i) * n + j] = total;
+      dist[static_cast<size_t>(j) * n + i] = total;
+    }
+  }
+  return dist;
+}
+
+// Row-conditional affinities p_{j|i} for a given precision (beta); returns
+// the Shannon entropy of the row.
+double FillRowAffinities(const std::vector<double>& dist, int n, int row,
+                         double beta, std::vector<double>* p_row) {
+  double sum = 0.0;
+  for (int j = 0; j < n; ++j) {
+    if (j == row) {
+      (*p_row)[j] = 0.0;
+      continue;
+    }
+    (*p_row)[j] = std::exp(-beta * dist[static_cast<size_t>(row) * n + j]);
+    sum += (*p_row)[j];
+  }
+  if (sum < 1e-300) sum = 1e-300;
+  double entropy = 0.0;
+  for (int j = 0; j < n; ++j) {
+    (*p_row)[j] /= sum;
+    if ((*p_row)[j] > 1e-12) entropy -= (*p_row)[j] * std::log((*p_row)[j]);
+  }
+  return entropy;
+}
+
+}  // namespace
+
+Tensor RunTsne(const Tensor& embeddings, const TsneConfig& config) {
+  const int n = embeddings.rows();
+  CHECK_GE(n, 2);
+  const double target_entropy =
+      std::log(std::max(2.0, std::min(config.perplexity, (n - 1) / 1.0)));
+
+  const std::vector<double> dist = PairwiseSquaredDistances(embeddings);
+
+  // Binary search each row's precision to match the target perplexity.
+  std::vector<double> p(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> row(n);
+  for (int i = 0; i < n; ++i) {
+    double beta = 1.0, beta_lo = 0.0, beta_hi = 1e12;
+    for (int it = 0; it < 60; ++it) {
+      const double entropy = FillRowAffinities(dist, n, i, beta, &row);
+      if (std::abs(entropy - target_entropy) < 1e-5) break;
+      if (entropy > target_entropy) {
+        beta_lo = beta;
+        beta = (beta_hi >= 1e12) ? beta * 2.0 : 0.5 * (beta + beta_hi);
+      } else {
+        beta_hi = beta;
+        beta = 0.5 * (beta + beta_lo);
+      }
+    }
+    for (int j = 0; j < n; ++j) p[static_cast<size_t>(i) * n + j] = row[j];
+  }
+
+  // Symmetrise and normalise.
+  double p_total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const double v = 0.5 * (p[static_cast<size_t>(i) * n + j] +
+                              p[static_cast<size_t>(j) * n + i]);
+      p[static_cast<size_t>(i) * n + j] = v;
+      p[static_cast<size_t>(j) * n + i] = v;
+      p_total += 2.0 * v;
+    }
+  }
+  if (p_total < 1e-300) p_total = 1e-300;
+  for (auto& v : p) v = std::max(v / p_total, 1e-12);
+
+  // Gradient descent on the 2-D map.
+  Rng rng(config.seed);
+  std::vector<double> y(static_cast<size_t>(n) * 2);
+  for (auto& v : y) v = rng.Normal() * 1e-2;
+  std::vector<double> velocity(y.size(), 0.0);
+  std::vector<double> q(static_cast<size_t>(n) * n, 0.0);
+  std::vector<double> grad(y.size(), 0.0);
+
+  const int exaggeration_until = config.iterations / 4;
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration =
+        iter < exaggeration_until ? config.exaggeration : 1.0;
+    // Student-t affinities q_{ij}.
+    double q_total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      for (int j = i + 1; j < n; ++j) {
+        const double dy0 = y[2 * i] - y[2 * j];
+        const double dy1 = y[2 * i + 1] - y[2 * j + 1];
+        const double w = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+        q[static_cast<size_t>(i) * n + j] = w;
+        q[static_cast<size_t>(j) * n + i] = w;
+        q_total += 2.0 * w;
+      }
+    }
+    if (q_total < 1e-300) q_total = 1e-300;
+
+    std::fill(grad.begin(), grad.end(), 0.0);
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double w = q[static_cast<size_t>(i) * n + j];
+        const double qij = std::max(w / q_total, 1e-12);
+        const double coeff =
+            4.0 * (exaggeration * p[static_cast<size_t>(i) * n + j] - qij) * w;
+        grad[2 * i] += coeff * (y[2 * i] - y[2 * j]);
+        grad[2 * i + 1] += coeff * (y[2 * i + 1] - y[2 * j + 1]);
+      }
+    }
+    for (size_t k = 0; k < y.size(); ++k) {
+      velocity[k] =
+          config.momentum * velocity[k] - config.learning_rate * grad[k];
+      y[k] += velocity[k];
+    }
+    // Re-centre.
+    double mean0 = 0.0, mean1 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      mean0 += y[2 * i];
+      mean1 += y[2 * i + 1];
+    }
+    mean0 /= n;
+    mean1 /= n;
+    for (int i = 0; i < n; ++i) {
+      y[2 * i] -= mean0;
+      y[2 * i + 1] -= mean1;
+    }
+  }
+
+  Tensor out = Tensor::Zeros(n, 2);
+  for (int i = 0; i < n; ++i) {
+    out.at(i, 0) = static_cast<float>(y[2 * i]);
+    out.at(i, 1) = static_cast<float>(y[2 * i + 1]);
+  }
+  return out;
+}
+
+}  // namespace gp

@@ -1,0 +1,30 @@
+// Exact t-SNE (van der Maaten & Hinton 2008) for the embedding-distribution
+// visualisation of Fig. 7. Suitable for the few hundred data-node
+// embeddings an episode produces; O(n^2) per iteration.
+
+#ifndef GRAPHPROMPTER_VIZ_TSNE_H_
+#define GRAPHPROMPTER_VIZ_TSNE_H_
+
+#include <cstdint>
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+struct TsneConfig {
+  double perplexity = 15.0;
+  int iterations = 400;
+  double learning_rate = 100.0;
+  double momentum = 0.8;
+  // Early exaggeration: P is multiplied by this for the first quarter of
+  // the iterations.
+  double exaggeration = 4.0;
+  uint64_t seed = 9;
+};
+
+// Projects `embeddings` (n x d) to 2-D. Returns an (n x 2) tensor.
+Tensor RunTsne(const Tensor& embeddings, const TsneConfig& config);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_VIZ_TSNE_H_

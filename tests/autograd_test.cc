@@ -1,0 +1,277 @@
+// Property tests: every differentiable op's analytic gradient must match a
+// central-difference numeric gradient.
+
+#include "tensor/autograd.h"
+
+#include <cmath>
+#include <functional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.h"
+
+namespace gp {
+namespace {
+
+// A scalar-valued function of one input tensor.
+using ScalarFn = std::function<Tensor(const Tensor&)>;
+
+// Reduces an op output to a scalar with fixed pseudo-random coefficients so
+// every output entry contributes a distinct weight to the loss.
+Tensor WeightedSum(const Tensor& out, uint64_t seed = 99) {
+  Rng rng(seed);
+  Tensor coeff = Tensor::Randn(out.rows(), out.cols(), &rng);
+  return SumAll(Mul(out, coeff));
+}
+
+// Checks d(fn)/dx against central differences at every coordinate.
+void CheckGradient(const ScalarFn& fn, Tensor x, float tolerance = 2e-2f,
+                   float eps = 1e-3f) {
+  x.set_requires_grad(true);
+  Tensor loss = fn(x);
+  ASSERT_EQ(loss.size(), 1);
+  Backward(loss);
+  const std::vector<float> analytic = x.grad();
+  ASSERT_EQ(analytic.size(), x.data().size());
+
+  for (size_t i = 0; i < x.data().size(); ++i) {
+    const float original = x.mutable_data()[i];
+    x.mutable_data()[i] = original + eps;
+    const float up = fn(x).item();
+    x.mutable_data()[i] = original - eps;
+    const float down = fn(x).item();
+    x.mutable_data()[i] = original;
+    const float numeric = (up - down) / (2.0f * eps);
+    EXPECT_NEAR(analytic[i], numeric,
+                tolerance * std::max(1.0f, std::abs(numeric)))
+        << "coordinate " << i;
+  }
+}
+
+Tensor SmallInput(int rows, int cols, uint64_t seed) {
+  Rng rng(seed);
+  return Tensor::Randn(rows, cols, &rng);
+}
+
+struct OpCase {
+  std::string name;
+  ScalarFn fn;
+  int rows;
+  int cols;
+};
+
+class GradCheckTest : public ::testing::TestWithParam<OpCase> {};
+
+TEST_P(GradCheckTest, AnalyticMatchesNumeric) {
+  const OpCase& c = GetParam();
+  CheckGradient(c.fn, SmallInput(c.rows, c.cols, 7));
+}
+
+std::vector<OpCase> MakeCases() {
+  std::vector<OpCase> cases;
+  auto other23 = SmallInput(2, 3, 11);
+  auto row = SmallInput(1, 3, 12);
+  auto col = SmallInput(2, 1, 13);
+  auto scalar = SmallInput(1, 1, 14);
+  auto mat34 = SmallInput(3, 4, 15);
+
+  cases.push_back({"Add", [=](const Tensor& x) {
+                     return WeightedSum(Add(x, other23));
+                   }, 2, 3});
+  cases.push_back({"AddRowBroadcast", [=](const Tensor& x) {
+                     return WeightedSum(Add(x, row));
+                   }, 2, 3});
+  cases.push_back({"AddColBroadcast", [=](const Tensor& x) {
+                     return WeightedSum(Add(x, col));
+                   }, 2, 3});
+  cases.push_back({"AddScalarBroadcast", [=](const Tensor& x) {
+                     return WeightedSum(Add(x, scalar));
+                   }, 2, 3});
+  cases.push_back({"SubSecondArg", [=](const Tensor& x) {
+                     return WeightedSum(Sub(other23, x));
+                   }, 2, 3});
+  cases.push_back({"Mul", [=](const Tensor& x) {
+                     return WeightedSum(Mul(x, other23));
+                   }, 2, 3});
+  cases.push_back({"MulRowBroadcastSecond", [=](const Tensor& x) {
+                     return WeightedSum(Mul(other23, x));
+                   }, 1, 3});
+  cases.push_back({"DivFirst", [=](const Tensor& x) {
+                     return WeightedSum(Div(x, AddScalar(Square(other23),
+                                                         1.0f)));
+                   }, 2, 3});
+  cases.push_back({"DivSecond", [=](const Tensor& x) {
+                     return WeightedSum(
+                         Div(other23, AddScalar(Square(x), 1.0f)));
+                   }, 2, 3});
+  cases.push_back({"Neg", [](const Tensor& x) {
+                     return WeightedSum(Neg(x));
+                   }, 2, 3});
+  cases.push_back({"Scale", [](const Tensor& x) {
+                     return WeightedSum(Scale(x, -2.5f));
+                   }, 2, 3});
+  cases.push_back({"MatMulLeft", [=](const Tensor& x) {
+                     return WeightedSum(MatMul(x, mat34));
+                   }, 2, 3});
+  cases.push_back({"MatMulRight", [=](const Tensor& x) {
+                     return WeightedSum(MatMul(other23, x));
+                   }, 3, 4});
+  cases.push_back({"Transpose", [](const Tensor& x) {
+                     return WeightedSum(Transpose(x));
+                   }, 2, 3});
+  cases.push_back({"Sigmoid", [](const Tensor& x) {
+                     return WeightedSum(Sigmoid(x));
+                   }, 2, 3});
+  cases.push_back({"Tanh", [](const Tensor& x) {
+                     return WeightedSum(Tanh(x));
+                   }, 2, 3});
+  cases.push_back({"Exp", [](const Tensor& x) {
+                     return WeightedSum(Exp(x));
+                   }, 2, 3});
+  cases.push_back({"LogOfPositive", [](const Tensor& x) {
+                     return WeightedSum(Log(AddScalar(Square(x), 1.0f)));
+                   }, 2, 3});
+  cases.push_back({"Square", [](const Tensor& x) {
+                     return WeightedSum(Square(x));
+                   }, 2, 3});
+  cases.push_back({"LeakyRelu", [](const Tensor& x) {
+                     return WeightedSum(LeakyRelu(AddScalar(x, 0.3f), 0.1f));
+                   }, 2, 3});
+  cases.push_back({"Softmax", [](const Tensor& x) {
+                     return WeightedSum(Softmax(x));
+                   }, 2, 4});
+  cases.push_back({"LogSoftmax", [](const Tensor& x) {
+                     return WeightedSum(LogSoftmax(x));
+                   }, 2, 4});
+  cases.push_back({"CrossEntropy", [](const Tensor& x) {
+                     return CrossEntropyWithLogits(x, {1, 0});
+                   }, 2, 3});
+  cases.push_back({"ConcatColsFirst", [=](const Tensor& x) {
+                     return WeightedSum(ConcatCols(x, other23));
+                   }, 2, 3});
+  cases.push_back({"ConcatRows", [=](const Tensor& x) {
+                     return WeightedSum(ConcatRows({x, other23, x}));
+                   }, 2, 3});
+  cases.push_back({"GatherRows", [](const Tensor& x) {
+                     return WeightedSum(GatherRows(x, {1, 0, 1, 1}));
+                   }, 3, 2});
+  cases.push_back({"ScatterAddRows", [](const Tensor& x) {
+                     return WeightedSum(ScatterAddRows(x, {0, 2, 0}, 3));
+                   }, 3, 2});
+  cases.push_back({"SliceRows", [](const Tensor& x) {
+                     return WeightedSum(SliceRows(x, 1, 2));
+                   }, 4, 2});
+  cases.push_back({"RowScaleData", [=](const Tensor& x) {
+                     return WeightedSum(RowScale(x, col));
+                   }, 2, 3});
+  cases.push_back({"RowScaleWeights", [=](const Tensor& x) {
+                     return WeightedSum(RowScale(other23, x));
+                   }, 2, 1});
+  cases.push_back({"SumAll", [](const Tensor& x) {
+                     return SumAll(x);
+                   }, 2, 3});
+  cases.push_back({"MeanAll", [](const Tensor& x) {
+                     return MeanAll(x);
+                   }, 2, 3});
+  cases.push_back({"SumRows", [](const Tensor& x) {
+                     return WeightedSum(SumRows(x));
+                   }, 3, 2});
+  cases.push_back({"MeanRows", [](const Tensor& x) {
+                     return WeightedSum(MeanRows(x));
+                   }, 3, 2});
+  cases.push_back({"SumCols", [](const Tensor& x) {
+                     return WeightedSum(SumCols(x));
+                   }, 3, 2});
+  cases.push_back({"RowL2Normalize", [](const Tensor& x) {
+                     return WeightedSum(RowL2Normalize(AddScalar(x, 2.0f)));
+                   }, 2, 3});
+  cases.push_back({"SegmentSoftmax", [](const Tensor& x) {
+                     return WeightedSum(SegmentSoftmax(x, {0, 0, 1, 1, 1}, 2));
+                   }, 5, 1});
+  cases.push_back({"SegmentMeanRows", [](const Tensor& x) {
+                     return WeightedSum(
+                         SegmentMeanRows(x, {0, 1, 0, 2}, 3));
+                   }, 4, 2});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, GradCheckTest,
+                         ::testing::ValuesIn(MakeCases()),
+                         [](const ::testing::TestParamInfo<OpCase>& info) {
+                           return info.param.name;
+                         });
+
+TEST(AutogradTest, GradientsAccumulateAcrossBackwardCalls) {
+  Tensor x = Tensor::FromData(1, 1, {2.0f}, true);
+  Tensor loss = Square(x);
+  Backward(loss);
+  EXPECT_NEAR(x.grad()[0], 4.0f, 1e-5f);
+  Tensor loss2 = Square(x);
+  Backward(loss2);
+  EXPECT_NEAR(x.grad()[0], 8.0f, 1e-5f);  // accumulated
+  x.ZeroGrad();
+  EXPECT_EQ(x.grad()[0], 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphSumsBothPaths) {
+  // y = x*x + x*x through two distinct Mul nodes sharing x.
+  Tensor x = Tensor::FromData(1, 1, {3.0f}, true);
+  Tensor a = Mul(x, x);
+  Tensor b = Mul(x, x);
+  Backward(Add(a, b));
+  EXPECT_NEAR(x.grad()[0], 12.0f, 1e-4f);
+}
+
+TEST(AutogradTest, ReusedNodeBackpropagatesOnce) {
+  // z = (x + 1); loss = sum(z * z). dz/dx path must not double-count the
+  // topological visit.
+  Tensor x = Tensor::FromData(1, 1, {2.0f}, true);
+  Tensor z = AddScalar(x, 1.0f);
+  Backward(Mul(z, z));
+  EXPECT_NEAR(x.grad()[0], 6.0f, 1e-4f);
+}
+
+TEST(AutogradTest, NoGradGuardSkipsGraph) {
+  Tensor x = Tensor::FromData(1, 1, {2.0f}, true);
+  NoGradGuard guard;
+  Tensor y = Square(x);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.impl()->parents.empty());
+}
+
+TEST(AutogradTest, NoGradGuardRestores) {
+  Tensor x = Tensor::FromData(1, 1, {2.0f}, true);
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(GradEnabled());
+  }
+  EXPECT_TRUE(GradEnabled());
+  Tensor y = Square(x);
+  EXPECT_TRUE(y.requires_grad());
+}
+
+TEST(AutogradTest, NonRequiringLeafGetsNoGradient) {
+  Tensor x = Tensor::FromData(1, 1, {2.0f}, true);
+  Tensor frozen = Tensor::FromData(1, 1, {5.0f}, false);
+  Backward(Mul(x, frozen));
+  EXPECT_TRUE(frozen.grad().empty());
+  EXPECT_NEAR(x.grad()[0], 5.0f, 1e-5f);
+}
+
+TEST(AutogradTest, BackwardRequiresScalar) {
+  Tensor x = Tensor::FromData(1, 2, {1.0f, 2.0f}, true);
+  EXPECT_DEATH(Backward(x), "Check failed");
+}
+
+TEST(AutogradTest, DeepChainGradient) {
+  // 60 chained AddScalar ops: gradient should be exactly 1.
+  Tensor x = Tensor::FromData(1, 1, {0.0f}, true);
+  Tensor y = x;
+  for (int i = 0; i < 60; ++i) y = AddScalar(y, 0.5f);
+  Backward(y);
+  EXPECT_NEAR(x.grad()[0], 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,139 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/contrastive.h"
+#include "baselines/finetune.h"
+#include "baselines/no_pretrain.h"
+#include "baselines/ofa_lite.h"
+#include "baselines/prodigy.h"
+#include "baselines/prog_lite.h"
+
+namespace gp {
+namespace {
+
+EvalConfig TinyEval() {
+  EvalConfig config;
+  config.ways = 3;
+  config.shots = 2;
+  config.candidates_per_class = 4;
+  config.num_queries = 18;
+  config.trials = 2;
+  config.seed = 5;
+  return config;
+}
+
+SamplerConfig TinySampler() {
+  SamplerConfig config;
+  config.max_nodes = 10;
+  return config;
+}
+
+TEST(ProdigyConfigTest, DisablesAllStages) {
+  const auto config = ProdigyConfig(32, 1);
+  EXPECT_FALSE(config.use_reconstruction);
+  EXPECT_FALSE(config.use_selection_layer);
+  EXPECT_FALSE(config.use_knn);
+  EXPECT_FALSE(config.use_augmenter);
+  EXPECT_TRUE(config.random_prompt_selection);
+  EXPECT_EQ(config.feature_dim, 32);
+}
+
+TEST(NoPretrainTest, RunsAndReportsSaneAccuracy) {
+  DatasetBundle ds = MakeArxivSim(0.3, 2);
+  const auto result = EvaluateNoPretrain(ds, TinyEval(), 3);
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+  EXPECT_GE(result.accuracy_percent.mean, 0.0);
+  EXPECT_LE(result.accuracy_percent.mean, 100.0);
+}
+
+TEST(ContrastiveTest, PretrainReducesLossAndBeatsChance) {
+  DatasetBundle ds = MakeArxivSim(0.3, 4);
+  ContrastiveEncoder encoder(ds.graph.feature_dim(), 16, TinySampler(), 7);
+  ContrastivePretrainConfig pre;
+  pre.steps = 60;
+  pre.batch_size = 8;
+  const double tail_loss = PretrainContrastive(&encoder, ds, pre);
+  EXPECT_TRUE(std::isfinite(tail_loss));
+  const auto result = EvaluateContrastive(encoder, ds, TinyEval());
+  // 3-way chance = 33%; class-conditioned features should beat it.
+  EXPECT_GT(result.accuracy_percent.mean, 35.0);
+}
+
+TEST(ContrastiveTest, EvaluateWithoutPretrainStillRuns) {
+  DatasetBundle ds = MakeArxivSim(0.3, 5);
+  ContrastiveEncoder encoder(ds.graph.feature_dim(), 16, TinySampler(), 8);
+  const auto result = EvaluateContrastive(encoder, ds, TinyEval());
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+}
+
+TEST(FinetuneTest, HeadTrainsAndClassifies) {
+  DatasetBundle ds = MakeArxivSim(0.3, 6);
+  ContrastiveEncoder encoder(ds.graph.feature_dim(), 16, TinySampler(), 9);
+  ContrastivePretrainConfig pre;
+  pre.steps = 40;
+  pre.batch_size = 8;
+  PretrainContrastive(&encoder, ds, pre);
+  FinetuneConfig ft;
+  ft.head_steps = 40;
+  const auto result = EvaluateFinetune(encoder, ds, TinyEval(), ft);
+  EXPECT_GT(result.accuracy_percent.mean, 30.0);
+}
+
+TEST(ProgLiteTest, TokenIsMetaTrainedAndTuned) {
+  DatasetBundle ds = MakeArxivSim(0.3, 7);
+  ProgLiteConfig config;
+  config.feature_dim = ds.graph.feature_dim();
+  config.embedding_dim = 16;
+  config.sampler = TinySampler();
+  ProgLiteModel model(config);
+
+  const std::vector<float> token_before = model.prompt_token().Row(0);
+  ProgPretrainConfig pre;
+  pre.steps = 30;
+  pre.ways = 3;
+  PretrainProgLite(&model, ds, pre);
+  const std::vector<float> token_after = model.prompt_token().Row(0);
+  double change = 0;
+  for (size_t i = 0; i < token_before.size(); ++i) {
+    change += std::abs(token_before[i] - token_after[i]);
+  }
+  EXPECT_GT(change, 0.0);
+
+  ProgTuneConfig tune;
+  tune.tune_steps = 5;
+  const auto result = EvaluateProgLite(model, ds, TinyEval(), tune);
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+}
+
+TEST(OfaLiteTest, JointPretrainAcrossDatasets) {
+  DatasetBundle a = MakeConceptNetSim(0.2, 8);
+  DatasetBundle b = MakeFb15kSim(0.2, 9);
+  OfaLiteConfig config;
+  config.feature_dim = a.graph.feature_dim();
+  config.embedding_dim = 16;
+  config.sampler = TinySampler();
+  OfaLiteModel model(config);
+  OfaPretrainConfig pre;
+  pre.steps = 30;
+  pre.ways = 3;
+  PretrainOfaLite(&model, {&a, &b}, pre);
+  const auto result = EvaluateOfaLite(model, a, TinyEval());
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+  EXPECT_GE(result.accuracy_percent.mean, 0.0);
+}
+
+TEST(OfaLiteTest, ClassProjectionShape) {
+  OfaLiteConfig config;
+  config.feature_dim = 8;
+  config.embedding_dim = 4;
+  OfaLiteModel model(config);
+  Rng rng(10);
+  Tensor descriptors = Tensor::Randn(5, 8, &rng);
+  Tensor projected = model.ProjectClassNodes(descriptors);
+  EXPECT_EQ(projected.rows(), 5);
+  EXPECT_EQ(projected.cols(), 4);
+}
+
+}  // namespace
+}  // namespace gp

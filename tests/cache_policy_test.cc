@@ -1,0 +1,161 @@
+#include "core/cache_policy.h"
+
+#include <set>
+
+#include "core/prompt_augmenter.h"
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+CacheEntry Entry(int label) {
+  CacheEntry e;
+  e.embedding = {static_cast<float>(label)};
+  e.pseudo_label = label;
+  return e;
+}
+
+TEST(CachePolicyTest, Names) {
+  EXPECT_STREQ(CachePolicyName(CachePolicy::kLfu), "LFU");
+  EXPECT_STREQ(CachePolicyName(CachePolicy::kLru), "LRU");
+  EXPECT_STREQ(CachePolicyName(CachePolicy::kFifo), "FIFO");
+}
+
+TEST(CachePolicyTest, FactoryCreatesEachPolicy) {
+  for (CachePolicy policy :
+       {CachePolicy::kLfu, CachePolicy::kLru, CachePolicy::kFifo}) {
+    auto cache = MakeCache(policy, 2);
+    ASSERT_NE(cache, nullptr);
+    EXPECT_EQ(cache->capacity(), 2);
+    EXPECT_TRUE(cache->empty());
+    cache->Insert(Entry(1));
+    EXPECT_EQ(cache->size(), 1);
+  }
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache cache(2);
+  const int64_t a = cache.Insert(Entry(1));
+  const int64_t b = cache.Insert(Entry(2));
+  // Touch a -> b becomes least recently used.
+  EXPECT_TRUE(cache.Touch(a));
+  cache.Insert(Entry(3));
+  std::set<int> labels;
+  for (const auto& [id, entry] : cache.Entries()) {
+    labels.insert(entry->pseudo_label);
+  }
+  EXPECT_TRUE(labels.count(1));
+  EXPECT_FALSE(labels.count(2));
+  EXPECT_TRUE(labels.count(3));
+  EXPECT_FALSE(cache.Touch(b));
+}
+
+TEST(LruCacheTest, InsertionOrderWithoutTouches) {
+  LruCache cache(2);
+  cache.Insert(Entry(1));
+  cache.Insert(Entry(2));
+  cache.Insert(Entry(3));  // evicts 1
+  std::set<int> labels;
+  for (const auto& [id, entry] : cache.Entries()) {
+    labels.insert(entry->pseudo_label);
+  }
+  EXPECT_EQ(labels, (std::set<int>{2, 3}));
+}
+
+TEST(LruCacheTest, ZeroCapacity) {
+  LruCache cache(0);
+  EXPECT_EQ(cache.Insert(Entry(1)), -1);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(LruCacheTest, ClearEmpties) {
+  LruCache cache(3);
+  cache.Insert(Entry(1));
+  cache.Clear();
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(FifoCacheTest, TouchDoesNotAffectEviction) {
+  FifoCache cache(2);
+  const int64_t a = cache.Insert(Entry(1));
+  cache.Insert(Entry(2));
+  // Touch the oldest repeatedly; FIFO still evicts it first.
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(cache.Touch(a));
+  cache.Insert(Entry(3));
+  std::set<int> labels;
+  for (const auto& [id, entry] : cache.Entries()) {
+    labels.insert(entry->pseudo_label);
+  }
+  EXPECT_EQ(labels, (std::set<int>{2, 3}));
+}
+
+TEST(FifoCacheTest, TouchUnknownReturnsFalse) {
+  FifoCache cache(2);
+  EXPECT_FALSE(cache.Touch(99));
+}
+
+TEST(FifoCacheTest, CapacityInvariant) {
+  FifoCache cache(3);
+  for (int i = 0; i < 20; ++i) {
+    cache.Insert(Entry(i));
+    EXPECT_LE(cache.size(), 3);
+  }
+}
+
+TEST(LfuAdapterTest, DelegatesToLfu) {
+  LfuReplacementCache cache(2);
+  const int64_t a = cache.Insert(Entry(1));
+  cache.Insert(Entry(2));
+  cache.Touch(a);
+  cache.Insert(Entry(3));  // LFU evicts entry 2
+  std::set<int> labels;
+  for (const auto& [id, entry] : cache.Entries()) {
+    labels.insert(entry->pseudo_label);
+  }
+  EXPECT_EQ(labels, (std::set<int>{1, 3}));
+}
+
+// Property sweep: every policy keeps size <= capacity and ids unique.
+class PolicyInvariantTest : public ::testing::TestWithParam<CachePolicy> {};
+
+TEST_P(PolicyInvariantTest, SizeAndIdInvariants) {
+  auto cache = MakeCache(GetParam(), 4);
+  std::set<int64_t> ids;
+  Rng rng(3);
+  for (int i = 0; i < 60; ++i) {
+    const int64_t id = cache->Insert(Entry(i));
+    EXPECT_TRUE(ids.insert(id).second) << "duplicate id";
+    EXPECT_LE(cache->size(), 4);
+    if (i % 3 == 0 && !cache->Entries().empty()) {
+      const auto entries = cache->Entries();
+      cache->Touch(entries[rng.UniformInt(entries.size())].first);
+    }
+  }
+  cache->Clear();
+  EXPECT_TRUE(cache->empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyInvariantTest,
+                         ::testing::Values(CachePolicy::kLfu,
+                                           CachePolicy::kLru,
+                                           CachePolicy::kFifo));
+
+TEST(AugmenterPolicyTest, AugmenterRunsWithEveryPolicy) {
+  for (CachePolicy policy :
+       {CachePolicy::kLfu, CachePolicy::kLru, CachePolicy::kFifo}) {
+    PromptAugmenterConfig config;
+    config.policy = policy;
+    config.min_confidence = 0.0f;
+    PromptAugmenter augmenter(config, 5);
+    Tensor batch = Tensor::FromData(2, 2, {1, 0, 0, 1});
+    augmenter.ObserveQueries(batch, {0, 1}, {0.9f, 0.8f}, 2);
+    EXPECT_EQ(augmenter.cache().size(), 2);
+    const auto cached = augmenter.GetCachedPrompts(2);
+    EXPECT_EQ(cached.embeddings.rows(), 2);
+  }
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,152 @@
+#include "data/episode.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+class EpisodeSamplerTest : public ::testing::Test {
+ protected:
+  EpisodeSamplerTest() : dataset_(MakeArxivSim(0.5, 3)) {}
+  DatasetBundle dataset_;
+};
+
+TEST_F(EpisodeSamplerTest, ShapesMatchConfig) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  config.ways = 5;
+  config.candidates_per_class = 4;
+  config.num_queries = 12;
+  Rng rng(1);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->ways(), 5);
+  EXPECT_EQ(task->candidates.size(), 20u);
+  EXPECT_EQ(task->queries.size(), 12u);
+}
+
+TEST_F(EpisodeSamplerTest, CandidatesBalancedPerClass) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  config.ways = 4;
+  config.candidates_per_class = 6;
+  Rng rng(2);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  std::vector<int> counts(4, 0);
+  for (const auto& ex : task->candidates) ++counts[ex.label];
+  for (int c : counts) EXPECT_EQ(c, 6);
+}
+
+TEST_F(EpisodeSamplerTest, LabelsMatchDataset) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  Rng rng(3);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  for (const auto& ex : task->candidates) {
+    EXPECT_EQ(dataset_.LabelOfItem(ex.item),
+              task->class_global[ex.label]);
+  }
+  for (const auto& ex : task->queries) {
+    EXPECT_EQ(dataset_.LabelOfItem(ex.item),
+              task->class_global[ex.label]);
+  }
+}
+
+TEST_F(EpisodeSamplerTest, CandidatesComeFromTrainSplit) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  Rng rng(4);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  for (const auto& ex : task->candidates) {
+    const int cls = task->class_global[ex.label];
+    const auto& train = dataset_.train_items_by_class[cls];
+    EXPECT_NE(std::find(train.begin(), train.end(), ex.item), train.end());
+  }
+}
+
+TEST_F(EpisodeSamplerTest, QueriesComeFromTestSplitByDefault) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  Rng rng(5);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  for (const auto& ex : task->queries) {
+    const int cls = task->class_global[ex.label];
+    const auto& test = dataset_.test_items_by_class[cls];
+    EXPECT_NE(std::find(test.begin(), test.end(), ex.item), test.end());
+  }
+}
+
+TEST_F(EpisodeSamplerTest, CandidatesAreDistinctWithinClass) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  config.candidates_per_class = 10;
+  Rng rng(6);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  for (int cls = 0; cls < config.ways; ++cls) {
+    std::set<int> items;
+    for (const auto& ex : task->candidates) {
+      if (ex.label == cls) items.insert(ex.item);
+    }
+    EXPECT_EQ(items.size(), 10u);
+  }
+}
+
+TEST_F(EpisodeSamplerTest, TooManyWaysFails) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  config.ways = dataset_.num_classes + 1;
+  Rng rng(7);
+  auto task = sampler.Sample(config, &rng);
+  EXPECT_FALSE(task.ok());
+  EXPECT_EQ(task.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EpisodeSamplerTest, EligibleClassCounting) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  config.candidates_per_class = 1;
+  EXPECT_EQ(sampler.NumEligibleClasses(config), dataset_.num_classes);
+  config.candidates_per_class = 1000000;
+  EXPECT_EQ(sampler.NumEligibleClasses(config), 0);
+}
+
+TEST_F(EpisodeSamplerTest, DeterministicForSeed) {
+  EpisodeSampler sampler(&dataset_);
+  EpisodeConfig config;
+  Rng rng_a(8), rng_b(8);
+  auto a = sampler.Sample(config, &rng_a);
+  auto b = sampler.Sample(config, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->class_global, b->class_global);
+  for (size_t i = 0; i < a->queries.size(); ++i) {
+    EXPECT_EQ(a->queries[i].item, b->queries[i].item);
+  }
+}
+
+TEST_F(EpisodeSamplerTest, ManyWayEpisodeOnKg) {
+  DatasetBundle kg = MakeFb15kSim(0.4, 9);
+  EpisodeSampler sampler(&kg);
+  EpisodeConfig config;
+  config.ways = 50;
+  config.candidates_per_class = 5;
+  config.num_queries = 50;
+  Rng rng(10);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->ways(), 50);
+  std::set<int> classes(task->class_global.begin(),
+                        task->class_global.end());
+  EXPECT_EQ(classes.size(), 50u);
+}
+
+}  // namespace
+}  // namespace gp

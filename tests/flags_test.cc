@@ -1,0 +1,54 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+Flags MakeFlags(std::vector<const char*> args) {
+  args.insert(args.begin(), "binary");
+  return Flags(static_cast<int>(args.size()),
+               const_cast<char**>(args.data()));
+}
+
+TEST(FlagsTest, ParsesEqualsForm) {
+  Flags flags = MakeFlags({"--seed=42", "--scale=0.5", "--name=hello"});
+  EXPECT_EQ(flags.GetInt("seed", 0), 42);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("scale", 0.0), 0.5);
+  EXPECT_EQ(flags.GetString("name", ""), "hello");
+}
+
+TEST(FlagsTest, ParsesSpaceForm) {
+  Flags flags = MakeFlags({"--trials", "7"});
+  EXPECT_EQ(flags.GetInt("trials", 0), 7);
+}
+
+TEST(FlagsTest, BareFlagIsTrue) {
+  Flags flags = MakeFlags({"--verbose"});
+  EXPECT_TRUE(flags.GetBool("verbose", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  Flags flags = MakeFlags({});
+  EXPECT_EQ(flags.GetInt("missing", 9), 9);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("missing", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("missing", false));
+  EXPECT_EQ(flags.GetString("missing", "d"), "d");
+  EXPECT_FALSE(flags.Has("missing"));
+}
+
+TEST(FlagsTest, BooleanSpellings) {
+  Flags flags = MakeFlags({"--a=true", "--b=1", "--c=yes", "--d=false"});
+  EXPECT_TRUE(flags.GetBool("a", false));
+  EXPECT_TRUE(flags.GetBool("b", false));
+  EXPECT_TRUE(flags.GetBool("c", false));
+  EXPECT_FALSE(flags.GetBool("d", true));
+}
+
+TEST(FlagsTest, LaterValueWins) {
+  Flags flags = MakeFlags({"--k=1", "--k=2"});
+  EXPECT_EQ(flags.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace gp

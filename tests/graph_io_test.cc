@@ -1,0 +1,106 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "graph/builder.h"
+
+namespace gp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(GraphIoTest, RoundTripPreservesEverything) {
+  KnowledgeGraphConfig config;
+  config.num_nodes = 120;
+  config.num_relations = 8;
+  config.num_clusters = 4;
+  config.num_edges = 500;
+  Graph original = MakeKnowledgeGraph(config);
+
+  const std::string path = TempPath("graph_roundtrip.bin");
+  ASSERT_TRUE(SaveGraph(original, path).ok());
+  auto loaded_or = LoadGraph(path);
+  ASSERT_TRUE(loaded_or.ok());
+  const Graph& loaded = *loaded_or;
+
+  EXPECT_EQ(loaded.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.num_edges(), original.num_edges());
+  EXPECT_EQ(loaded.num_relations(), original.num_relations());
+  EXPECT_EQ(loaded.feature_dim(), original.feature_dim());
+  EXPECT_EQ(loaded.node_labels(), original.node_labels());
+  EXPECT_EQ(loaded.node_features().data(), original.node_features().data());
+  for (int e = 0; e < original.num_edges(); ++e) {
+    EXPECT_EQ(loaded.edge(e).src, original.edge(e).src);
+    EXPECT_EQ(loaded.edge(e).dst, original.edge(e).dst);
+    EXPECT_EQ(loaded.edge(e).relation, original.edge(e).relation);
+  }
+  // Adjacency rebuilt identically.
+  for (int v = 0; v < original.num_nodes(); ++v) {
+    ASSERT_EQ(loaded.Degree(v), original.Degree(v));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  auto result = LoadGraph("/does/not/exist.graph");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, BadMagicFails) {
+  const std::string path = TempPath("bad_magic.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    const uint32_t junk = 0xdeadbeef;
+    out.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
+  }
+  auto result = LoadGraph(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TruncatedFileFails) {
+  // Save a valid graph, then truncate it.
+  NodeGraphConfig config;
+  config.num_nodes = 50;
+  config.num_classes = 5;
+  Graph graph = MakeNodeClassificationGraph(config);
+  const std::string path = TempPath("truncated.bin");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size() / 2));
+  }
+  auto result = LoadGraph(path);
+  EXPECT_FALSE(result.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, UnlabeledGraphRoundTrips) {
+  GraphBuilder builder;
+  builder.AddNode();
+  builder.AddNode();
+  builder.AddEdge(0, 1);
+  Graph graph = builder.Build();
+  const std::string path = TempPath("unlabeled.bin");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_node_classes(), 0);
+  EXPECT_EQ(loaded->num_edges(), 1);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gp

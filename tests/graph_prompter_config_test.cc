@@ -1,0 +1,90 @@
+#include "core/graph_prompter.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/prodigy.h"
+
+namespace gp {
+namespace {
+
+TEST(GraphPrompterConfigTest, FullConfigEnablesAllStages) {
+  const auto config = FullGraphPrompterConfig(32, 7);
+  EXPECT_TRUE(config.use_reconstruction);
+  EXPECT_TRUE(config.use_selection_layer);
+  EXPECT_TRUE(config.use_knn);
+  EXPECT_TRUE(config.use_augmenter);
+  EXPECT_FALSE(config.random_prompt_selection);
+  EXPECT_EQ(config.feature_dim, 32);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_EQ(config.augmenter.cache_capacity, 3);  // Fig. 5 optimum
+  EXPECT_EQ(config.sampler.num_hops, 1);          // paper: l = 1
+}
+
+TEST(GraphPrompterModelTest, ComponentsShareConfiguredDims) {
+  GraphPrompterConfig config = FullGraphPrompterConfig(16, 3);
+  config.embedding_dim = 24;
+  GraphPrompterModel model(config);
+  EXPECT_EQ(model.generator().out_dim(), 24);
+  EXPECT_EQ(model.task_net().config().embedding_dim, 24);
+}
+
+TEST(GraphPrompterModelTest, SameSeedSameInitialisation) {
+  GraphPrompterModel a(FullGraphPrompterConfig(8, 11));
+  GraphPrompterModel b(FullGraphPrompterConfig(8, 11));
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_EQ(pa[i].data(), pb[i].data()) << "parameter " << i;
+  }
+}
+
+TEST(GraphPrompterModelTest, DifferentSeedDifferentInitialisation) {
+  GraphPrompterModel a(FullGraphPrompterConfig(8, 11));
+  GraphPrompterModel b(FullGraphPrompterConfig(8, 12));
+  bool any_diff = false;
+  const auto pa = a.Parameters();
+  const auto pb = b.Parameters();
+  for (size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i].data() != pb[i].data()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(GraphPrompterModelTest, ProdigyHasFewerParameters) {
+  // Without the reconstruction MLP, the Prodigy architecture is smaller
+  // (the selection layer is constructed either way but unused).
+  GraphPrompterModel full(FullGraphPrompterConfig(32, 5));
+  GraphPrompterModel prodigy(ProdigyConfig(32, 5));
+  EXPECT_LT(prodigy.NumParameters(), full.NumParameters());
+}
+
+TEST(GraphPrompterModelTest, ParameterNamesAreHierarchical) {
+  GraphPrompterModel model(FullGraphPrompterConfig(8, 5));
+  bool has_generator = false, has_selection = false, has_task = false;
+  for (const auto& [name, p] : model.NamedParameters()) {
+    has_generator |= name.rfind("generator/", 0) == 0;
+    has_selection |= name.rfind("selection/", 0) == 0;
+    has_task |= name.rfind("task_net/", 0) == 0;
+  }
+  EXPECT_TRUE(has_generator);
+  EXPECT_TRUE(has_selection);
+  EXPECT_TRUE(has_task);
+}
+
+TEST(GraphPrompterModelTest, GatArchVariantConstructs) {
+  GraphPrompterConfig config = FullGraphPrompterConfig(8, 5);
+  config.gnn_arch = GnnArch::kGat;
+  config.use_reconstruction = false;
+  GraphPrompterModel model(config);
+  EXPECT_GT(model.NumParameters(), 0);
+}
+
+TEST(EvalConfigTest, PaperDefaults) {
+  EvalConfig config;
+  EXPECT_EQ(config.shots, 3);                  // 3-shot prompts
+  EXPECT_EQ(config.candidates_per_class, 10);  // N = 10
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,134 @@
+#include "graph/graph.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace gp {
+namespace {
+
+Graph MakeTriangle() {
+  GraphBuilder builder(/*num_relations=*/2);
+  builder.AddNode(0);
+  builder.AddNode(1);
+  builder.AddNode(0);
+  builder.AddEdge(0, 1, 0);
+  builder.AddEdge(1, 2, 1);
+  builder.AddEdge(2, 0, 0);
+  Tensor features = Tensor::FromData(3, 2, {1, 0, 0, 1, 1, 1});
+  builder.SetNodeFeatures(features);
+  return builder.Build();
+}
+
+TEST(GraphBuilderTest, CountsAndLabels) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 3);
+  EXPECT_EQ(g.num_relations(), 2);
+  EXPECT_EQ(g.num_node_classes(), 2);
+  EXPECT_EQ(g.node_label(1), 1);
+}
+
+TEST(GraphBuilderTest, UndirectedAdjacencyBothWays) {
+  Graph g = MakeTriangle();
+  // Every node in the triangle has degree 2 (each undirected edge counted
+  // once per endpoint).
+  for (int v = 0; v < 3; ++v) EXPECT_EQ(g.Degree(v), 2);
+  std::set<int> neighbors_of_0;
+  for (int i = 0; i < g.NeighborsCount(0); ++i) {
+    neighbors_of_0.insert(g.NeighborsBegin(0)[i].neighbor);
+  }
+  EXPECT_EQ(neighbors_of_0, (std::set<int>{1, 2}));
+}
+
+TEST(GraphBuilderTest, DirectedEdgeOnlyForward) {
+  GraphBuilder builder;
+  builder.AddNode();
+  builder.AddNode();
+  builder.AddEdge(0, 1, 0, /*undirected=*/false);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 0);
+}
+
+TEST(GraphBuilderTest, EdgeRecordsKeepOrientationAndRelation) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.edge(1).src, 1);
+  EXPECT_EQ(g.edge(1).dst, 2);
+  EXPECT_EQ(g.edge(1).relation, 1);
+}
+
+TEST(GraphBuilderTest, EdgeIdSharedAcrossDirections) {
+  Graph g = MakeTriangle();
+  // Find the adjacency entries for edge 0 from both endpoints.
+  int id_from_0 = -1, id_from_1 = -1;
+  for (int i = 0; i < g.NeighborsCount(0); ++i) {
+    if (g.NeighborsBegin(0)[i].neighbor == 1) {
+      id_from_0 = g.NeighborsBegin(0)[i].edge_id;
+    }
+  }
+  for (int i = 0; i < g.NeighborsCount(1); ++i) {
+    if (g.NeighborsBegin(1)[i].neighbor == 0) {
+      id_from_1 = g.NeighborsBegin(1)[i].edge_id;
+    }
+  }
+  EXPECT_EQ(id_from_0, 0);
+  EXPECT_EQ(id_from_1, 0);
+}
+
+TEST(GraphBuilderTest, ClassAndRelationIndexes) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.NodesOfClass(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.NodesOfClass(1), (std::vector<int>{1}));
+  EXPECT_EQ(g.EdgesOfRelation(0), (std::vector<int>{0, 2}));
+  EXPECT_EQ(g.EdgesOfRelation(1), (std::vector<int>{1}));
+}
+
+TEST(GraphBuilderTest, FeaturesStored) {
+  Graph g = MakeTriangle();
+  EXPECT_EQ(g.feature_dim(), 2);
+  EXPECT_EQ(g.node_features().at(1, 1), 1.0f);
+}
+
+TEST(GraphBuilderTest, DefaultFeaturesWhenUnset) {
+  GraphBuilder builder;
+  builder.AddNode();
+  Graph g = builder.Build();
+  EXPECT_EQ(g.feature_dim(), 1);
+}
+
+TEST(GraphBuilderTest, SelfLoopCountedOnce) {
+  GraphBuilder builder;
+  builder.AddNode();
+  builder.AddEdge(0, 0);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.Degree(0), 1);
+}
+
+TEST(GraphBuilderTest, UnlabeledNodesExcludedFromClassIndex) {
+  GraphBuilder builder;
+  builder.AddNode(-1);
+  builder.AddNode(0);
+  Graph g = builder.Build();
+  EXPECT_EQ(g.num_node_classes(), 1);
+  EXPECT_EQ(g.NodesOfClass(0), (std::vector<int>{1}));
+}
+
+TEST(GraphBuilderTest, InvalidEdgeDies) {
+  GraphBuilder builder;
+  builder.AddNode();
+  EXPECT_DEATH(builder.AddEdge(0, 5), "Check failed");
+  EXPECT_DEATH(builder.AddEdge(0, 0, 3), "Check failed");
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  Graph g = MakeTriangle();
+  const std::string s = g.DebugString();
+  EXPECT_NE(s.find("nodes=3"), std::string::npos);
+  EXPECT_NE(s.find("edges=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,221 @@
+// End-to-end tests: pretrain on one graph, apply in-context to another
+// graph with a disjoint label vocabulary — the paper's core claim chain.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "baselines/no_pretrain.h"
+#include "baselines/prodigy.h"
+#include "core/graph_prompter.h"
+#include "core/pretrain.h"
+#include "nn/serialize.h"
+
+namespace gp {
+namespace {
+
+GraphPrompterConfig TinyFullConfig(int feature_dim, uint64_t seed) {
+  GraphPrompterConfig config = FullGraphPrompterConfig(feature_dim, seed);
+  config.embedding_dim = 16;
+  config.recon_hidden = 16;
+  config.selection_hidden = 16;
+  config.sampler.max_nodes = 10;
+  return config;
+}
+
+PretrainConfig TinyPretrain(int steps = 80) {
+  PretrainConfig config;
+  config.steps = steps;
+  config.ways = 3;
+  config.shots = 2;
+  config.queries_per_task = 3;
+  config.log_every = steps;
+  return config;
+}
+
+EvalConfig TinyEval(int ways = 3) {
+  EvalConfig config;
+  config.ways = ways;
+  config.shots = 2;
+  config.candidates_per_class = 5;
+  config.num_queries = 24;
+  config.trials = 2;
+  config.seed = 11;
+  return config;
+}
+
+TEST(IntegrationTest, FullPipelineRunsOnNodeTask) {
+  DatasetBundle pretrain_ds = MakeMagSim(0.08, 1);
+  DatasetBundle eval_ds = MakeArxivSim(0.3, 2);
+  GraphPrompterModel model(
+      TinyFullConfig(pretrain_ds.graph.feature_dim(), 3));
+  Pretrain(&model, pretrain_ds, TinyPretrain(40));
+  const auto result = EvaluateInContext(model, eval_ds, TinyEval());
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+  EXPECT_GE(result.accuracy_percent.mean, 0.0);
+  EXPECT_LE(result.accuracy_percent.mean, 100.0);
+  EXPECT_GT(result.ms_per_query, 0.0);
+}
+
+TEST(IntegrationTest, PretrainedBeatsNoPretrainCrossGraph) {
+  // The headline property: pretraining on MagSim transfers in-context to
+  // ArxivSim (disjoint classes) and beats an architecture-matched
+  // random-weight model.
+  DatasetBundle pretrain_ds = MakeMagSim(0.3, 4);
+  DatasetBundle eval_ds = MakeArxivSim(0.35, 5);
+
+  GraphPrompterConfig config =
+      TinyFullConfig(pretrain_ds.graph.feature_dim(), 6);
+  config.embedding_dim = 32;
+  config.sampler.max_nodes = 20;
+  GraphPrompterModel model(config);
+  Pretrain(&model, pretrain_ds, TinyPretrain(250));
+
+  EvalConfig eval = TinyEval(3);
+  eval.num_queries = 45;
+  eval.trials = 3;
+  const auto ours = EvaluateInContext(model, eval_ds, eval);
+
+  GraphPrompterConfig floor_config =
+      ProdigyConfig(pretrain_ds.graph.feature_dim(), 7);
+  floor_config.embedding_dim = config.embedding_dim;
+  floor_config.sampler = config.sampler;
+  GraphPrompterModel floor_model(floor_config);
+  const auto floor = EvaluateInContext(floor_model, eval_ds, eval);
+
+  EXPECT_GT(ours.accuracy_percent.mean, floor.accuracy_percent.mean);
+  // And meaningfully above 3-way chance.
+  EXPECT_GT(ours.accuracy_percent.mean, 40.0);
+}
+
+TEST(IntegrationTest, EdgeTaskCrossGraphTransfer) {
+  DatasetBundle pretrain_ds = MakeWikiSim(0.12, 8);
+  DatasetBundle eval_ds = MakeConceptNetSim(0.2, 9);
+  GraphPrompterModel model(
+      TinyFullConfig(pretrain_ds.graph.feature_dim(), 10));
+  Pretrain(&model, pretrain_ds, TinyPretrain(120));
+  EvalConfig eval = TinyEval(4);
+  eval.num_queries = 40;
+  const auto result = EvaluateInContext(model, eval_ds, eval);
+  EXPECT_GT(result.accuracy_percent.mean, 30.0);  // 4-way chance = 25%
+}
+
+TEST(IntegrationTest, EvaluationIsDeterministicForSeed) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyFullConfig(ds.graph.feature_dim(), 13));
+  const auto a = EvaluateInContext(model, ds, TinyEval());
+  const auto b = EvaluateInContext(model, ds, TinyEval());
+  ASSERT_EQ(a.trial_accuracy_percent.size(), b.trial_accuracy_percent.size());
+  for (size_t i = 0; i < a.trial_accuracy_percent.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trial_accuracy_percent[i],
+                     b.trial_accuracy_percent[i]);
+  }
+}
+
+TEST(IntegrationTest, AblationTogglesAllRun) {
+  DatasetBundle ds = MakeArxivSim(0.3, 14);
+  for (int variant = 0; variant < 4; ++variant) {
+    GraphPrompterConfig config =
+        TinyFullConfig(ds.graph.feature_dim(), 15 + variant);
+    switch (variant) {
+      case 0: config.use_reconstruction = false; break;
+      case 1: config.use_knn = false; break;
+      case 2: config.use_selection_layer = false; break;
+      case 3: config.use_augmenter = false; break;
+    }
+    GraphPrompterModel model(config);
+    const auto result = EvaluateInContext(model, ds, TinyEval());
+    EXPECT_EQ(result.trial_accuracy_percent.size(), 2u) << variant;
+  }
+}
+
+TEST(IntegrationTest, ClusteringSelectorEvaluates) {
+  DatasetBundle ds = MakeArxivSim(0.3, 30);
+  GraphPrompterConfig config = TinyFullConfig(ds.graph.feature_dim(), 31);
+  config.selector = SelectorKind::kClustering;
+  GraphPrompterModel model(config);
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+}
+
+TEST(IntegrationTest, BilinearReconstructionPipelineRuns) {
+  DatasetBundle pretrain_ds = MakeMagSim(0.08, 32);
+  DatasetBundle eval_ds = MakeArxivSim(0.3, 33);
+  GraphPrompterConfig config =
+      TinyFullConfig(pretrain_ds.graph.feature_dim(), 34);
+  config.recon_arch = ReconArch::kBilinear;
+  GraphPrompterModel model(config);
+  Pretrain(&model, pretrain_ds, TinyPretrain(30));
+  const auto result = EvaluateInContext(model, eval_ds, TinyEval());
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+}
+
+TEST(IntegrationTest, CachePolicyVariantsEvaluate) {
+  DatasetBundle ds = MakeFb15kSim(0.3, 35);
+  for (CachePolicy policy : {CachePolicy::kLru, CachePolicy::kFifo}) {
+    GraphPrompterConfig config = TinyFullConfig(ds.graph.feature_dim(), 36);
+    config.augmenter.policy = policy;
+    GraphPrompterModel model(config);
+    EvalConfig eval = TinyEval(5);
+    eval.trials = 1;
+    const auto result = EvaluateInContext(model, ds, eval);
+    EXPECT_EQ(result.trial_accuracy_percent.size(), 1u);
+  }
+}
+
+TEST(IntegrationTest, CheckpointRoundTripPreservesPredictions) {
+  DatasetBundle pretrain_ds = MakeMagSim(0.08, 37);
+  DatasetBundle eval_ds = MakeArxivSim(0.3, 38);
+  GraphPrompterConfig config =
+      TinyFullConfig(pretrain_ds.graph.feature_dim(), 39);
+  GraphPrompterModel model(config);
+  Pretrain(&model, pretrain_ds, TinyPretrain(20));
+  const std::string path = ::testing::TempDir() + "/gp_ckpt_test.bin";
+  ASSERT_TRUE(SaveModule(model, path).ok());
+
+  GraphPrompterModel restored(config);
+  ASSERT_TRUE(LoadModule(&restored, path).ok());
+  const auto a = EvaluateInContext(model, eval_ds, TinyEval());
+  const auto b = EvaluateInContext(restored, eval_ds, TinyEval());
+  ASSERT_EQ(a.trial_accuracy_percent.size(), b.trial_accuracy_percent.size());
+  for (size_t i = 0; i < a.trial_accuracy_percent.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trial_accuracy_percent[i],
+                     b.trial_accuracy_percent[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, KeepEmbeddingsPopulatesFigureData) {
+  DatasetBundle ds = MakeArxivSim(0.3, 20);
+  GraphPrompterModel model(TinyFullConfig(ds.graph.feature_dim(), 21));
+  EvalConfig eval = TinyEval();
+  eval.keep_embeddings = true;
+  const auto result = EvaluateInContext(model, ds, eval);
+  const int expected_rows =
+      eval.ways * eval.candidates_per_class + eval.num_queries;
+  EXPECT_EQ(result.embeddings.rows(), expected_rows);
+  EXPECT_EQ(static_cast<int>(result.embedding_labels.size()), expected_rows);
+}
+
+TEST(IntegrationTest, ProdigyConfigurationEvaluates) {
+  DatasetBundle ds = MakeArxivSim(0.3, 22);
+  GraphPrompterConfig config = ProdigyConfig(ds.graph.feature_dim(), 23);
+  config.embedding_dim = 16;
+  config.sampler.max_nodes = 10;
+  GraphPrompterModel model(config);
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 2u);
+}
+
+TEST(IntegrationTest, ManyWaysEvaluationOnKg) {
+  DatasetBundle ds = MakeFb15kSim(0.3, 24);
+  GraphPrompterModel model(TinyFullConfig(ds.graph.feature_dim(), 25));
+  EvalConfig eval = TinyEval(10);
+  eval.num_queries = 30;
+  eval.trials = 1;
+  const auto result = EvaluateInContext(model, ds, eval);
+  EXPECT_EQ(result.trial_accuracy_percent.size(), 1u);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,170 @@
+#include "core/kmeans.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/knn_retrieval.h"
+
+namespace gp {
+namespace {
+
+// Three well-separated blobs in 2-D.
+Tensor MakeBlobs(int per_blob, Rng* rng) {
+  Tensor points = Tensor::Zeros(3 * per_blob, 2);
+  const float centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (int b = 0; b < 3; ++b) {
+    for (int i = 0; i < per_blob; ++i) {
+      const int row = b * per_blob + i;
+      points.at(row, 0) = centers[b][0] + rng->Normal() * 0.3f;
+      points.at(row, 1) = centers[b][1] + rng->Normal() * 0.3f;
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  Rng rng(1);
+  Tensor points = MakeBlobs(15, &rng);
+  KMeansConfig config;
+  config.clusters = 3;
+  Rng kmeans_rng(2);
+  const auto result = RunKMeans(points, config, &kmeans_rng);
+  // Every blob maps to exactly one cluster.
+  for (int b = 0; b < 3; ++b) {
+    std::set<int> clusters;
+    for (int i = 0; i < 15; ++i) clusters.insert(result.assignment[b * 15 + i]);
+    EXPECT_EQ(clusters.size(), 1u) << "blob " << b;
+  }
+  // And blobs map to distinct clusters.
+  std::set<int> blob_clusters = {result.assignment[0], result.assignment[15],
+                                 result.assignment[30]};
+  EXPECT_EQ(blob_clusters.size(), 3u);
+}
+
+TEST(KMeansTest, InertiaIsLowForTightClusters) {
+  Rng rng(3);
+  Tensor points = MakeBlobs(10, &rng);
+  KMeansConfig config;
+  config.clusters = 3;
+  Rng kmeans_rng(4);
+  const auto result = RunKMeans(points, config, &kmeans_rng);
+  // Tight blobs: inertia per point well below inter-blob distance.
+  EXPECT_LT(result.inertia / points.rows(), 1.0);
+}
+
+TEST(KMeansTest, SingleCluster) {
+  Rng rng(5);
+  Tensor points = Tensor::Randn(10, 3, &rng);
+  KMeansConfig config;
+  config.clusters = 1;
+  Rng kmeans_rng(6);
+  const auto result = RunKMeans(points, config, &kmeans_rng);
+  for (int a : result.assignment) EXPECT_EQ(a, 0);
+  // Centroid = mean of all points.
+  for (int c = 0; c < 3; ++c) {
+    double mean = 0;
+    for (int i = 0; i < 10; ++i) mean += points.at(i, c);
+    EXPECT_NEAR(result.centroids.at(0, c), mean / 10, 1e-4);
+  }
+}
+
+TEST(KMeansTest, AsManyClustersAsPoints) {
+  Rng rng(7);
+  Tensor points = MakeBlobs(1, &rng);  // 3 points
+  KMeansConfig config;
+  config.clusters = 3;
+  Rng kmeans_rng(8);
+  const auto result = RunKMeans(points, config, &kmeans_rng);
+  std::set<int> clusters(result.assignment.begin(), result.assignment.end());
+  EXPECT_EQ(clusters.size(), 3u);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  Rng rng(9);
+  Tensor points = Tensor::Randn(30, 4, &rng);
+  KMeansConfig config;
+  config.clusters = 4;
+  Rng a(10), b(10);
+  const auto ra = RunKMeans(points, config, &a);
+  const auto rb = RunKMeans(points, config, &b);
+  EXPECT_EQ(ra.assignment, rb.assignment);
+  EXPECT_DOUBLE_EQ(ra.inertia, rb.inertia);
+}
+
+TEST(KMeansTest, IdenticalPointsDoNotCrash) {
+  Tensor points = Tensor::Full(8, 2, 1.0f);
+  KMeansConfig config;
+  config.clusters = 3;
+  Rng rng(11);
+  const auto result = RunKMeans(points, config, &rng);
+  EXPECT_EQ(static_cast<int>(result.assignment.size()), 8);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-6);
+}
+
+// ------------------------------------------------ clustering-based selector
+
+TEST(ClusteringSelectorTest, SelectsKPerClassAndFiltersOutliers) {
+  // Same fixture as the kNN test: outlier candidates per class.
+  Tensor prompts = Tensor::FromData(6, 2,
+                                    {1.0f, 0.0f, 0.9f, 0.1f, -1.0f, 0.0f,
+                                     0.0f, 1.0f, 0.1f, 0.9f, 0.0f, -1.0f});
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  Rng rng(12);
+  // Plenty of queries clustered near the two poles.
+  Tensor queries = Tensor::Zeros(12, 2);
+  for (int q = 0; q < 12; ++q) {
+    const bool pole0 = q % 2 == 0;
+    queries.at(q, 0) = (pole0 ? 1.0f : 0.1f) + rng.Normal() * 0.05f;
+    queries.at(q, 1) = (pole0 ? 0.1f : 1.0f) + rng.Normal() * 0.05f;
+  }
+  KnnConfig config;
+  config.shots = 2;
+  const auto sel = SelectPromptsByClustering(prompts, Tensor(), labels,
+                                             queries, Tensor(), 2, config,
+                                             &rng);
+  ASSERT_EQ(sel.selected.size(), 4u);
+  for (int p : sel.selected) {
+    EXPECT_NE(p, 2);
+    EXPECT_NE(p, 5);
+  }
+}
+
+TEST(ClusteringSelectorTest, FallsBackWithFewQueries) {
+  Tensor prompts = Tensor::FromData(2, 2, {1, 0, 0, 1});
+  std::vector<int> labels = {0, 1};
+  Tensor queries = Tensor::FromData(1, 2, {1.0f, 0.0f});
+  KnnConfig config;
+  config.shots = 3;  // more clusters than queries -> kNN fallback
+  Rng rng(13);
+  const auto sel = SelectPromptsByClustering(prompts, Tensor(), labels,
+                                             queries, Tensor(), 2, config,
+                                             &rng);
+  EXPECT_EQ(sel.selected.size(), 2u);
+}
+
+TEST(ClusteringSelectorTest, SelectedAreDistinctWithinClass) {
+  Rng rng(14);
+  Tensor prompts = Tensor::Randn(20, 4, &rng);
+  std::vector<int> labels(20);
+  for (int i = 0; i < 20; ++i) labels[i] = i % 2;
+  Tensor queries = Tensor::Randn(15, 4, &rng);
+  KnnConfig config;
+  config.shots = 3;
+  const auto sel = SelectPromptsByClustering(prompts, Tensor(), labels,
+                                             queries, Tensor(), 2, config,
+                                             &rng);
+  std::set<int> unique(sel.selected.begin(), sel.selected.end());
+  EXPECT_EQ(unique.size(), sel.selected.size());
+  EXPECT_EQ(sel.selected.size(), 6u);
+}
+
+TEST(ClusteringSelectorTest, SelectorKindNames) {
+  EXPECT_STREQ(SelectorKindName(SelectorKind::kKnnVoting), "knn-voting");
+  EXPECT_STREQ(SelectorKindName(SelectorKind::kClustering),
+               "kmeans-clustering");
+}
+
+}  // namespace
+}  // namespace gp

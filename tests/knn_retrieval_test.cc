@@ -1,0 +1,150 @@
+#include "core/knn_retrieval.h"
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+// Candidates: 2 classes x 3 candidates in 2-D. Class 0 near (1,0), class 1
+// near (0,1); one candidate per class is an outlier.
+struct Fixture {
+  Tensor prompts = Tensor::FromData(6, 2,
+                                    {
+                                        1.0f, 0.0f,    // 0: class 0, good
+                                        0.9f, 0.1f,    // 1: class 0, good
+                                        -1.0f, 0.0f,   // 2: class 0, outlier
+                                        0.0f, 1.0f,    // 3: class 1, good
+                                        0.1f, 0.9f,    // 4: class 1, good
+                                        0.0f, -1.0f,   // 5: class 1, outlier
+                                    });
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  Tensor queries = Tensor::FromData(2, 2, {1.0f, 0.1f, 0.1f, 1.0f});
+};
+
+TEST(KnnRetrievalTest, SelectsKPerClass) {
+  Fixture f;
+  KnnConfig config;
+  config.shots = 2;
+  const auto sel = SelectPrompts(f.prompts, Tensor(), f.labels, f.queries,
+                                 Tensor(), 2, config);
+  ASSERT_EQ(sel.selected.size(), 4u);
+  int class0 = 0, class1 = 0;
+  for (int p : sel.selected) {
+    if (f.labels[p] == 0) ++class0;
+    if (f.labels[p] == 1) ++class1;
+  }
+  EXPECT_EQ(class0, 2);
+  EXPECT_EQ(class1, 2);
+}
+
+TEST(KnnRetrievalTest, OutliersAreFilteredBySimilarity) {
+  Fixture f;
+  KnnConfig config;
+  config.shots = 2;
+  const auto sel = SelectPrompts(f.prompts, Tensor(), f.labels, f.queries,
+                                 Tensor(), 2, config);
+  for (int p : sel.selected) {
+    EXPECT_NE(p, 2);  // class-0 outlier rejected
+    EXPECT_NE(p, 5);  // class-1 outlier rejected
+  }
+}
+
+TEST(KnnRetrievalTest, VotesAreNonNegativeForTopPrompts) {
+  Fixture f;
+  KnnConfig config;
+  config.shots = 1;
+  const auto sel = SelectPrompts(f.prompts, Tensor(), f.labels, f.queries,
+                                 Tensor(), 2, config);
+  for (int p : sel.selected) {
+    EXPECT_GT(sel.votes[p], 0.0);
+  }
+}
+
+TEST(KnnRetrievalTest, ImportanceTermBreaksTies) {
+  // Two identical candidates per class; importance decides.
+  Tensor prompts = Tensor::FromData(4, 2, {1, 0, 1, 0, 0, 1, 0, 1});
+  std::vector<int> labels = {0, 0, 1, 1};
+  Tensor queries = Tensor::FromData(1, 2, {1.0f, 1.0f});
+  Tensor prompt_importance = Tensor::FromData(4, 1, {0.1f, 0.9f, 0.9f, 0.1f});
+  Tensor query_importance = Tensor::FromData(1, 1, {1.0f});
+  KnnConfig config;
+  config.shots = 1;
+  const auto sel = SelectPrompts(prompts, prompt_importance, labels, queries,
+                                 query_importance, 2, config);
+  ASSERT_EQ(sel.selected.size(), 2u);
+  EXPECT_EQ(sel.selected[0], 1);  // higher-importance class-0 candidate
+  EXPECT_EQ(sel.selected[1], 2);  // higher-importance class-1 candidate
+}
+
+TEST(KnnRetrievalTest, SimilarityOnlyWhenImportanceDisabled) {
+  Fixture f;
+  KnnConfig config;
+  config.shots = 1;
+  config.use_importance = false;
+  // Importance tensors deliberately undefined.
+  const auto sel = SelectPrompts(f.prompts, Tensor(), f.labels, f.queries,
+                                 Tensor(), 2, config);
+  EXPECT_EQ(sel.selected.size(), 2u);
+}
+
+TEST(KnnRetrievalTest, BothTermsDisabledFallsBackDeterministically) {
+  Fixture f;
+  KnnConfig config;
+  config.shots = 2;
+  config.use_similarity = false;
+  config.use_importance = false;
+  const auto sel = SelectPrompts(f.prompts, Tensor(), f.labels, f.queries,
+                                 Tensor(), 2, config);
+  // Stable order: first candidates of each class.
+  EXPECT_EQ(sel.selected, (std::vector<int>{0, 1, 3, 4}));
+}
+
+TEST(KnnRetrievalTest, FewerCandidatesThanShots) {
+  Tensor prompts = Tensor::FromData(2, 2, {1, 0, 0, 1});
+  std::vector<int> labels = {0, 1};
+  Tensor queries = Tensor::FromData(1, 2, {1.0f, 0.0f});
+  KnnConfig config;
+  config.shots = 5;
+  const auto sel = SelectPrompts(prompts, Tensor(), labels, queries,
+                                 Tensor(), 2, config);
+  EXPECT_EQ(sel.selected.size(), 2u);  // everything available
+}
+
+TEST(KnnRetrievalTest, MetricNames) {
+  EXPECT_STREQ(DistanceMetricName(DistanceMetric::kCosine), "cosine");
+  EXPECT_STREQ(DistanceMetricName(DistanceMetric::kEuclidean), "euclidean");
+  EXPECT_STREQ(DistanceMetricName(DistanceMetric::kManhattan), "manhattan");
+}
+
+// All three metrics must agree on the clear-cut outlier fixture (the paper
+// notes the metric is substitutable).
+class KnnMetricTest : public ::testing::TestWithParam<DistanceMetric> {};
+
+TEST_P(KnnMetricTest, OutlierFilteredUnderAnyMetric) {
+  Fixture f;
+  KnnConfig config;
+  config.shots = 2;
+  config.metric = GetParam();
+  const auto sel = SelectPrompts(f.prompts, Tensor(), f.labels, f.queries,
+                                 Tensor(), 2, config);
+  for (int p : sel.selected) {
+    EXPECT_NE(p, 2);
+    EXPECT_NE(p, 5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Metrics, KnnMetricTest,
+                         ::testing::Values(DistanceMetric::kCosine,
+                                           DistanceMetric::kEuclidean,
+                                           DistanceMetric::kManhattan));
+
+TEST(EmbeddingSimilarityTest, CosineOfIdenticalRows) {
+  Tensor a = Tensor::FromData(1, 3, {1, 2, 3});
+  EXPECT_NEAR(EmbeddingSimilarity(a, 0, a, 0, DistanceMetric::kCosine), 1.0f,
+              1e-5f);
+  EXPECT_NEAR(EmbeddingSimilarity(a, 0, a, 0, DistanceMetric::kEuclidean),
+              0.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,131 @@
+#include "core/lfu_cache.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+CacheEntry Entry(int label) {
+  CacheEntry e;
+  e.embedding = {static_cast<float>(label)};
+  e.pseudo_label = label;
+  return e;
+}
+
+TEST(LfuCacheTest, InsertAndSize) {
+  LfuCache cache(3);
+  EXPECT_TRUE(cache.empty());
+  cache.Insert(Entry(1));
+  cache.Insert(Entry(2));
+  EXPECT_EQ(cache.size(), 2);
+  EXPECT_EQ(cache.capacity(), 3);
+}
+
+TEST(LfuCacheTest, ZeroCapacityRejects) {
+  LfuCache cache(0);
+  EXPECT_EQ(cache.Insert(Entry(1)), -1);
+  EXPECT_TRUE(cache.empty());
+}
+
+TEST(LfuCacheTest, EvictsLeastFrequentlyUsed) {
+  LfuCache cache(2);
+  const int64_t a = cache.Insert(Entry(1));
+  const int64_t b = cache.Insert(Entry(2));
+  cache.Touch(a);  // a: freq 2, b: freq 1
+  cache.Insert(Entry(3));  // evicts b
+  EXPECT_EQ(cache.FrequencyOf(b), 0);
+  EXPECT_GT(cache.FrequencyOf(a), 0);
+  EXPECT_EQ(cache.size(), 2);
+}
+
+TEST(LfuCacheTest, FifoWithinFrequencyBucket) {
+  LfuCache cache(2);
+  const int64_t a = cache.Insert(Entry(1));
+  const int64_t b = cache.Insert(Entry(2));
+  // Both at frequency 1: the older insertion (a) is evicted first.
+  cache.Insert(Entry(3));
+  EXPECT_EQ(cache.FrequencyOf(a), 0);
+  EXPECT_EQ(cache.FrequencyOf(b), 1);
+}
+
+TEST(LfuCacheTest, TouchIncrementsFrequency) {
+  LfuCache cache(2);
+  const int64_t a = cache.Insert(Entry(1));
+  EXPECT_EQ(cache.FrequencyOf(a), 1);
+  EXPECT_TRUE(cache.Touch(a));
+  EXPECT_TRUE(cache.Touch(a));
+  EXPECT_EQ(cache.FrequencyOf(a), 3);
+}
+
+TEST(LfuCacheTest, TouchUnknownIdIsIgnored) {
+  LfuCache cache(2);
+  EXPECT_FALSE(cache.Touch(12345));
+}
+
+TEST(LfuCacheTest, TouchEvictedIdIsIgnored) {
+  LfuCache cache(1);
+  const int64_t a = cache.Insert(Entry(1));
+  cache.Insert(Entry(2));  // evicts a
+  EXPECT_FALSE(cache.Touch(a));
+}
+
+TEST(LfuCacheTest, EntriesSnapshotsPayload) {
+  LfuCache cache(3);
+  cache.Insert(Entry(7));
+  cache.Insert(Entry(8));
+  const auto entries = cache.Entries();
+  ASSERT_EQ(entries.size(), 2u);
+  std::set<int> labels;
+  for (const auto& [id, entry] : entries) labels.insert(entry->pseudo_label);
+  EXPECT_EQ(labels, (std::set<int>{7, 8}));
+}
+
+TEST(LfuCacheTest, ClearEmpties) {
+  LfuCache cache(3);
+  cache.Insert(Entry(1));
+  cache.Clear();
+  EXPECT_TRUE(cache.empty());
+  EXPECT_EQ(cache.Entries().size(), 0u);
+}
+
+TEST(LfuCacheTest, HighFrequencyEntrySurvivesManyInsertions) {
+  LfuCache cache(3);
+  const int64_t keeper = cache.Insert(Entry(0));
+  for (int i = 0; i < 5; ++i) cache.Touch(keeper);
+  for (int i = 1; i <= 20; ++i) cache.Insert(Entry(i));
+  EXPECT_GT(cache.FrequencyOf(keeper), 0);  // never evicted
+  EXPECT_EQ(cache.size(), 3);
+}
+
+TEST(LfuCacheTest, IdsAreUniqueAcrossEvictions) {
+  LfuCache cache(1);
+  std::set<int64_t> ids;
+  for (int i = 0; i < 10; ++i) ids.insert(cache.Insert(Entry(i)));
+  EXPECT_EQ(ids.size(), 10u);
+}
+
+// Property sweep: for any capacity, repeated inserts never exceed capacity
+// and the most-touched entry always survives.
+class LfuCapacityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LfuCapacityTest, CapacityInvariantHolds) {
+  const int capacity = GetParam();
+  LfuCache cache(capacity);
+  const int64_t hot = cache.Insert(Entry(-1));
+  for (int i = 0; i < 3; ++i) cache.Touch(hot);
+  for (int i = 0; i < 50; ++i) {
+    cache.Insert(Entry(i));
+    EXPECT_LE(cache.size(), capacity);
+  }
+  if (capacity >= 2) {
+    EXPECT_GT(cache.FrequencyOf(hot), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, LfuCapacityTest,
+                         ::testing::Values(1, 2, 3, 5, 10));
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,88 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+TEST(AccuracyTest, Basic) {
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy({1, 2, 3}, {1, 0, 0}), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(Accuracy({}, {}), 0.0);
+}
+
+TEST(AccuracyTest, MismatchedSizesDie) {
+  EXPECT_DEATH(Accuracy({1}, {1, 2}), "Check failed");
+}
+
+TEST(MeanStdTest, KnownValues) {
+  const MeanStd ms = ComputeMeanStd({2.0, 4.0, 6.0, 8.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 5.0);
+  EXPECT_NEAR(ms.std, std::sqrt(5.0), 1e-9);
+}
+
+TEST(MeanStdTest, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(ComputeMeanStd({}).mean, 0.0);
+  const MeanStd ms = ComputeMeanStd({7.0});
+  EXPECT_DOUBLE_EQ(ms.mean, 7.0);
+  EXPECT_DOUBLE_EQ(ms.std, 0.0);
+}
+
+TEST(SilhouetteTest, PerfectClustersScoreHigh) {
+  // Two tight, well-separated clusters.
+  Tensor emb = Tensor::FromData(4, 2, {0, 0, 0.1f, 0, 10, 10, 10.1f, 10});
+  const double s = SilhouetteScore(emb, {0, 0, 1, 1});
+  EXPECT_GT(s, 0.9);
+}
+
+TEST(SilhouetteTest, RandomLabelsScoreLow) {
+  Rng rng(1);
+  Tensor emb = Tensor::Randn(40, 4, &rng);
+  std::vector<int> labels(40);
+  for (int i = 0; i < 40; ++i) labels[i] = i % 2;
+  const double s = SilhouetteScore(emb, labels);
+  EXPECT_LT(std::abs(s), 0.25);
+}
+
+TEST(SilhouetteTest, DegenerateInputsReturnZero) {
+  Tensor emb = Tensor::FromData(3, 1, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(SilhouetteScore(emb, {0, 0, 0}), 0.0);   // one cluster
+  Tensor two = Tensor::FromData(2, 1, {1, 2});
+  EXPECT_DOUBLE_EQ(SilhouetteScore(two, {0, 1}), 0.0);      // n < 3
+}
+
+TEST(SilhouetteTest, TighterClustersScoreHigher) {
+  Rng rng(2);
+  auto make = [&](float spread) {
+    Tensor emb = Tensor::Zeros(30, 2);
+    std::vector<int> labels(30);
+    for (int i = 0; i < 30; ++i) {
+      labels[i] = i % 3;
+      emb.at(i, 0) = labels[i] * 5.0f + rng.Normal() * spread;
+      emb.at(i, 1) = rng.Normal() * spread;
+    }
+    return std::make_pair(emb, labels);
+  };
+  auto [tight_emb, tight_labels] = make(0.3f);
+  auto [loose_emb, loose_labels] = make(2.5f);
+  EXPECT_GT(SilhouetteScore(tight_emb, tight_labels),
+            SilhouetteScore(loose_emb, loose_labels));
+}
+
+TEST(IntraInterTest, SeparatedClustersHaveLowRatio) {
+  Tensor emb = Tensor::FromData(4, 2, {0, 0, 0.1f, 0, 10, 10, 10.1f, 10});
+  const double r = IntraInterDistanceRatio(emb, {0, 0, 1, 1});
+  EXPECT_LT(r, 0.1);
+}
+
+TEST(IntraInterTest, DegenerateReturnsZero) {
+  Tensor emb = Tensor::FromData(2, 1, {1, 2});
+  EXPECT_DOUBLE_EQ(IntraInterDistanceRatio(emb, {0, 0}), 0.0);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,159 @@
+#include <cmath>
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "nn/linear.h"
+#include "nn/mlp.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace gp {
+namespace {
+
+TEST(LinearTest, OutputShape) {
+  Rng rng(1);
+  Linear layer(4, 3, &rng);
+  Tensor x = Tensor::Randn(5, 4, &rng);
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5);
+  EXPECT_EQ(y.cols(), 3);
+}
+
+TEST(LinearTest, BiasIsApplied) {
+  Rng rng(2);
+  Linear layer(2, 2, &rng);
+  // Zero input -> output equals bias (initially zero).
+  Tensor y = layer.Forward(Tensor::Zeros(1, 2));
+  EXPECT_EQ(y.at(0, 0), 0.0f);
+  // Mutate the bias and observe it at the output.
+  Tensor bias = layer.bias();
+  bias.mutable_data()[1] = 3.5f;
+  Tensor y2 = layer.Forward(Tensor::Zeros(1, 2));
+  EXPECT_EQ(y2.at(0, 1), 3.5f);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(3);
+  Linear layer(2, 2, &rng, /*use_bias=*/false);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, ParametersRegistered) {
+  Rng rng(4);
+  Linear layer(3, 2, &rng);
+  const auto named = layer.NamedParameters();
+  ASSERT_EQ(named.size(), 2u);
+  EXPECT_EQ(named[0].first, "weight");
+  EXPECT_EQ(named[1].first, "bias");
+  EXPECT_EQ(layer.NumParameters(), 3 * 2 + 2);
+}
+
+TEST(MlpTest, HiddenLayersAndShapes) {
+  Rng rng(5);
+  Mlp mlp({8, 16, 4}, &rng);
+  EXPECT_EQ(mlp.num_layers(), 2);
+  EXPECT_EQ(mlp.in_features(), 8);
+  EXPECT_EQ(mlp.out_features(), 4);
+  Tensor y = mlp.Forward(Tensor::Randn(3, 8, &rng));
+  EXPECT_EQ(y.rows(), 3);
+  EXPECT_EQ(y.cols(), 4);
+}
+
+TEST(MlpTest, GradientsReachAllLayers) {
+  Rng rng(6);
+  Mlp mlp({4, 8, 1}, &rng);
+  Tensor x = Tensor::Randn(6, 4, &rng);
+  Backward(SumAll(mlp.Forward(x)));
+  for (const auto& p : mlp.Parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(MlpTest, LearnsLinearlySeparableTask) {
+  // Two Gaussian blobs; a small MLP should reach high training accuracy.
+  Rng rng(7);
+  const int n = 60;
+  Tensor x = Tensor::Zeros(n, 2);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 2;
+    labels[i] = cls;
+    x.at(i, 0) = rng.Normal() * 0.5f + (cls == 0 ? -2.0f : 2.0f);
+    x.at(i, 1) = rng.Normal() * 0.5f;
+  }
+  Mlp mlp({2, 16, 2}, &rng);
+  Adam optimizer(mlp.Parameters(), 0.05f);
+  for (int step = 0; step < 60; ++step) {
+    optimizer.ZeroGrad();
+    Backward(CrossEntropyWithLogits(mlp.Forward(x), labels));
+    optimizer.Step();
+  }
+  const auto pred = ArgmaxRows(mlp.Forward(x));
+  int correct = 0;
+  for (int i = 0; i < n; ++i) correct += pred[i] == labels[i];
+  EXPECT_GE(correct, n - 2);
+}
+
+TEST(ActivationTest, AllVariantsRun) {
+  Tensor x = Tensor::FromData(1, 2, {-1.0f, 1.0f});
+  EXPECT_EQ(ApplyActivation(x, Activation::kIdentity).at(0, 0), -1.0f);
+  EXPECT_EQ(ApplyActivation(x, Activation::kRelu).at(0, 0), 0.0f);
+  EXPECT_NEAR(ApplyActivation(x, Activation::kSigmoid).at(0, 1),
+              1.0f / (1.0f + std::exp(-1.0f)), 1e-5f);
+  EXPECT_NEAR(ApplyActivation(x, Activation::kTanh).at(0, 1),
+              std::tanh(1.0f), 1e-5f);
+  EXPECT_NEAR(ApplyActivation(x, Activation::kLeakyRelu).at(0, 0), -0.2f,
+              1e-5f);
+}
+
+TEST(SerializeTest, SaveLoadRoundTrip) {
+  Rng rng(8);
+  Mlp original({4, 8, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/mlp_ckpt.bin";
+  ASSERT_TRUE(SaveModule(original, path).ok());
+
+  Rng rng2(999);  // different init
+  Mlp restored({4, 8, 2}, &rng2);
+  ASSERT_TRUE(LoadModule(&restored, path).ok());
+
+  Tensor x = Tensor::Randn(3, 4, &rng);
+  Tensor y1 = original.Forward(x);
+  Tensor y2 = restored.Forward(x);
+  for (int64_t i = 0; i < y1.size(); ++i) {
+    EXPECT_FLOAT_EQ(y1.data()[i], y2.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Rng rng(9);
+  Mlp original({4, 8, 2}, &rng);
+  const std::string path = ::testing::TempDir() + "/mlp_bad.bin";
+  ASSERT_TRUE(SaveModule(original, path).ok());
+  Mlp different({4, 16, 2}, &rng);
+  EXPECT_FALSE(LoadModule(&different, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Rng rng(10);
+  Mlp mlp({2, 2}, &rng);
+  EXPECT_EQ(LoadModule(&mlp, "/does/not/exist.bin").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModuleTest, ZeroGradClearsAll) {
+  Rng rng(11);
+  Mlp mlp({2, 4, 1}, &rng);
+  Backward(SumAll(mlp.Forward(Tensor::Randn(2, 2, &rng))));
+  mlp.ZeroGrad();
+  for (const auto& p : mlp.Parameters()) {
+    for (float g : p.grad()) EXPECT_EQ(g, 0.0f);
+  }
+}
+
+}  // namespace
+}  // namespace gp

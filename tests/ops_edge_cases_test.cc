@@ -1,0 +1,163 @@
+// Edge-case behaviour of the tensor ops that the main gradcheck sweep does
+// not cover: zero-sized inputs, degenerate norms, NoGrad interactions, and
+// numerical-stability corners hit by the training pipeline.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace gp {
+namespace {
+
+TEST(OpsEdgeCaseTest, GatherEmptyIndexYieldsZeroRows) {
+  Tensor a = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor g = GatherRows(a, {});
+  EXPECT_EQ(g.rows(), 0);
+  EXPECT_EQ(g.cols(), 2);
+}
+
+TEST(OpsEdgeCaseTest, ScatterEmptySourceYieldsZeros) {
+  Tensor src = Tensor::Zeros(0, 3);
+  Tensor out = ScatterAddRows(src, {}, 4);
+  EXPECT_EQ(out.rows(), 4);
+  for (float v : out.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(OpsEdgeCaseTest, SliceZeroRows) {
+  Tensor a = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor s = SliceRows(a, 1, 0);
+  EXPECT_EQ(s.rows(), 0);
+}
+
+TEST(OpsEdgeCaseTest, RowL2NormalizeZeroRowGradientIsFinite) {
+  // Zero rows use the eps floor; gradients must stay finite.
+  Tensor x = Tensor::FromData(2, 2, {0, 0, 3, 4}, /*requires_grad=*/true);
+  Backward(SumAll(RowL2Normalize(x)));
+  for (float g : x.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(OpsEdgeCaseTest, SegmentSoftmaxSingleMemberSegments) {
+  Tensor a = Tensor::FromData(3, 1, {5, -2, 100});
+  Tensor s = SegmentSoftmax(a, {0, 1, 2}, 3);
+  for (float v : s.data()) EXPECT_NEAR(v, 1.0f, 1e-6f);
+}
+
+TEST(OpsEdgeCaseTest, SegmentSoftmaxExtremeLogitsStable) {
+  Tensor a = Tensor::FromData(2, 1, {1000.0f, -1000.0f});
+  Tensor s = SegmentSoftmax(a, {0, 0}, 1);
+  EXPECT_NEAR(s.at(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(s.at(1, 0), 0.0f, 1e-5f);
+}
+
+TEST(OpsEdgeCaseTest, CrossEntropyExtremeLogitsFinite) {
+  Tensor logits =
+      Tensor::FromData(2, 2, {500.0f, -500.0f, -500.0f, 500.0f}, true);
+  Tensor loss = CrossEntropyWithLogits(logits, {0, 1});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_NEAR(loss.item(), 0.0f, 1e-4f);
+  Backward(loss);
+  for (float g : logits.grad()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(OpsEdgeCaseTest, CrossEntropyWorstCaseLogits) {
+  Tensor logits = Tensor::FromData(1, 2, {-60.0f, 60.0f});
+  Tensor loss = CrossEntropyWithLogits(logits, {0});
+  EXPECT_TRUE(std::isfinite(loss.item()));
+  EXPECT_GT(loss.item(), 10.0f);  // clamped log, large but finite
+}
+
+TEST(OpsEdgeCaseTest, LogClampsAtEps) {
+  Tensor x = Tensor::FromData(1, 2, {0.0f, -5.0f});
+  Tensor y = Log(x, 1e-6f);
+  EXPECT_NEAR(y.at(0, 0), std::log(1e-6f), 1e-4f);
+  EXPECT_NEAR(y.at(0, 1), std::log(1e-6f), 1e-4f);
+}
+
+TEST(OpsEdgeCaseTest, NoGradOpsStillComputeValues) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4}, true);
+  NoGradGuard guard;
+  Tensor b = MatMul(a, a);
+  EXPECT_EQ(b.at(0, 0), 7.0f);
+  EXPECT_TRUE(b.impl()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(b.impl()->backward_fn));
+}
+
+TEST(OpsEdgeCaseTest, MixedGradAndNoGradChain) {
+  // Graph built outside the guard still backprops even if later ops were
+  // run under NoGrad on other tensors.
+  Tensor x = Tensor::FromData(1, 1, {3.0f}, true);
+  Tensor y = Square(x);
+  {
+    NoGradGuard guard;
+    Tensor z = Square(y);  // not part of the differentiable chain
+    EXPECT_FALSE(z.requires_grad());
+  }
+  Backward(y);
+  EXPECT_NEAR(x.grad()[0], 6.0f, 1e-5f);
+}
+
+TEST(OpsEdgeCaseTest, SingleElementReductions) {
+  Tensor a = Tensor::FromData(1, 1, {42.0f});
+  EXPECT_EQ(SumAll(a).item(), 42.0f);
+  EXPECT_EQ(MeanAll(a).item(), 42.0f);
+  EXPECT_EQ(SumRows(a).item(), 42.0f);
+  EXPECT_EQ(SumCols(a).item(), 42.0f);
+}
+
+TEST(OpsEdgeCaseTest, ConcatRowsSinglePart) {
+  Tensor a = Tensor::FromData(2, 2, {1, 2, 3, 4});
+  Tensor c = ConcatRows({a});
+  EXPECT_EQ(c.rows(), 2);
+  EXPECT_EQ(c.at(1, 1), 4.0f);
+}
+
+TEST(OpsEdgeCaseTest, MatMulWithZeroEntriesSkipsCorrectly) {
+  // The ikj kernel skips zero multiplicands; result must still be exact.
+  Tensor a = Tensor::FromData(2, 3, {0, 1, 0, 2, 0, 3});
+  Tensor b = Tensor::FromData(3, 2, {1, 2, 3, 4, 5, 6});
+  Tensor c = MatMul(a, b);
+  EXPECT_EQ(c.at(0, 0), 3.0f);
+  EXPECT_EQ(c.at(0, 1), 4.0f);
+  EXPECT_EQ(c.at(1, 0), 17.0f);
+  EXPECT_EQ(c.at(1, 1), 22.0f);
+}
+
+TEST(OpsEdgeCaseTest, MatMulZeroGradSkipPreservesBackward) {
+  // dB accumulation skips rows where A entries are zero; gradcheck the
+  // exact sparsity pattern.
+  Tensor a = Tensor::FromData(1, 2, {0.0f, 2.0f});
+  Tensor b = Tensor::FromData(2, 1, {3.0f, 4.0f}, true);
+  Backward(SumAll(MatMul(a, b)));
+  EXPECT_EQ(b.grad()[0], 0.0f);  // zero A entry -> no gradient
+  EXPECT_EQ(b.grad()[1], 2.0f);
+}
+
+TEST(OpsEdgeCaseTest, DropoutProbabilityOneDies) {
+  Rng rng(1);
+  Tensor a = Tensor::Zeros(1, 4);
+  EXPECT_DEATH(Dropout(a, 1.0f, &rng, true), "Check failed");
+}
+
+TEST(OpsEdgeCaseTest, BackwardTwiceOnSameGraphCompoundsSeeds) {
+  // Replaying the same tape accumulates the root seed too (1 then 2), so
+  // the second pass contributes double: 4 + 8 = 12. Training loops must
+  // rebuild the graph each step (as Pretrain does) and ZeroGrad between
+  // steps.
+  Tensor x = Tensor::FromData(1, 1, {2.0f}, true);
+  Tensor loss = Square(x);
+  Backward(loss);
+  Backward(loss);
+  EXPECT_NEAR(x.grad()[0], 12.0f, 1e-5f);
+}
+
+TEST(OpsEdgeCaseTest, SegmentMeanAllRowsOneSegment) {
+  Tensor a = Tensor::FromData(3, 1, {3, 6, 9});
+  Tensor m = SegmentMeanRows(a, {0, 0, 0}, 1);
+  EXPECT_NEAR(m.item(), 6.0f, 1e-6f);
+}
+
+}  // namespace
+}  // namespace gp

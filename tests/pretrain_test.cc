@@ -1,0 +1,113 @@
+#include "core/pretrain.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+GraphPrompterConfig TinyModelConfig(int feature_dim) {
+  GraphPrompterConfig config;
+  config.feature_dim = feature_dim;
+  config.embedding_dim = 16;
+  config.recon_hidden = 16;
+  config.selection_hidden = 16;
+  config.sampler.max_nodes = 10;
+  config.seed = 1;
+  return config;
+}
+
+PretrainConfig TinyPretrainConfig(int steps) {
+  PretrainConfig config;
+  config.steps = steps;
+  config.ways = 3;
+  config.shots = 2;
+  config.queries_per_task = 3;
+  config.log_every = std::max(1, steps / 4);
+  return config;
+}
+
+TEST(PretrainTest, LossDecreasesOnNodeDataset) {
+  DatasetBundle ds = MakeMagSim(0.08, 3);
+  GraphPrompterModel model(TinyModelConfig(ds.graph.feature_dim()));
+  const auto curves = Pretrain(&model, ds, TinyPretrainConfig(60));
+  ASSERT_GE(curves.loss.size(), 2u);
+  EXPECT_LT(curves.loss.back(), curves.loss.front());
+}
+
+TEST(PretrainTest, AccuracyImprovesAboveChance) {
+  DatasetBundle ds = MakeMagSim(0.08, 4);
+  GraphPrompterModel model(TinyModelConfig(ds.graph.feature_dim()));
+  const auto curves = Pretrain(&model, ds, TinyPretrainConfig(120));
+  // 3-way chance is 33%; the tail of training should beat it clearly.
+  EXPECT_GT(curves.train_accuracy.back(), 40.0);
+}
+
+TEST(PretrainTest, WorksOnEdgeDataset) {
+  DatasetBundle ds = MakeWikiSim(0.1, 5);
+  GraphPrompterModel model(TinyModelConfig(ds.graph.feature_dim()));
+  const auto curves = Pretrain(&model, ds, TinyPretrainConfig(40));
+  EXPECT_FALSE(curves.loss.empty());
+  for (double l : curves.loss) EXPECT_TRUE(std::isfinite(l));
+}
+
+TEST(PretrainTest, CurvesAlignWithLogEvery) {
+  DatasetBundle ds = MakeMagSim(0.06, 6);
+  GraphPrompterModel model(TinyModelConfig(ds.graph.feature_dim()));
+  PretrainConfig config = TinyPretrainConfig(20);
+  config.log_every = 5;
+  const auto curves = Pretrain(&model, ds, config);
+  ASSERT_EQ(curves.step.size(), 4u);
+  EXPECT_EQ(curves.step.front(), 5);
+  EXPECT_EQ(curves.step.back(), 20);
+  EXPECT_EQ(curves.loss.size(), curves.step.size());
+  EXPECT_EQ(curves.train_accuracy.size(), curves.step.size());
+}
+
+TEST(PretrainTest, SingleObjectiveVariantsRun) {
+  DatasetBundle ds = MakeMagSim(0.06, 7);
+  for (const bool multi_task : {true, false}) {
+    GraphPrompterModel model(TinyModelConfig(ds.graph.feature_dim()));
+    PretrainConfig config = TinyPretrainConfig(10);
+    config.multi_task = multi_task;
+    config.neighbor_matching = !multi_task;
+    const auto curves = Pretrain(&model, ds, config);
+    EXPECT_FALSE(curves.loss.empty());
+  }
+}
+
+TEST(PretrainTest, ParametersActuallyChange) {
+  DatasetBundle ds = MakeMagSim(0.06, 8);
+  GraphPrompterModel model(TinyModelConfig(ds.graph.feature_dim()));
+  std::vector<float> before;
+  for (const auto& p : model.Parameters()) {
+    before.insert(before.end(), p.data().begin(), p.data().end());
+  }
+  Pretrain(&model, ds, TinyPretrainConfig(5));
+  std::vector<float> after;
+  for (const auto& p : model.Parameters()) {
+    after.insert(after.end(), p.data().begin(), p.data().end());
+  }
+  ASSERT_EQ(before.size(), after.size());
+  double total_change = 0;
+  for (size_t i = 0; i < before.size(); ++i) {
+    total_change += std::abs(before[i] - after[i]);
+  }
+  EXPECT_GT(total_change, 1e-3);
+}
+
+TEST(PretrainTest, DeterministicForSeed) {
+  DatasetBundle ds = MakeMagSim(0.06, 9);
+  GraphPrompterModel a(TinyModelConfig(ds.graph.feature_dim()));
+  GraphPrompterModel b(TinyModelConfig(ds.graph.feature_dim()));
+  const auto ca = Pretrain(&a, ds, TinyPretrainConfig(10));
+  const auto cb = Pretrain(&b, ds, TinyPretrainConfig(10));
+  ASSERT_EQ(ca.loss.size(), cb.loss.size());
+  for (size_t i = 0; i < ca.loss.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ca.loss[i], cb.loss[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,214 @@
+#include "graph/sampler.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.h"
+
+namespace gp {
+namespace {
+
+// A path graph 0-1-2-3-4-5 plus a hub node 6 connected to 0.
+Graph MakePath() {
+  GraphBuilder builder;
+  for (int i = 0; i < 7; ++i) builder.AddNode();
+  for (int i = 0; i + 1 < 6; ++i) builder.AddEdge(i, i + 1);
+  builder.AddEdge(6, 0);
+  return builder.Build();
+}
+
+// A star: center 0, leaves 1..10.
+Graph MakeStar(int leaves = 10) {
+  GraphBuilder builder;
+  for (int i = 0; i <= leaves; ++i) builder.AddNode();
+  for (int i = 1; i <= leaves; ++i) builder.AddEdge(0, i);
+  return builder.Build();
+}
+
+TEST(NeighborSamplerTest, OneHopIsExactNeighborhood) {
+  Graph g = MakePath();
+  SamplerConfig config;
+  config.num_hops = 1;
+  config.max_nodes = 100;
+  NeighborSampler sampler(&g, config);
+  Rng rng(1);
+  Subgraph sg = sampler.SampleAroundNode(1, &rng);
+  std::set<int> nodes(sg.nodes.begin(), sg.nodes.end());
+  EXPECT_EQ(nodes, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(sg.center_local, (std::vector<int>{0}));
+  EXPECT_EQ(sg.nodes[0], 1);
+}
+
+TEST(NeighborSamplerTest, TwoHopsExpand) {
+  Graph g = MakePath();
+  SamplerConfig config;
+  config.num_hops = 2;
+  config.max_nodes = 100;
+  NeighborSampler sampler(&g, config);
+  Rng rng(2);
+  Subgraph sg = sampler.SampleAroundNode(2, &rng);
+  std::set<int> nodes(sg.nodes.begin(), sg.nodes.end());
+  EXPECT_EQ(nodes, (std::set<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(NeighborSamplerTest, MaxNodesCapHolds) {
+  Graph g = MakeStar(10);
+  SamplerConfig config;
+  config.num_hops = 1;
+  config.max_nodes = 5;
+  NeighborSampler sampler(&g, config);
+  Rng rng(3);
+  Subgraph sg = sampler.SampleAroundNode(0, &rng);
+  EXPECT_LE(sg.num_nodes(), 5);
+  EXPECT_EQ(sg.nodes[0], 0);  // center retained
+}
+
+TEST(NeighborSamplerTest, EdgeInputGetsTwoCenters) {
+  Graph g = MakePath();
+  SamplerConfig config;
+  NeighborSampler sampler(&g, config);
+  Rng rng(4);
+  Subgraph sg = sampler.SampleAroundEdge(2, &rng);  // edge 2-3
+  ASSERT_EQ(sg.center_local.size(), 2u);
+  EXPECT_EQ(sg.nodes[sg.center_local[0]], 2);
+  EXPECT_EQ(sg.nodes[sg.center_local[1]], 3);
+}
+
+TEST(NeighborSamplerTest, InducedEdgesAreWithinSubgraph) {
+  Graph g = MakePath();
+  SamplerConfig config;
+  config.num_hops = 2;
+  NeighborSampler sampler(&g, config);
+  Rng rng(5);
+  Subgraph sg = sampler.SampleAroundNode(3, &rng);
+  for (int e = 0; e < sg.num_edges(); ++e) {
+    EXPECT_GE(sg.edge_src[e], 0);
+    EXPECT_LT(sg.edge_src[e], sg.num_nodes());
+    EXPECT_GE(sg.edge_dst[e], 0);
+    EXPECT_LT(sg.edge_dst[e], sg.num_nodes());
+  }
+}
+
+TEST(NeighborSamplerTest, InducedEdgesComeInBothDirections) {
+  Graph g = MakePath();
+  SamplerConfig config;
+  NeighborSampler sampler(&g, config);
+  Rng rng(6);
+  Subgraph sg = sampler.SampleAroundNode(1, &rng);
+  // For every directed (u, v) there is (v, u).
+  std::set<std::pair<int, int>> pairs;
+  for (int e = 0; e < sg.num_edges(); ++e) {
+    pairs.insert({sg.edge_src[e], sg.edge_dst[e]});
+  }
+  for (const auto& [u, v] : pairs) {
+    EXPECT_TRUE(pairs.count({v, u})) << u << "->" << v;
+  }
+}
+
+TEST(NeighborSamplerTest, IsolatedNodeYieldsSingleton) {
+  GraphBuilder builder;
+  builder.AddNode();
+  Graph g = builder.Build();
+  SamplerConfig config;
+  NeighborSampler sampler(&g, config);
+  Rng rng(7);
+  Subgraph sg = sampler.SampleAroundNode(0, &rng);
+  EXPECT_EQ(sg.num_nodes(), 1);
+  EXPECT_EQ(sg.num_edges(), 0);
+}
+
+TEST(RandomWalkSamplerTest, CenterAlwaysFirst) {
+  Graph g = MakePath();
+  SamplerConfig config;
+  config.num_hops = 2;
+  RandomWalkSampler sampler(&g, config);
+  Rng rng(8);
+  for (int trial = 0; trial < 10; ++trial) {
+    Subgraph sg = sampler.SampleAroundNode(3, &rng);
+    EXPECT_EQ(sg.nodes[0], 3);
+    EXPECT_EQ(sg.center_local, (std::vector<int>{0}));
+  }
+}
+
+TEST(RandomWalkSamplerTest, NodesAreUnique) {
+  Graph g = MakeStar(8);
+  SamplerConfig config;
+  config.num_hops = 3;
+  RandomWalkSampler sampler(&g, config);
+  Rng rng(9);
+  Subgraph sg = sampler.SampleAroundNode(0, &rng);
+  std::set<int> unique(sg.nodes.begin(), sg.nodes.end());
+  EXPECT_EQ(unique.size(), sg.nodes.size());
+}
+
+TEST(RandomWalkSamplerTest, RespectsCap) {
+  Graph g = MakeStar(50);
+  SamplerConfig config;
+  config.num_hops = 3;
+  config.max_nodes = 7;
+  RandomWalkSampler sampler(&g, config);
+  Rng rng(10);
+  Subgraph sg = sampler.SampleAroundNode(0, &rng);
+  EXPECT_LE(sg.num_nodes(), 7);
+}
+
+TEST(RandomWalkSamplerTest, CoversOneHopNeighborsOfCenter) {
+  // With no cap pressure, the first step adds all neighbors of the center.
+  Graph g = MakePath();
+  SamplerConfig config;
+  config.num_hops = 1;
+  config.max_nodes = 100;
+  RandomWalkSampler sampler(&g, config);
+  Rng rng(11);
+  Subgraph sg = sampler.SampleAroundNode(2, &rng);
+  std::set<int> nodes(sg.nodes.begin(), sg.nodes.end());
+  EXPECT_TRUE(nodes.count(1));
+  EXPECT_TRUE(nodes.count(3));
+}
+
+TEST(RandomWalkSamplerTest, SelfLoopEdgeCenterDeduplicated) {
+  GraphBuilder builder;
+  builder.AddNode();
+  builder.AddNode();
+  builder.AddEdge(0, 0);
+  builder.AddEdge(0, 1);
+  Graph g = builder.Build();
+  SamplerConfig config;
+  RandomWalkSampler sampler(&g, config);
+  Rng rng(12);
+  Subgraph sg = sampler.SampleAroundEdge(0, &rng);  // self loop (0,0)
+  ASSERT_EQ(sg.center_local.size(), 2u);
+  EXPECT_EQ(sg.center_local[0], sg.center_local[1]);
+}
+
+TEST(RandomWalkSamplerTest, DeterministicGivenSeed) {
+  Graph g = MakeStar(20);
+  SamplerConfig config;
+  config.num_hops = 2;
+  config.max_nodes = 10;
+  RandomWalkSampler sampler(&g, config);
+  Rng rng_a(13), rng_b(13);
+  Subgraph a = sampler.SampleAroundNode(0, &rng_a);
+  Subgraph b = sampler.SampleAroundNode(0, &rng_b);
+  EXPECT_EQ(a.nodes, b.nodes);
+  EXPECT_EQ(a.edge_src, b.edge_src);
+}
+
+TEST(InduceEdgesTest, RelationAndIdPreserved) {
+  GraphBuilder builder(/*num_relations=*/3);
+  builder.AddNode();
+  builder.AddNode();
+  builder.AddEdge(0, 1, 2);
+  Graph g = builder.Build();
+  Subgraph sg;
+  sg.nodes = {0, 1};
+  sg.center_local = {0};
+  InduceEdges(g, &sg);
+  ASSERT_EQ(sg.num_edges(), 2);  // both directions
+  EXPECT_EQ(sg.edge_rel[0], 2);
+  EXPECT_EQ(sg.edge_ids[0], 0);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,94 @@
+#include "core/selection_layer.h"
+
+#include <gtest/gtest.h>
+
+#include "nn/optimizer.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+
+namespace gp {
+namespace {
+
+TEST(SelectionLayerTest, ImportanceInUnitInterval) {
+  Rng rng(1);
+  SelectionLayerConfig config;
+  config.embedding_dim = 8;
+  SelectionLayer layer(config, &rng);
+  Tensor emb = Tensor::Randn(10, 8, &rng, 3.0f);
+  Tensor importance = layer.Importance(emb);
+  EXPECT_EQ(importance.rows(), 10);
+  EXPECT_EQ(importance.cols(), 1);
+  for (float v : importance.data()) {
+    EXPECT_GT(v, 0.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(SelectionLayerTest, WeightedEmbeddingsScaleRows) {
+  Rng rng(2);
+  SelectionLayerConfig config;
+  config.embedding_dim = 4;
+  SelectionLayer layer(config, &rng);
+  Tensor emb = Tensor::Randn(5, 4, &rng);
+  Tensor importance = layer.Importance(emb);
+  Tensor weighted = layer.WeightedEmbeddings(emb);
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 4; ++c) {
+      EXPECT_NEAR(weighted.at(r, c), emb.at(r, c) * importance.at(r, 0),
+                  1e-5f);
+    }
+  }
+}
+
+TEST(SelectionLayerTest, GradientsReachMlp) {
+  Rng rng(3);
+  SelectionLayerConfig config;
+  config.embedding_dim = 4;
+  SelectionLayer layer(config, &rng);
+  Tensor emb = Tensor::Randn(5, 4, &rng);
+  Backward(SumAll(layer.WeightedEmbeddings(emb)));
+  for (const auto& p : layer.Parameters()) {
+    ASSERT_FALSE(p.grad().empty());
+  }
+}
+
+TEST(SelectionLayerTest, LearnsToDownweightNoise) {
+  // Two groups of embeddings: "signal" rows should be kept (target 1),
+  // "noise" rows suppressed (target 0). The layer must be able to learn
+  // this separation — the mechanism the Prompt Selector relies on.
+  Rng rng(4);
+  SelectionLayerConfig config;
+  config.embedding_dim = 4;
+  SelectionLayer layer(config, &rng);
+  Tensor emb = Tensor::Zeros(20, 4);
+  std::vector<int> is_signal(20);
+  for (int i = 0; i < 20; ++i) {
+    is_signal[i] = i % 2;
+    for (int c = 0; c < 4; ++c) {
+      emb.at(i, c) = rng.Normal() * 0.2f + (is_signal[i] ? 1.0f : -1.0f);
+    }
+  }
+  Adam optimizer(layer.Parameters(), 0.05f);
+  for (int step = 0; step < 80; ++step) {
+    optimizer.ZeroGrad();
+    Tensor importance = layer.Importance(emb);
+    // Binary target: MSE against 0/1.
+    Tensor target = Tensor::Zeros(20, 1);
+    for (int i = 0; i < 20; ++i) {
+      target.at(i, 0) = static_cast<float>(is_signal[i]);
+    }
+    Backward(MeanAll(Square(Sub(importance, target))));
+    optimizer.Step();
+  }
+  Tensor importance = layer.Importance(emb);
+  for (int i = 0; i < 20; ++i) {
+    if (is_signal[i]) {
+      EXPECT_GT(importance.at(i, 0), 0.6f);
+    } else {
+      EXPECT_LT(importance.at(i, 0), 0.4f);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,143 @@
+// Property sweeps over the synthetic dataset generators: for a grid of
+// configurations, structural invariants must hold — these guard the
+// assumptions every benchmark builds on.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "data/episode.h"
+#include "data/synthetic.h"
+
+namespace gp {
+namespace {
+
+struct KgCase {
+  int num_nodes;
+  int num_relations;
+  int num_clusters;
+  int num_edges;
+};
+
+class KgGeneratorPropertyTest : public ::testing::TestWithParam<KgCase> {};
+
+TEST_P(KgGeneratorPropertyTest, StructuralInvariants) {
+  const KgCase& c = GetParam();
+  KnowledgeGraphConfig config;
+  config.num_nodes = c.num_nodes;
+  config.num_relations = c.num_relations;
+  config.num_clusters = c.num_clusters;
+  config.num_edges = c.num_edges;
+  config.seed = 77;
+  Graph g = MakeKnowledgeGraph(config);
+
+  EXPECT_EQ(g.num_nodes(), c.num_nodes);
+  EXPECT_EQ(g.num_relations(), c.num_relations);
+  EXPECT_EQ(g.feature_dim(), config.feature_dim);
+  // Self-loop filtering only drops a tiny fraction of edges.
+  EXPECT_GE(g.num_edges(), c.num_edges * 9 / 10);
+
+  // Every edge's relation id is valid and endpoints are in range.
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.relation, 0);
+    EXPECT_LT(e.relation, c.num_relations);
+    EXPECT_GE(e.src, 0);
+    EXPECT_LT(e.src, c.num_nodes);
+    EXPECT_GE(e.dst, 0);
+    EXPECT_LT(e.dst, c.num_nodes);
+  }
+
+  // Adjacency is consistent with the edge records: total adjacency entries
+  // = 2 * edges (minus nothing, as self loops were dropped).
+  int64_t total_degree = 0;
+  for (int v = 0; v < g.num_nodes(); ++v) total_degree += g.Degree(v);
+  EXPECT_EQ(total_degree, 2LL * g.num_edges());
+
+  // Cluster labels cover the configured range.
+  std::set<int> clusters(g.node_labels().begin(), g.node_labels().end());
+  EXPECT_EQ(static_cast<int>(clusters.size()), c.num_clusters);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KgGeneratorPropertyTest,
+    ::testing::Values(KgCase{200, 5, 3, 800}, KgCase{500, 30, 8, 3000},
+                      KgCase{800, 100, 12, 6000},
+                      KgCase{1000, 291, 18, 9000}));
+
+struct NodeCase {
+  int num_nodes;
+  int num_classes;
+  double homophily;
+};
+
+class NodeGeneratorPropertyTest
+    : public ::testing::TestWithParam<NodeCase> {};
+
+TEST_P(NodeGeneratorPropertyTest, StructuralInvariants) {
+  const NodeCase& c = GetParam();
+  NodeGraphConfig config;
+  config.num_nodes = c.num_nodes;
+  config.num_classes = c.num_classes;
+  config.homophily = c.homophily;
+  config.seed = 88;
+  Graph g = MakeNodeClassificationGraph(config);
+
+  EXPECT_EQ(g.num_nodes(), c.num_nodes);
+  EXPECT_EQ(g.num_node_classes(), c.num_classes);
+  // Balanced classes (within one).
+  const int per_class = c.num_nodes / c.num_classes;
+  for (int cls = 0; cls < c.num_classes; ++cls) {
+    const int size = static_cast<int>(g.NodesOfClass(cls).size());
+    EXPECT_GE(size, per_class);
+    EXPECT_LE(size, per_class + 1);
+  }
+  // Homophily above the class-count baseline when configured high.
+  if (c.homophily >= 0.7) {
+    int same = 0;
+    for (const Edge& e : g.edges()) {
+      same += g.node_label(e.src) == g.node_label(e.dst);
+    }
+    EXPECT_GT(static_cast<double>(same) / g.num_edges(),
+              2.0 / c.num_classes);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, NodeGeneratorPropertyTest,
+    ::testing::Values(NodeCase{200, 4, 0.8}, NodeCase{500, 10, 0.75},
+                      NodeCase{1000, 40, 0.7}, NodeCase{300, 3, 0.9}));
+
+// Episodes sampled from any generated dataset satisfy the m-way k-shot
+// contract.
+class EpisodePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpisodePropertyTest, EpisodeContractAcrossWays) {
+  const int ways = GetParam();
+  DatasetBundle ds = MakeFb15kSim(0.4, 99);
+  EpisodeSampler sampler(&ds);
+  EpisodeConfig config;
+  config.ways = ways;
+  config.candidates_per_class = 5;
+  config.num_queries = 2 * ways;
+  Rng rng(ways);
+  auto task = sampler.Sample(config, &rng);
+  ASSERT_TRUE(task.ok());
+  EXPECT_EQ(task->ways(), ways);
+  EXPECT_EQ(static_cast<int>(task->candidates.size()), 5 * ways);
+  EXPECT_EQ(static_cast<int>(task->queries.size()), 2 * ways);
+  // Episode-local labels are dense in [0, ways).
+  std::set<int> labels;
+  for (const auto& ex : task->candidates) labels.insert(ex.label);
+  EXPECT_EQ(static_cast<int>(labels.size()), ways);
+  // Queries balanced across classes (round-robin construction).
+  std::vector<int> counts(ways, 0);
+  for (const auto& ex : task->queries) ++counts[ex.label];
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, EpisodePropertyTest,
+                         ::testing::Values(2, 5, 10, 20, 50));
+
+}  // namespace
+}  // namespace gp

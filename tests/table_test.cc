@@ -1,0 +1,77 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"Method", "Acc"});
+  table.AddRow({"Prodigy", "73.09"});
+  table.AddRow({"GraphPrompter", "78.57"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("| Method        | Acc   |"), std::string::npos);
+  EXPECT_NE(out.find("| GraphPrompter | 78.57 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(10.0, 0), "10");
+}
+
+TEST(TablePrinterTest, MeanStdCell) {
+  EXPECT_EQ(TablePrinter::MeanStd(78.57, 15.21), "78.57 ±15.21");
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter table({"a", "b", "c"});
+  table.AddRow({"1"});
+  EXPECT_NE(table.ToString().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WritesCsvWithEscaping) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"has,comma", "has\"quote"});
+  const std::string path = ::testing::TempDir() + "/table_test.csv";
+  ASSERT_TRUE(table.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "name,value");
+  EXPECT_EQ(row, "\"has,comma\",\"has\"\"quote\"");
+  std::remove(path.c_str());
+}
+
+TEST(TablePrinterTest, CsvToMissingDirectoryFails) {
+  TablePrinter table({"a"});
+  EXPECT_FALSE(table.WriteCsv("/nonexistent_dir_x/y.csv").ok());
+}
+
+TEST(SeriesWriterTest, WritesSeries) {
+  SeriesWriter series("shots", {"prodigy", "ours"});
+  series.AddPoint(1, {50.0, 55.0});
+  series.AddPoint(3, {60.0, 70.0});
+  const std::string path = ::testing::TempDir() + "/series_test.csv";
+  ASSERT_TRUE(series.WriteCsv(path).ok());
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "shots,prodigy,ours\n1,50,55\n3,60,70\n");
+  std::remove(path.c_str());
+}
+
+TEST(SeriesWriterTest, ToStringRendersTable) {
+  SeriesWriter series("x", {"y"});
+  series.AddPoint(2, {0.5});
+  const std::string out = series.ToString();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("0.500"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gp

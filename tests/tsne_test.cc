@@ -1,0 +1,88 @@
+#include "viz/tsne.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+TEST(TsneTest, OutputShape) {
+  Rng rng(1);
+  Tensor x = Tensor::Randn(20, 8, &rng);
+  TsneConfig config;
+  config.iterations = 50;
+  Tensor y = RunTsne(x, config);
+  EXPECT_EQ(y.rows(), 20);
+  EXPECT_EQ(y.cols(), 2);
+}
+
+TEST(TsneTest, OutputIsFinite) {
+  Rng rng(2);
+  Tensor x = Tensor::Randn(30, 16, &rng);
+  TsneConfig config;
+  config.iterations = 100;
+  Tensor y = RunTsne(x, config);
+  for (float v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(TsneTest, OutputIsCentred) {
+  Rng rng(3);
+  Tensor x = Tensor::Randn(25, 8, &rng);
+  TsneConfig config;
+  config.iterations = 60;
+  Tensor y = RunTsne(x, config);
+  double m0 = 0, m1 = 0;
+  for (int i = 0; i < 25; ++i) {
+    m0 += y.at(i, 0);
+    m1 += y.at(i, 1);
+  }
+  EXPECT_NEAR(m0 / 25, 0.0, 1e-3);
+  EXPECT_NEAR(m1 / 25, 0.0, 1e-3);
+}
+
+TEST(TsneTest, SeparatedClustersStaySeparated) {
+  // Two far-apart Gaussian clusters in 10-D must remain separable in the
+  // 2-D map (silhouette clearly positive).
+  Rng rng(4);
+  const int n = 40;
+  Tensor x = Tensor::Zeros(n, 10);
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = i % 2;
+    for (int c = 0; c < 10; ++c) {
+      x.at(i, c) = rng.Normal() * 0.3f + (labels[i] == 0 ? 0.0f : 8.0f);
+    }
+  }
+  TsneConfig config;
+  config.iterations = 500;
+  config.perplexity = 8.0;
+  Tensor y = RunTsne(x, config);
+  EXPECT_GT(SilhouetteScore(y, labels), 0.4);
+}
+
+TEST(TsneTest, DeterministicForSeed) {
+  Rng rng(5);
+  Tensor x = Tensor::Randn(15, 6, &rng);
+  TsneConfig config;
+  config.iterations = 40;
+  Tensor a = RunTsne(x, config);
+  Tensor b = RunTsne(x, config);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(TsneTest, TinyInputWorks) {
+  Tensor x = Tensor::FromData(2, 3, {0, 0, 0, 1, 1, 1});
+  TsneConfig config;
+  config.iterations = 20;
+  Tensor y = RunTsne(x, config);
+  EXPECT_EQ(y.rows(), 2);
+}
+
+}  // namespace
+}  // namespace gp
