@@ -5,6 +5,9 @@
 //   --trials=N    episodes averaged per cell      (default 3)
 //   --queries=N   test queries per episode        (default 50; paper 500)
 //   --seed=N      master seed                     (default 1)
+//   --threads=N   worker threads for parallel kernels
+//                 (default GP_NUM_THREADS env, else hardware concurrency;
+//                 results are bitwise identical at any thread count)
 //   --outdir=DIR  CSV output directory            (default "results")
 // Results are printed as paper-style tables and written as CSV.
 
@@ -20,6 +23,7 @@
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
 #include "util/flags.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 #include "util/table.h"
 
@@ -32,6 +36,7 @@ struct Env {
   int trials = 3;
   int queries = 50;
   uint64_t seed = 1;
+  int threads = 0;  // resolved to the actual pool size by ParseEnv
   std::string outdir = "results";
 };
 
@@ -43,7 +48,11 @@ inline Env ParseEnv(int argc, char** argv) {
       static_cast<int>(flags.GetInt("steps", env.pretrain_steps));
   env.trials = static_cast<int>(flags.GetInt("trials", env.trials));
   env.queries = static_cast<int>(flags.GetInt("queries", env.queries));
-  env.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  env.seed = static_cast<uint64_t>(
+      flags.GetInt("seed", static_cast<int64_t>(env.seed)));
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  if (threads > 0) SetNumThreads(threads);
+  env.threads = NumThreads();
   env.outdir = flags.GetString("outdir", env.outdir);
   std::filesystem::create_directories(env.outdir);
   return env;

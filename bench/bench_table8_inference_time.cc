@@ -10,7 +10,11 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cinttypes>
+#include <fstream>
 #include <map>
+#include <string>
+#include <vector>
 
 #include "bench_common.h"
 #include "tensor/autograd.h"
@@ -146,6 +150,72 @@ void BM_InferencePerQuery(benchmark::State& state) {
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
 }
 
+// One per-config measurement, captured from the google-benchmark run so
+// the results can be written as CSV + JSON for perf-trajectory tracking.
+struct CapturedRun {
+  std::string method;
+  int ways = 0;
+  double ms_per_query = 0.0;
+  int64_t iterations = 0;
+};
+
+// Forwards to the console reporter for the usual human-readable output
+// while recording each run's adjusted per-iteration wall time.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      const std::string name = run.benchmark_name();
+      CapturedRun captured;
+      captured.method = name.find("GraphPrompter") != std::string::npos
+                            ? "GraphPrompter"
+                            : "Prodigy";
+      const size_t ways_pos = name.find("ways:");
+      if (ways_pos != std::string::npos) {
+        captured.ways = std::atoi(name.c_str() + ways_pos + 5);
+      }
+      captured.ms_per_query = run.GetAdjustedRealTime();  // kMillisecond unit
+      captured.iterations = run.iterations;
+      results.push_back(captured);
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  std::vector<CapturedRun> results;
+};
+
+void WriteResults(const std::vector<CapturedRun>& results, const Env& env) {
+  TablePrinter table({"method", "ways", "ms_per_query", "iterations",
+                      "threads"});
+  for (const CapturedRun& run : results) {
+    table.AddRow({run.method, std::to_string(run.ways),
+                  TablePrinter::Num(run.ms_per_query, 4),
+                  std::to_string(run.iterations),
+                  std::to_string(env.threads)});
+  }
+  WriteCsvOrWarn(table, env.outdir + "/table8_inference_time.csv");
+
+  const std::string json_path = env.outdir + "/table8_inference_time.json";
+  std::ofstream json(json_path);
+  if (!json) {
+    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
+    return;
+  }
+  json << "{\n  \"benchmark\": \"table8_inference_time\",\n"
+       << "  \"threads\": " << env.threads << ",\n"
+       << "  \"scale\": " << env.scale << ",\n"
+       << "  \"seed\": " << env.seed << ",\n  \"results\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const CapturedRun& run = results[i];
+    json << "    {\"method\": \"" << run.method << "\", \"ways\": "
+         << run.ways << ", \"ms_per_query\": " << run.ms_per_query
+         << ", \"iterations\": " << run.iterations << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote %s\n", json_path.c_str());
+}
+
 }  // namespace
 }  // namespace gp::bench
 
@@ -170,8 +240,10 @@ int main(int argc, char** argv) {
   // bare argv so Initialize does not reject them.
   int bench_argc = 1;
   benchmark::Initialize(&bench_argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  gp::bench::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
+  gp::bench::WriteResults(reporter.results, env);
 
   std::printf(
       "\nPaper reference (Table VIII, FB15K-237 / NELL, ms per query):\n"

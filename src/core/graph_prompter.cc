@@ -6,6 +6,7 @@
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace gp {
@@ -51,21 +52,29 @@ GraphPrompterConfig FullGraphPrompterConfig(int feature_dim, uint64_t seed) {
 namespace {
 
 // Row-wise max softmax probability of `scores` — prediction confidence.
+// Rows are independent, so the batch splits into parallel chunks with
+// disjoint writes; chunking is fixed, so results match a serial run.
 std::vector<float> SoftmaxConfidence(const Tensor& scores) {
   const int rows = scores.rows();
   const int cols = scores.cols();
   std::vector<float> out(rows);
-  for (int r = 0; r < rows; ++r) {
-    float mx = scores.at(r, 0);
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, scores.at(r, c));
-    float total = 0.0f, best = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      const float e = std::exp(scores.at(r, c) - mx);
-      total += e;
-      best = std::max(best, e);
+  const float* data = scores.data().data();
+  const int64_t grain =
+      std::max<int64_t>(1, (int64_t{1} << 13) / std::max(cols, 1));
+  ParallelFor(0, rows, grain, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      const float* row = data + static_cast<size_t>(r) * cols;
+      float mx = row[0];
+      for (int c = 1; c < cols; ++c) mx = std::max(mx, row[c]);
+      float total = 0.0f, best = 0.0f;
+      for (int c = 0; c < cols; ++c) {
+        const float e = std::exp(row[c] - mx);
+        total += e;
+        best = std::max(best, e);
+      }
+      out[r] = best / total;
     }
-    out[r] = best / total;
-  }
+  });
   return out;
 }
 

@@ -7,6 +7,7 @@
 #include "core/kmeans.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace gp {
 
@@ -22,20 +23,84 @@ const char* DistanceMetricName(DistanceMetric metric) {
   return "?";
 }
 
+namespace {
+
+// Zero-copy row kernels over raw pointers. Each accumulator sums its terms
+// in ascending index order with double precision — exactly the order the
+// old fused CosineSimilarity/EuclideanDistance kernels used — so every
+// score below is bitwise identical to the pre-vectorized implementation.
+inline double DotRaw(const float* a, const float* b, int n) {
+  double dot = 0.0;
+  for (int i = 0; i < n; ++i) dot += static_cast<double>(a[i]) * b[i];
+  return dot;
+}
+
+inline double SquaredNormRaw(const float* a, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(a[i]) * a[i];
+  return total;
+}
+
+inline float CosineFromParts(double dot, double norm_a, double norm_b) {
+  const double denom = norm_a * norm_b;
+  if (denom < 1e-12) return 0.0f;
+  return static_cast<float>(dot / denom);
+}
+
+inline float NegEuclideanRaw(const float* a, const float* b, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return -static_cast<float>(std::sqrt(total));
+}
+
+inline float NegManhattanRaw(const float* a, const float* b, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += std::abs(static_cast<double>(a[i]) - b[i]);
+  }
+  return -static_cast<float>(total);
+}
+
+inline float SimilarityRaw(const float* a, const float* b, int n,
+                           DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return CosineFromParts(DotRaw(a, b, n), std::sqrt(SquaredNormRaw(a, n)),
+                             std::sqrt(SquaredNormRaw(b, n)));
+    case DistanceMetric::kEuclidean:
+      return NegEuclideanRaw(a, b, n);
+    case DistanceMetric::kManhattan:
+      return NegManhattanRaw(a, b, n);
+  }
+  return 0.0f;
+}
+
+// sqrt of each row's squared L2 norm (for cosine scoring): computed once
+// per SelectPrompts call instead of once per (prompt, query) pair.
+std::vector<double> RowNorms(const Tensor& t) {
+  const int rows = t.rows();
+  const int cols = t.cols();
+  const float* data = t.data().data();
+  std::vector<double> norms(rows);
+  for (int r = 0; r < rows; ++r) {
+    norms[r] = std::sqrt(SquaredNormRaw(data + static_cast<size_t>(r) * cols,
+                                        cols));
+  }
+  return norms;
+}
+
+}  // namespace
+
 float EmbeddingSimilarity(const Tensor& a, int row_a, const Tensor& b,
                           int row_b, DistanceMetric metric) {
   CHECK_EQ(a.cols(), b.cols());
-  const std::vector<float> va = a.Row(row_a);
-  const std::vector<float> vb = b.Row(row_b);
-  switch (metric) {
-    case DistanceMetric::kCosine:
-      return CosineSimilarity(va, vb);
-    case DistanceMetric::kEuclidean:
-      return -EuclideanDistance(va, vb);
-    case DistanceMetric::kManhattan:
-      return -ManhattanDistance(va, vb);
-  }
-  return 0.0f;
+  const int dim = a.cols();
+  const float* ra = a.data().data() + static_cast<size_t>(row_a) * dim;
+  const float* rb = b.data().data() + static_cast<size_t>(row_b) * dim;
+  return SimilarityRaw(ra, rb, dim, metric);
 }
 
 KnnSelection SelectPrompts(const Tensor& prompt_embeddings,
@@ -53,35 +118,78 @@ KnnSelection SelectPrompts(const Tensor& prompt_embeddings,
   out.votes.assign(num_prompts, 0.0);
   out.hit_counts.assign(num_prompts, 0);
 
-  if (config.use_similarity || config.use_importance) {
-    // score(p, q) per Eq. 7, then top-k votes per query (Eq. 8).
-    for (int q = 0; q < num_queries; ++q) {
+  if ((config.use_similarity || config.use_importance) && num_prompts > 0) {
+    const int dim = prompt_embeddings.cols();
+    const float* pdata = prompt_embeddings.data().data();
+    const float* qdata = query_embeddings.data().data();
+    const bool with_importance = config.use_importance &&
+                                 prompt_importance.defined() &&
+                                 query_importance.defined();
+    const float* pimp =
+        with_importance ? prompt_importance.data().data() : nullptr;
+    const float* qimp =
+        with_importance ? query_importance.data().data() : nullptr;
+
+    // Cosine norms are shared across all pairs; hoist them out of the
+    // O(P*Q) loop.
+    std::vector<double> prompt_norm, query_norm;
+    const bool cosine =
+        config.use_similarity && config.metric == DistanceMetric::kCosine;
+    if (cosine) {
+      prompt_norm = RowNorms(prompt_embeddings);
+      query_norm = RowNorms(query_embeddings);
+    }
+
+    // score(p, q) per Eq. 7, then top-k votes per query (Eq. 8). Queries
+    // score independently into per-query top-k lists (parallel); votes
+    // merge serially in query order, so totals match a serial run bitwise.
+    const int k = std::min(config.shots, num_prompts);
+    std::vector<std::vector<std::pair<double, int>>> topk(num_queries);
+    const int64_t work_per_query = static_cast<int64_t>(num_prompts) * dim;
+    const int64_t grain =
+        std::max<int64_t>(1, (int64_t{1} << 15) / std::max<int64_t>(
+                                                      work_per_query, 1));
+    ParallelFor(0, num_queries, grain, [&](int64_t qfirst, int64_t qlast) {
       std::vector<std::pair<double, int>> scored(num_prompts);
-      for (int p = 0; p < num_prompts; ++p) {
-        double score = 0.0;
-        if (config.use_similarity) {
-          score += EmbeddingSimilarity(prompt_embeddings, p,
-                                       query_embeddings, q, config.metric);
+      for (int64_t q = qfirst; q < qlast; ++q) {
+        const float* qrow = qdata + static_cast<size_t>(q) * dim;
+        for (int p = 0; p < num_prompts; ++p) {
+          double score = 0.0;
+          if (config.use_similarity) {
+            const float* prow = pdata + static_cast<size_t>(p) * dim;
+            switch (config.metric) {
+              case DistanceMetric::kCosine:
+                score += CosineFromParts(DotRaw(prow, qrow, dim),
+                                         prompt_norm[p], query_norm[q]);
+                break;
+              case DistanceMetric::kEuclidean:
+                score += NegEuclideanRaw(prow, qrow, dim);
+                break;
+              case DistanceMetric::kManhattan:
+                score += NegManhattanRaw(prow, qrow, dim);
+                break;
+            }
+          }
+          if (with_importance) {
+            score += static_cast<double>(pimp[p]) * qimp[q];
+          }
+          scored[p] = {score, p};
         }
-        if (config.use_importance && prompt_importance.defined() &&
-            query_importance.defined()) {
-          score += static_cast<double>(prompt_importance.at(p, 0)) *
-                   query_importance.at(q, 0);
-        }
-        scored[p] = {score, p};
+        // T(q) = the query's top-k prompts by score (Eq. 8); k is the shot
+        // count, keeping each query's votes concentrated on its genuinely
+        // closest candidates.
+        std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first > b.first;
+                          });
+        topk[q].assign(scored.begin(), scored.begin() + k);
       }
-      // T(q) = the query's top-k prompts by score (Eq. 8); k is the shot
-      // count, keeping each query's votes concentrated on its genuinely
-      // closest candidates.
-      const int k = std::min(config.shots, num_prompts);
-      std::partial_sort(scored.begin(), scored.begin() + k, scored.end(),
-                        [](const auto& a, const auto& b) {
-                          return a.first > b.first;
-                        });
-      // 1_{p in T(q)} * score(p, q).
-      for (int i = 0; i < k; ++i) {
-        out.votes[scored[i].second] += scored[i].first;
-        out.hit_counts[scored[i].second] += 1;
+    });
+    // 1_{p in T(q)} * score(p, q).
+    for (int q = 0; q < num_queries; ++q) {
+      for (const auto& [score, p] : topk[q]) {
+        out.votes[p] += score;
+        out.hit_counts[p] += 1;
       }
     }
   }

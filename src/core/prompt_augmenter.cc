@@ -1,11 +1,53 @@
 #include "core/prompt_augmenter.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "tensor/ops.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace gp {
+
+namespace {
+
+// Raw-pointer similarity between a query row and a cache entry, with the
+// query's cosine norm hoisted out of the per-entry loop. Accumulation
+// order matches the fused CosineSimilarity/... kernels exactly.
+float EntrySimilarity(const float* qe, double query_norm,
+                      const std::vector<float>& entry, DistanceMetric metric) {
+  const int n = static_cast<int>(entry.size());
+  switch (metric) {
+    case DistanceMetric::kCosine: {
+      double dot = 0.0, nb = 0.0;
+      for (int i = 0; i < n; ++i) {
+        dot += static_cast<double>(qe[i]) * entry[i];
+        nb += static_cast<double>(entry[i]) * entry[i];
+      }
+      const double denom = query_norm * std::sqrt(nb);
+      if (denom < 1e-12) return 0.0f;
+      return static_cast<float>(dot / denom);
+    }
+    case DistanceMetric::kEuclidean: {
+      double total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        const double d = static_cast<double>(qe[i]) - entry[i];
+        total += d * d;
+      }
+      return -static_cast<float>(std::sqrt(total));
+    }
+    case DistanceMetric::kManhattan: {
+      double total = 0.0;
+      for (int i = 0; i < n; ++i) {
+        total += std::abs(static_cast<double>(qe[i]) - entry[i]);
+      }
+      return -static_cast<float>(total);
+    }
+  }
+  return 0.0f;
+}
+
+}  // namespace
 
 PromptAugmenter::PromptAugmenter(const PromptAugmenterConfig& config,
                                  uint64_t seed)
@@ -18,12 +60,11 @@ PromptAugmenter::CachedPrompts PromptAugmenter::GetCachedPrompts(
   CachedPrompts out;
   const auto entries = cache_->Entries();
   out.embeddings = Tensor::Zeros(static_cast<int>(entries.size()), dim);
+  float* dst = out.embeddings.mutable_data().data();
   for (size_t i = 0; i < entries.size(); ++i) {
     const CacheEntry& entry = *entries[i].second;
     CHECK_EQ(static_cast<int>(entry.embedding.size()), dim);
-    for (int d = 0; d < dim; ++d) {
-      out.embeddings.at(static_cast<int>(i), d) = entry.embedding[d];
-    }
+    std::copy_n(entry.embedding.data(), dim, dst + i * dim);
     out.labels.push_back(entry.pseudo_label);
   }
   return out;
@@ -38,28 +79,35 @@ void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
   CHECK_EQ(static_cast<size_t>(num_queries), confidences.size());
 
   // 1. LFU frequency update: each query "hits" its top-k most similar
-  //    cache entries.
+  //    cache entries. The per-entry similarity scan runs in parallel
+  //    (disjoint writes into `sims`); Touch stays serial in entry order.
   const auto entries = cache_->Entries();
   if (!entries.empty()) {
+    const int dim = query_embeddings.cols();
+    const float* qdata = query_embeddings.data().data();
+    const int num_entries = static_cast<int>(entries.size());
+    std::vector<std::pair<float, int64_t>> sims(num_entries);
     for (int q = 0; q < num_queries; ++q) {
-      const std::vector<float> qe = query_embeddings.Row(q);
-      std::vector<std::pair<float, int64_t>> sims;
-      sims.reserve(entries.size());
-      for (const auto& [id, entry] : entries) {
-        float sim;
-        switch (config_.metric) {
-          case DistanceMetric::kCosine:
-            sim = CosineSimilarity(qe, entry->embedding);
-            break;
-          case DistanceMetric::kEuclidean:
-            sim = -EuclideanDistance(qe, entry->embedding);
-            break;
-          case DistanceMetric::kManhattan:
-            sim = -ManhattanDistance(qe, entry->embedding);
-            break;
+      const float* qe = qdata + static_cast<size_t>(q) * dim;
+      double query_norm = 0.0;
+      if (config_.metric == DistanceMetric::kCosine) {
+        double nq = 0.0;
+        for (int i = 0; i < dim; ++i) {
+          nq += static_cast<double>(qe[i]) * qe[i];
         }
-        sims.emplace_back(sim, id);
+        query_norm = std::sqrt(nq);
       }
+      const int64_t grain =
+          std::max<int64_t>(1, (int64_t{1} << 14) / std::max(dim, 1));
+      ParallelFor(0, num_entries, grain,
+                  [&](int64_t first, int64_t last) {
+                    for (int64_t i = first; i < last; ++i) {
+                      sims[i] = {EntrySimilarity(qe, query_norm,
+                                                 entries[i].second->embedding,
+                                                 config_.metric),
+                                 entries[i].first};
+                    }
+                  });
       const int k = std::min<int>(config_.top_k_hits, sims.size());
       std::partial_sort(
           sims.begin(), sims.begin() + k, sims.end(),

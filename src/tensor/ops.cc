@@ -5,9 +5,31 @@
 #include <limits>
 
 #include "tensor/autograd.h"
+#include "util/parallel.h"
 
 namespace gp {
 namespace {
+
+// Minimum scalar operations per ParallelFor chunk: small tensors stay on
+// the serial path (pool dispatch costs more than the loop), and chunks are
+// sized so dispatch overhead amortises. Grain depends only on the op
+// shape, never the thread count, so chunking — and with it every result —
+// is identical at any pool size.
+constexpr int64_t kMinChunkWork = 1 << 15;
+
+// Runs fn(first, last) over [0, count) in fixed chunks carrying at least
+// kMinChunkWork scalar ops each (`unit_work` = ops per iteration).
+// Ranges under two chunks' worth of work run serially inline.
+template <typename Fn>
+void ParallelRange(int64_t count, int64_t unit_work, const Fn& fn) {
+  unit_work = std::max<int64_t>(unit_work, 1);
+  if (count * unit_work < 2 * kMinChunkWork) {
+    if (count > 0) fn(int64_t{0}, count);
+    return;
+  }
+  const int64_t grain = std::max<int64_t>(1, kMinChunkWork / unit_work);
+  ParallelFor(0, count, grain, fn);
+}
 
 // How the second operand of a binary op maps onto the first.
 enum class Broadcast { kSame, kRow, kCol, kScalar };
@@ -68,7 +90,12 @@ void ReduceIntoBroadcast(const std::vector<float>& g, int rows, int cols,
   b->EnsureGrad();
   switch (mode) {
     case Broadcast::kSame:
-      for (size_t i = 0; i < g.size(); ++i) b->grad[i] += g[i];
+      ParallelRange(static_cast<int64_t>(g.size()), 1,
+                    [&](int64_t first, int64_t last) {
+                      for (int64_t i = first; i < last; ++i) {
+                        b->grad[i] += g[i];
+                      }
+                    });
       break;
     case Broadcast::kRow:
       for (int r = 0; r < rows; ++r) {
@@ -100,16 +127,26 @@ Tensor UnaryOp(const Tensor& a, ValueFn value_fn, GradFn grad_fn) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (size_t i = 0; i < out.size(); ++i) out[i] = value_fn(a.data()[i]);
+  const float* in = a.data().data();
+  ParallelRange(static_cast<int64_t>(out.size()), 1,
+                [&](int64_t first, int64_t last) {
+                  for (int64_t i = first; i < last; ++i) {
+                    out[i] = value_fn(in[i]);
+                  }
+                });
   auto pa = a.impl();
   return FinishOp(rows, cols, std::move(out), {pa},
                   [pa, grad_fn](TensorImpl& node) {
                     if (!WantsGrad(pa)) return;
                     pa->EnsureGrad();
-                    for (size_t i = 0; i < node.grad.size(); ++i) {
-                      pa->grad[i] +=
-                          node.grad[i] * grad_fn(pa->data[i], node.data[i]);
-                    }
+                    ParallelRange(
+                        static_cast<int64_t>(node.grad.size()), 1,
+                        [&](int64_t first, int64_t last) {
+                          for (int64_t i = first; i < last; ++i) {
+                            pa->grad[i] += node.grad[i] *
+                                           grad_fn(pa->data[i], node.data[i]);
+                          }
+                        });
                   });
 }
 
@@ -120,21 +157,28 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      const size_t i = static_cast<size_t>(r) * cols + c;
-      out[i] = a.data()[i] + b.data()[BIndex(mode, r, c, cols)];
+  const float* adata = a.data().data();
+  const float* bdata = b.data().data();
+  ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r) * cols + c;
+        out[i] = adata[i] + bdata[BIndex(mode, r, c, cols)];
+      }
     }
-  }
+  });
   auto pa = a.impl();
   auto pb = b.impl();
   return FinishOp(rows, cols, std::move(out), {pa, pb},
                   [pa, pb, mode, rows, cols](TensorImpl& node) {
                     if (WantsGrad(pa)) {
                       pa->EnsureGrad();
-                      for (size_t i = 0; i < node.grad.size(); ++i) {
-                        pa->grad[i] += node.grad[i];
-                      }
+                      ParallelRange(static_cast<int64_t>(node.grad.size()), 1,
+                                    [&](int64_t first, int64_t last) {
+                                      for (int64_t i = first; i < last; ++i) {
+                                        pa->grad[i] += node.grad[i];
+                                      }
+                                    });
                     }
                     if (WantsGrad(pb)) {
                       ReduceIntoBroadcast(node.grad, rows, cols, mode,
@@ -148,21 +192,28 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      const size_t i = static_cast<size_t>(r) * cols + c;
-      out[i] = a.data()[i] - b.data()[BIndex(mode, r, c, cols)];
+  const float* adata = a.data().data();
+  const float* bdata = b.data().data();
+  ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r) * cols + c;
+        out[i] = adata[i] - bdata[BIndex(mode, r, c, cols)];
+      }
     }
-  }
+  });
   auto pa = a.impl();
   auto pb = b.impl();
   return FinishOp(rows, cols, std::move(out), {pa, pb},
                   [pa, pb, mode, rows, cols](TensorImpl& node) {
                     if (WantsGrad(pa)) {
                       pa->EnsureGrad();
-                      for (size_t i = 0; i < node.grad.size(); ++i) {
-                        pa->grad[i] += node.grad[i];
-                      }
+                      ParallelRange(static_cast<int64_t>(node.grad.size()), 1,
+                                    [&](int64_t first, int64_t last) {
+                                      for (int64_t i = first; i < last; ++i) {
+                                        pa->grad[i] += node.grad[i];
+                                      }
+                                    });
                     }
                     if (WantsGrad(pb)) {
                       std::vector<float> neg(node.grad.size());
@@ -179,12 +230,16 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      const size_t i = static_cast<size_t>(r) * cols + c;
-      out[i] = a.data()[i] * b.data()[BIndex(mode, r, c, cols)];
+  const float* adata = a.data().data();
+  const float* bdata = b.data().data();
+  ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r) * cols + c;
+        out[i] = adata[i] * bdata[BIndex(mode, r, c, cols)];
+      }
     }
-  }
+  });
   auto pa = a.impl();
   auto pb = b.impl();
   return FinishOp(
@@ -192,18 +247,24 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
       [pa, pb, mode, rows, cols](TensorImpl& node) {
         if (WantsGrad(pa)) {
           pa->EnsureGrad();
-          for (int r = 0; r < rows; ++r) {
-            for (int c = 0; c < cols; ++c) {
-              const size_t i = static_cast<size_t>(r) * cols + c;
-              pa->grad[i] += node.grad[i] * pb->data[BIndex(mode, r, c, cols)];
+          ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+            for (int r = static_cast<int>(first); r < last; ++r) {
+              for (int c = 0; c < cols; ++c) {
+                const size_t i = static_cast<size_t>(r) * cols + c;
+                pa->grad[i] +=
+                    node.grad[i] * pb->data[BIndex(mode, r, c, cols)];
+              }
             }
-          }
+          });
         }
         if (WantsGrad(pb)) {
           std::vector<float> scaled(node.grad.size());
-          for (size_t i = 0; i < scaled.size(); ++i) {
-            scaled[i] = node.grad[i] * pa->data[i];
-          }
+          ParallelRange(static_cast<int64_t>(scaled.size()), 1,
+                        [&](int64_t first, int64_t last) {
+                          for (int64_t i = first; i < last; ++i) {
+                            scaled[i] = node.grad[i] * pa->data[i];
+                          }
+                        });
           ReduceIntoBroadcast(scaled, rows, cols, mode, pb.get());
         }
       });
@@ -214,12 +275,16 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      const size_t i = static_cast<size_t>(r) * cols + c;
-      out[i] = a.data()[i] / b.data()[BIndex(mode, r, c, cols)];
+  const float* adata = a.data().data();
+  const float* bdata = b.data().data();
+  ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r) * cols + c;
+        out[i] = adata[i] / bdata[BIndex(mode, r, c, cols)];
+      }
     }
-  }
+  });
   auto pa = a.impl();
   auto pb = b.impl();
   return FinishOp(
@@ -227,22 +292,27 @@ Tensor Div(const Tensor& a, const Tensor& b) {
       [pa, pb, mode, rows, cols](TensorImpl& node) {
         if (WantsGrad(pa)) {
           pa->EnsureGrad();
-          for (int r = 0; r < rows; ++r) {
-            for (int c = 0; c < cols; ++c) {
-              const size_t i = static_cast<size_t>(r) * cols + c;
-              pa->grad[i] += node.grad[i] / pb->data[BIndex(mode, r, c, cols)];
+          ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+            for (int r = static_cast<int>(first); r < last; ++r) {
+              for (int c = 0; c < cols; ++c) {
+                const size_t i = static_cast<size_t>(r) * cols + c;
+                pa->grad[i] +=
+                    node.grad[i] / pb->data[BIndex(mode, r, c, cols)];
+              }
             }
-          }
+          });
         }
         if (WantsGrad(pb)) {
           std::vector<float> scaled(node.grad.size());
-          for (int r = 0; r < rows; ++r) {
-            for (int c = 0; c < cols; ++c) {
-              const size_t i = static_cast<size_t>(r) * cols + c;
-              const float bv = pb->data[BIndex(mode, r, c, cols)];
-              scaled[i] = -node.grad[i] * pa->data[i] / (bv * bv);
+          ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+            for (int r = static_cast<int>(first); r < last; ++r) {
+              for (int c = 0; c < cols; ++c) {
+                const size_t i = static_cast<size_t>(r) * cols + c;
+                const float bv = pb->data[BIndex(mode, r, c, cols)];
+                scaled[i] = -node.grad[i] * pa->data[i] / (bv * bv);
+              }
             }
-          }
+          });
           ReduceIntoBroadcast(scaled, rows, cols, mode, pb.get());
         }
       });
@@ -269,50 +339,72 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int inner = a.cols();
   const int cols = b.cols();
   std::vector<float> out(static_cast<size_t>(rows) * cols, 0.0f);
-  // i-k-j loop order for cache-friendly row-major access.
-  for (int i = 0; i < rows; ++i) {
-    const float* arow = a.data().data() + static_cast<size_t>(i) * inner;
-    float* orow = out.data() + static_cast<size_t>(i) * cols;
-    for (int k = 0; k < inner; ++k) {
-      const float av = arow[k];
-      if (av == 0.0f) continue;
-      const float* brow = b.data().data() + static_cast<size_t>(k) * cols;
-      for (int j = 0; j < cols; ++j) orow[j] += av * brow[j];
-    }
-  }
+  // i-k-j loop order for cache-friendly row-major access; output rows are
+  // disjoint, so row chunks parallelise without changing any result.
+  const float* adata = a.data().data();
+  const float* bdata = b.data().data();
+  ParallelRange(rows, static_cast<int64_t>(inner) * cols,
+                [&](int64_t first, int64_t last) {
+                  for (int i = static_cast<int>(first); i < last; ++i) {
+                    const float* arow =
+                        adata + static_cast<size_t>(i) * inner;
+                    float* orow = out.data() + static_cast<size_t>(i) * cols;
+                    for (int k = 0; k < inner; ++k) {
+                      const float av = arow[k];
+                      if (av == 0.0f) continue;
+                      const float* brow =
+                          bdata + static_cast<size_t>(k) * cols;
+                      for (int j = 0; j < cols; ++j) orow[j] += av * brow[j];
+                    }
+                  }
+                });
   auto pa = a.impl();
   auto pb = b.impl();
   return FinishOp(
       rows, cols, std::move(out), {pa, pb},
       [pa, pb, rows, inner, cols](TensorImpl& node) {
         if (WantsGrad(pa)) {
-          // dA = G * B^T
+          // dA = G * B^T — dA rows are disjoint across row chunks.
           pa->EnsureGrad();
-          for (int i = 0; i < rows; ++i) {
-            const float* grow = node.grad.data() + static_cast<size_t>(i) * cols;
-            float* darow = pa->grad.data() + static_cast<size_t>(i) * inner;
-            for (int k = 0; k < inner; ++k) {
-              const float* brow =
-                  pb->data.data() + static_cast<size_t>(k) * cols;
-              float acc = 0.0f;
-              for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
-              darow[k] += acc;
-            }
-          }
+          ParallelRange(
+              rows, static_cast<int64_t>(inner) * cols,
+              [&](int64_t first, int64_t last) {
+                for (int i = static_cast<int>(first); i < last; ++i) {
+                  const float* grow =
+                      node.grad.data() + static_cast<size_t>(i) * cols;
+                  float* darow =
+                      pa->grad.data() + static_cast<size_t>(i) * inner;
+                  for (int k = 0; k < inner; ++k) {
+                    const float* brow =
+                        pb->data.data() + static_cast<size_t>(k) * cols;
+                    float acc = 0.0f;
+                    for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
+                    darow[k] += acc;
+                  }
+                }
+              });
         }
         if (WantsGrad(pb)) {
-          // dB = A^T * G
+          // dB = A^T * G, iterated k-outer so each chunk owns a disjoint
+          // band of dB rows. Per dB element the accumulation still runs in
+          // ascending i, matching the serial i-outer order bit for bit.
           pb->EnsureGrad();
-          for (int i = 0; i < rows; ++i) {
-            const float* arow = pa->data.data() + static_cast<size_t>(i) * inner;
-            const float* grow = node.grad.data() + static_cast<size_t>(i) * cols;
-            for (int k = 0; k < inner; ++k) {
-              const float av = arow[k];
-              if (av == 0.0f) continue;
-              float* dbrow = pb->grad.data() + static_cast<size_t>(k) * cols;
-              for (int j = 0; j < cols; ++j) dbrow[j] += av * grow[j];
-            }
-          }
+          ParallelRange(
+              inner, static_cast<int64_t>(rows) * cols,
+              [&](int64_t first, int64_t last) {
+                for (int k = static_cast<int>(first); k < last; ++k) {
+                  float* dbrow =
+                      pb->grad.data() + static_cast<size_t>(k) * cols;
+                  for (int i = 0; i < rows; ++i) {
+                    const float av =
+                        pa->data[static_cast<size_t>(i) * inner + k];
+                    if (av == 0.0f) continue;
+                    const float* grow =
+                        node.grad.data() + static_cast<size_t>(i) * cols;
+                    for (int j = 0; j < cols; ++j) dbrow[j] += av * grow[j];
+                  }
+                }
+              });
         }
       });
 }
@@ -400,31 +492,35 @@ Tensor Softmax(const Tensor& a) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (int r = 0; r < rows; ++r) {
-    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
-    float* o = out.data() + static_cast<size_t>(r) * cols;
-    float mx = in[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    float total = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      o[c] = std::exp(in[c] - mx);
-      total += o[c];
+  ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+      float* o = out.data() + static_cast<size_t>(r) * cols;
+      float mx = in[0];
+      for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+      float total = 0.0f;
+      for (int c = 0; c < cols; ++c) {
+        o[c] = std::exp(in[c] - mx);
+        total += o[c];
+      }
+      for (int c = 0; c < cols; ++c) o[c] /= total;
     }
-    for (int c = 0; c < cols; ++c) o[c] /= total;
-  }
+  });
   auto pa = a.impl();
   return FinishOp(
       rows, cols, std::move(out), {pa}, [pa, rows, cols](TensorImpl& node) {
         if (!WantsGrad(pa)) return;
         pa->EnsureGrad();
-        for (int r = 0; r < rows; ++r) {
-          const float* y = node.data.data() + static_cast<size_t>(r) * cols;
-          const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
-          float dot = 0.0f;
-          for (int c = 0; c < cols; ++c) dot += y[c] * g[c];
-          float* da = pa->grad.data() + static_cast<size_t>(r) * cols;
-          for (int c = 0; c < cols; ++c) da[c] += y[c] * (g[c] - dot);
-        }
+        ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
+          for (int r = static_cast<int>(first); r < last; ++r) {
+            const float* y = node.data.data() + static_cast<size_t>(r) * cols;
+            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+            float dot = 0.0f;
+            for (int c = 0; c < cols; ++c) dot += y[c] * g[c];
+            float* da = pa->grad.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) da[c] += y[c] * (g[c] - dot);
+          }
+        });
       });
 }
 
@@ -432,31 +528,35 @@ Tensor LogSoftmax(const Tensor& a) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (int r = 0; r < rows; ++r) {
-    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
-    float* o = out.data() + static_cast<size_t>(r) * cols;
-    float mx = in[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    float total = 0.0f;
-    for (int c = 0; c < cols; ++c) total += std::exp(in[c] - mx);
-    const float lse = mx + std::log(total);
-    for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
-  }
+  ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+      float* o = out.data() + static_cast<size_t>(r) * cols;
+      float mx = in[0];
+      for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+      float total = 0.0f;
+      for (int c = 0; c < cols; ++c) total += std::exp(in[c] - mx);
+      const float lse = mx + std::log(total);
+      for (int c = 0; c < cols; ++c) o[c] = in[c] - lse;
+    }
+  });
   auto pa = a.impl();
   return FinishOp(
       rows, cols, std::move(out), {pa}, [pa, rows, cols](TensorImpl& node) {
         if (!WantsGrad(pa)) return;
         pa->EnsureGrad();
-        for (int r = 0; r < rows; ++r) {
-          const float* y = node.data.data() + static_cast<size_t>(r) * cols;
-          const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
-          float gsum = 0.0f;
-          for (int c = 0; c < cols; ++c) gsum += g[c];
-          float* da = pa->grad.data() + static_cast<size_t>(r) * cols;
-          for (int c = 0; c < cols; ++c) {
-            da[c] += g[c] - std::exp(y[c]) * gsum;
+        ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
+          for (int r = static_cast<int>(first); r < last; ++r) {
+            const float* y = node.data.data() + static_cast<size_t>(r) * cols;
+            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+            float gsum = 0.0f;
+            for (int c = 0; c < cols; ++c) gsum += g[c];
+            float* da = pa->grad.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) {
+              da[c] += g[c] - std::exp(y[c]) * gsum;
+            }
           }
-        }
+        });
       });
 }
 
@@ -465,24 +565,30 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   CHECK_EQ(static_cast<size_t>(logits.rows()), labels.size());
   const int rows = logits.rows();
   const int cols = logits.cols();
-  // Forward: mean of -log softmax(logits)[i, labels[i]].
+  // Forward: mean of -log softmax(logits)[i, labels[i]]. Per-row terms are
+  // computed in parallel; the mean reduces them serially in row order so
+  // the result matches the serial build exactly.
   std::vector<float> probs(logits.data().size());
-  double loss = 0.0;
-  for (int r = 0; r < rows; ++r) {
-    const float* in = logits.data().data() + static_cast<size_t>(r) * cols;
-    float* p = probs.data() + static_cast<size_t>(r) * cols;
-    float mx = in[0];
-    for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
-    float total = 0.0f;
-    for (int c = 0; c < cols; ++c) {
-      p[c] = std::exp(in[c] - mx);
-      total += p[c];
+  std::vector<float> row_loss(rows);
+  ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      const float* in = logits.data().data() + static_cast<size_t>(r) * cols;
+      float* p = probs.data() + static_cast<size_t>(r) * cols;
+      float mx = in[0];
+      for (int c = 1; c < cols; ++c) mx = std::max(mx, in[c]);
+      float total = 0.0f;
+      for (int c = 0; c < cols; ++c) {
+        p[c] = std::exp(in[c] - mx);
+        total += p[c];
+      }
+      for (int c = 0; c < cols; ++c) p[c] /= total;
+      CHECK_GE(labels[r], 0);
+      CHECK_LT(labels[r], cols);
+      row_loss[r] = std::log(std::max(p[labels[r]], 1e-12f));
     }
-    for (int c = 0; c < cols; ++c) p[c] /= total;
-    CHECK_GE(labels[r], 0);
-    CHECK_LT(labels[r], cols);
-    loss -= std::log(std::max(p[labels[r]], 1e-12f));
-  }
+  });
+  double loss = 0.0;
+  for (int r = 0; r < rows; ++r) loss -= row_loss[r];
   loss /= std::max(rows, 1);
   auto pl = logits.impl();
   auto labels_copy = labels;
@@ -493,14 +599,16 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
         if (!WantsGrad(pl)) return;
         pl->EnsureGrad();
         const float g = node.grad[0] / static_cast<float>(std::max(rows, 1));
-        for (int r = 0; r < rows; ++r) {
-          const float* p = probs_ptr->data() + static_cast<size_t>(r) * cols;
-          float* d = pl->grad.data() + static_cast<size_t>(r) * cols;
-          for (int c = 0; c < cols; ++c) {
-            const float target = (c == labels_copy[r]) ? 1.0f : 0.0f;
-            d[c] += g * (p[c] - target);
+        ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+          for (int r = static_cast<int>(first); r < last; ++r) {
+            const float* p = probs_ptr->data() + static_cast<size_t>(r) * cols;
+            float* d = pl->grad.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) {
+              const float target = (c == labels_copy[r]) ? 1.0f : 0.0f;
+              d[c] += g * (p[c] - target);
+            }
           }
-        }
+        });
       });
 }
 
@@ -580,12 +688,14 @@ Tensor GatherRows(const Tensor& a, const std::vector<int>& index) {
   const int cols = a.cols();
   const int rows = static_cast<int>(index.size());
   std::vector<float> out(static_cast<size_t>(rows) * cols);
-  for (int r = 0; r < rows; ++r) {
-    DCHECK_GE(index[r], 0);
-    DCHECK_LT(index[r], a.rows());
-    std::copy_n(a.data().data() + static_cast<size_t>(index[r]) * cols, cols,
-                out.data() + static_cast<size_t>(r) * cols);
-  }
+  ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      DCHECK_GE(index[r], 0);
+      DCHECK_LT(index[r], a.rows());
+      std::copy_n(a.data().data() + static_cast<size_t>(index[r]) * cols,
+                  cols, out.data() + static_cast<size_t>(r) * cols);
+    }
+  });
   auto pa = a.impl();
   auto index_copy = index;
   return FinishOp(rows, cols, std::move(out), {pa},
@@ -654,12 +764,14 @@ Tensor RowScale(const Tensor& a, const Tensor& weights) {
   const int rows = a.rows();
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
-  for (int r = 0; r < rows; ++r) {
-    const float w = weights.data()[r];
-    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
-    float* o = out.data() + static_cast<size_t>(r) * cols;
-    for (int c = 0; c < cols; ++c) o[c] = in[c] * w;
-  }
+  ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      const float w = weights.data()[r];
+      const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+      float* o = out.data() + static_cast<size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) o[c] = in[c] * w;
+    }
+  });
   auto pa = a.impl();
   auto pw = weights.impl();
   return FinishOp(
@@ -667,22 +779,26 @@ Tensor RowScale(const Tensor& a, const Tensor& weights) {
       [pa, pw, rows, cols](TensorImpl& node) {
         if (WantsGrad(pa)) {
           pa->EnsureGrad();
-          for (int r = 0; r < rows; ++r) {
-            const float w = pw->data[r];
-            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
-            float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
-            for (int c = 0; c < cols; ++c) d[c] += g[c] * w;
-          }
+          ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+            for (int r = static_cast<int>(first); r < last; ++r) {
+              const float w = pw->data[r];
+              const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+              float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
+              for (int c = 0; c < cols; ++c) d[c] += g[c] * w;
+            }
+          });
         }
         if (WantsGrad(pw)) {
           pw->EnsureGrad();
-          for (int r = 0; r < rows; ++r) {
-            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
-            const float* x = pa->data.data() + static_cast<size_t>(r) * cols;
-            float acc = 0.0f;
-            for (int c = 0; c < cols; ++c) acc += g[c] * x[c];
-            pw->grad[r] += acc;
-          }
+          ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+            for (int r = static_cast<int>(first); r < last; ++r) {
+              const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+              const float* x = pa->data.data() + static_cast<size_t>(r) * cols;
+              float acc = 0.0f;
+              for (int c = 0; c < cols; ++c) acc += g[c] * x[c];
+              pw->grad[r] += acc;
+            }
+          });
         }
       });
 }
@@ -753,15 +869,19 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
   const int cols = a.cols();
   std::vector<float> out(a.data().size());
   std::vector<float> norms(rows);
-  for (int r = 0; r < rows; ++r) {
-    const float* in = a.data().data() + static_cast<size_t>(r) * cols;
-    double total = 0.0;
-    for (int c = 0; c < cols; ++c) total += static_cast<double>(in[c]) * in[c];
-    const float norm = std::max(static_cast<float>(std::sqrt(total)), eps);
-    norms[r] = norm;
-    float* o = out.data() + static_cast<size_t>(r) * cols;
-    for (int c = 0; c < cols; ++c) o[c] = in[c] / norm;
-  }
+  ParallelRange(rows, 2 * cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      const float* in = a.data().data() + static_cast<size_t>(r) * cols;
+      double total = 0.0;
+      for (int c = 0; c < cols; ++c) {
+        total += static_cast<double>(in[c]) * in[c];
+      }
+      const float norm = std::max(static_cast<float>(std::sqrt(total)), eps);
+      norms[r] = norm;
+      float* o = out.data() + static_cast<size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) o[c] = in[c] / norm;
+    }
+  });
   auto pa = a.impl();
   auto norms_ptr = std::make_shared<std::vector<float>>(std::move(norms));
   return FinishOp(
@@ -769,15 +889,17 @@ Tensor RowL2Normalize(const Tensor& a, float eps) {
       [pa, norms_ptr, rows, cols](TensorImpl& node) {
         if (!WantsGrad(pa)) return;
         pa->EnsureGrad();
-        for (int r = 0; r < rows; ++r) {
-          const float* y = node.data.data() + static_cast<size_t>(r) * cols;
-          const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
-          float dot = 0.0f;
-          for (int c = 0; c < cols; ++c) dot += g[c] * y[c];
-          const float inv = 1.0f / (*norms_ptr)[r];
-          float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
-          for (int c = 0; c < cols; ++c) d[c] += (g[c] - dot * y[c]) * inv;
-        }
+        ParallelRange(rows, 2 * cols, [&](int64_t first, int64_t last) {
+          for (int r = static_cast<int>(first); r < last; ++r) {
+            const float* y = node.data.data() + static_cast<size_t>(r) * cols;
+            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+            float dot = 0.0f;
+            for (int c = 0; c < cols; ++c) dot += g[c] * y[c];
+            const float inv = 1.0f / (*norms_ptr)[r];
+            float* d = pa->grad.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) d[c] += (g[c] - dot * y[c]) * inv;
+          }
+        });
       });
 }
 

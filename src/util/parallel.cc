@@ -1,0 +1,209 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace gp {
+namespace {
+
+// True while this thread is executing chunks of a parallel region (either
+// as a pool worker or as the thread that issued the region). Nested
+// ParallelFor calls detect this and run serially inline.
+thread_local bool tls_in_parallel = false;
+
+int DefaultNumThreads() {
+  if (const char* env = std::getenv("GP_NUM_THREADS")) {
+    const int n = std::atoi(env);
+    if (n >= 1) return n;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+// One parallel region. Each Run() allocates a fresh Job so a stale worker
+// (woken late, or preempted mid-drain) can never claim chunks of a newer
+// region: a completed Job's chunk cursor stays exhausted forever, and the
+// shared_ptr keeps its atomics alive until the last observer drops it.
+// The callback pointer is only dereferenced after a successful chunk
+// claim, which is impossible once the issuing Run() has returned.
+struct Job {
+  const std::function<void(int64_t, int64_t)>* fn = nullptr;
+  int64_t begin = 0;
+  int64_t end = 0;
+  int64_t grain = 1;
+  int64_t chunks = 0;
+  std::atomic<int64_t> next_chunk{0};
+  std::atomic<int64_t> done{0};
+  std::atomic<bool> cancelled{false};
+  std::exception_ptr error;  // guarded by the pool mutex
+};
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads) {
+    const int spawn = std::max(0, num_threads - 1);
+    workers_.reserve(spawn);
+    for (int i = 0; i < spawn; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    job_cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  void Run(int64_t begin, int64_t end, int64_t grain,
+           const std::function<void(int64_t, int64_t)>& fn) {
+    auto job = std::make_shared<Job>();
+    job->fn = &fn;
+    job->begin = begin;
+    job->end = end;
+    job->grain = grain;
+    job->chunks = NumChunks(begin, end, grain);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_ = job;
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    Drain(*job);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->chunks;
+    });
+    if (job_ == job) job_ = nullptr;
+    if (job->error) std::rethrow_exception(job->error);
+  }
+
+ private:
+  void WorkerLoop() {
+    tls_in_parallel = true;
+    uint64_t seen = 0;
+    while (true) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        job_cv_.wait(lock,
+                     [&] { return shutdown_ || generation_ != seen; });
+        if (shutdown_) return;
+        seen = generation_;
+        job = job_;
+      }
+      if (job) Drain(*job);
+    }
+  }
+
+  // Claims and runs chunks until the job is exhausted. Safe against stale
+  // arrivals: a finished job has no unclaimed chunks, so the loop exits
+  // before touching the (possibly dead) callback.
+  void Drain(Job& job) {
+    while (true) {
+      const int64_t c = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.chunks) return;
+      if (!job.cancelled.load(std::memory_order_relaxed)) {
+        const int64_t cb = job.begin + c * job.grain;
+        const int64_t ce = std::min(job.end, cb + job.grain);
+        try {
+          (*job.fn)(cb, ce);
+        } catch (...) {
+          job.cancelled.store(true, std::memory_order_relaxed);
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!job.error) job.error = std::current_exception();
+        }
+      }
+      if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.chunks) {
+        std::lock_guard<std::mutex> lock(mu_);
+        done_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable job_cv_;   // workers wait for a new generation
+  std::condition_variable done_cv_;  // issuer waits for chunk completion
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+  uint64_t generation_ = 0;
+  std::shared_ptr<Job> job_;  // current region; null when idle
+};
+
+std::mutex g_pool_mu;  // guards g_pool / g_num_threads
+std::unique_ptr<ThreadPool> g_pool;
+int g_num_threads = 0;  // 0 = not yet resolved
+
+// Serialises pool jobs issued from different user threads; the loser
+// blocks until the pool frees up rather than interleaving job state.
+std::mutex g_run_mu;
+
+ThreadPool* GetPool(int threads) {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(threads);
+  return g_pool.get();
+}
+
+void SerialFor(int64_t begin, int64_t end, int64_t grain,
+               const std::function<void(int64_t, int64_t)>& fn) {
+  for (int64_t cb = begin; cb < end; cb += grain) {
+    fn(cb, std::min(end, cb + grain));
+  }
+}
+
+}  // namespace
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
+  return g_num_threads;
+}
+
+void SetNumThreads(int n) {
+  n = std::max(1, n);
+  std::lock_guard<std::mutex> lock(g_pool_mu);
+  if (n == g_num_threads) return;
+  g_pool.reset();  // joins old workers; respawned lazily at the new size
+  g_num_threads = n;
+}
+
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
+  if (end <= begin) return 0;
+  CHECK_GT(grain, 0);
+  return (end - begin + grain - 1) / grain;
+}
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  CHECK_GT(grain, 0);
+  const int64_t chunks = NumChunks(begin, end, grain);
+  if (tls_in_parallel || chunks <= 1 || NumThreads() <= 1) {
+    SerialFor(begin, end, grain, fn);
+    return;
+  }
+  ThreadPool* pool = GetPool(NumThreads());
+  std::lock_guard<std::mutex> run_lock(g_run_mu);
+  tls_in_parallel = true;
+  try {
+    pool->Run(begin, end, grain, fn);
+  } catch (...) {
+    tls_in_parallel = false;
+    throw;
+  }
+  tls_in_parallel = false;
+}
+
+}  // namespace gp

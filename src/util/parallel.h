@@ -1,0 +1,46 @@
+// Lazily-initialised persistent thread pool with a chunked ParallelFor.
+//
+// Determinism contract: the loop range [begin, end) is split into
+// ceil((end - begin) / grain) fixed chunks of `grain` iterations each
+// (the last chunk may be short). Chunk boundaries depend only on
+// (begin, end, grain) — never on the thread count — so a kernel that
+// writes disjoint state per chunk, or that reduces per-chunk partials in
+// chunk order, produces bitwise-identical results whether the pool runs
+// 1 or N threads.
+//
+// Thread count resolution order: SetNumThreads() > GP_NUM_THREADS env >
+// std::thread::hardware_concurrency(). Pool threads are spawned lazily on
+// the first parallel call that needs them and persist for the process
+// lifetime (or until SetNumThreads resizes the pool).
+
+#ifndef GRAPHPROMPTER_UTIL_PARALLEL_H_
+#define GRAPHPROMPTER_UTIL_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace gp {
+
+// Number of threads parallel regions target (>= 1).
+int NumThreads();
+
+// Resizes the pool; n < 1 is clamped to 1 (fully serial). Existing pool
+// threads are joined and respawned lazily. Call between parallel regions,
+// not from inside one.
+void SetNumThreads(int n);
+
+// Number of fixed chunks ParallelFor(begin, end, grain, ...) executes.
+int64_t NumChunks(int64_t begin, int64_t end, int64_t grain);
+
+// Runs fn(chunk_begin, chunk_end) for every chunk of [begin, end).
+// Empty ranges return immediately without touching the pool. The first
+// exception thrown by fn is rethrown on the calling thread once all
+// in-flight chunks finish; chunks not yet started are skipped. Nested
+// calls (from inside a chunk) run serially inline on the calling thread,
+// preserving the same chunk boundaries.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_UTIL_PARALLEL_H_

@@ -1,0 +1,124 @@
+// Determinism contract of the parallel execution layer: the parallelized
+// tensor kernels and kNN retrieval produce bitwise-identical results at 1
+// and N threads (fixed chunking + disjoint writes / ordered reductions).
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/knn_retrieval.h"
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0,
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+}
+
+void ExpectBitwiseEqual(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(0,
+            std::memcmp(a.data(), b.data(), a.size() * sizeof(double)));
+}
+
+class ParallelDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_threads_ = NumThreads(); }
+  void TearDown() override { SetNumThreads(previous_threads_); }
+
+ private:
+  int previous_threads_ = 1;
+};
+
+struct MatMulRun {
+  std::vector<float> forward;
+  std::vector<float> grad_a;
+  std::vector<float> grad_b;
+};
+
+// Sizes chosen to clear the serial threshold so the parallel path is
+// actually exercised (96*80*72 flops per MatMul).
+MatMulRun RunMatMulBackward(int threads) {
+  SetNumThreads(threads);
+  Rng rng(20240807);
+  Tensor a = Tensor::Randn(96, 80, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b = Tensor::Randn(80, 72, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor c = MatMul(a, b);
+  Tensor loss = SumAll(Mul(c, c));
+  Backward(loss);
+  MatMulRun run;
+  run.forward = c.data();
+  run.grad_a = a.grad();
+  run.grad_b = b.grad();
+  return run;
+}
+
+TEST_F(ParallelDeterminismTest, MatMulForwardAndBackwardBitwiseIdentical) {
+  const MatMulRun serial = RunMatMulBackward(1);
+  const MatMulRun parallel = RunMatMulBackward(4);
+  ExpectBitwiseEqual(serial.forward, parallel.forward);
+  ExpectBitwiseEqual(serial.grad_a, parallel.grad_a);
+  ExpectBitwiseEqual(serial.grad_b, parallel.grad_b);
+}
+
+TEST_F(ParallelDeterminismTest, ElementwiseChainBitwiseIdentical) {
+  auto run = [](int threads) {
+    SetNumThreads(threads);
+    Rng rng(99);
+    Tensor a = Tensor::Randn(512, 160, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor out = Tanh(Relu(Scale(a, 0.37f)));
+    Tensor loss = MeanAll(Square(out));
+    Backward(loss);
+    return std::make_pair(out.data(), a.grad());
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ExpectBitwiseEqual(serial.first, parallel.first);
+  ExpectBitwiseEqual(serial.second, parallel.second);
+}
+
+KnnSelection RunSelectPrompts(int threads, DistanceMetric metric) {
+  SetNumThreads(threads);
+  Rng rng(4242);
+  constexpr int kPrompts = 200;
+  constexpr int kQueries = 64;
+  constexpr int kDim = 64;
+  constexpr int kClasses = 5;
+  Tensor prompts = Tensor::Randn(kPrompts, kDim, &rng);
+  Tensor queries = Tensor::Randn(kQueries, kDim, &rng);
+  Tensor prompt_imp = Tensor::Randn(kPrompts, 1, &rng, 0.2f);
+  Tensor query_imp = Tensor::Randn(kQueries, 1, &rng, 0.2f);
+  std::vector<int> labels(kPrompts);
+  for (int p = 0; p < kPrompts; ++p) labels[p] = p % kClasses;
+  KnnConfig config;
+  config.shots = 3;
+  config.metric = metric;
+  return SelectPrompts(prompts, prompt_imp, labels, queries, query_imp,
+                       kClasses, config);
+}
+
+TEST_F(ParallelDeterminismTest, SelectPromptsBitwiseIdenticalAllMetrics) {
+  for (DistanceMetric metric :
+       {DistanceMetric::kCosine, DistanceMetric::kEuclidean,
+        DistanceMetric::kManhattan}) {
+    SCOPED_TRACE(DistanceMetricName(metric));
+    const KnnSelection serial = RunSelectPrompts(1, metric);
+    const KnnSelection parallel = RunSelectPrompts(4, metric);
+    EXPECT_EQ(serial.selected, parallel.selected);
+    EXPECT_EQ(serial.hit_counts, parallel.hit_counts);
+    ExpectBitwiseEqual(serial.votes, parallel.votes);
+  }
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,165 @@
+// Unit tests for the thread pool and chunked ParallelFor: range coverage,
+// fixed chunking, exception propagation, nesting, and pool resizing.
+
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace gp {
+namespace {
+
+// Restores the ambient thread count after each test so tests stay
+// order-independent.
+class ParallelForTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_threads_ = NumThreads(); }
+  void TearDown() override { SetNumThreads(previous_threads_); }
+
+ private:
+  int previous_threads_ = 1;
+};
+
+TEST_F(ParallelForTest, EmptyRangeNeverInvokes) {
+  SetNumThreads(4);
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, 8, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(5, 5, 8, [&](int64_t, int64_t) { ++calls; });
+  ParallelFor(7, 3, 8, [&](int64_t, int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST_F(ParallelForTest, GrainLargerThanRangeRunsOneChunk) {
+  SetNumThreads(4);
+  EXPECT_EQ(NumChunks(2, 9, 100), 1);
+  std::vector<std::pair<int64_t, int64_t>> chunks;
+  ParallelFor(2, 9, 100, [&](int64_t first, int64_t last) {
+    chunks.emplace_back(first, last);
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], std::make_pair(int64_t{2}, int64_t{9}));
+}
+
+TEST_F(ParallelForTest, CoversRangeExactlyOnce) {
+  SetNumThreads(4);
+  constexpr int kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  for (auto& c : counts) c.store(0);
+  ParallelFor(0, kN, 7, [&](int64_t first, int64_t last) {
+    for (int64_t i = first; i < last; ++i) counts[i].fetch_add(1);
+  });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(counts[i].load(), 1) << "i=" << i;
+}
+
+TEST_F(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  auto collect = [](int threads) {
+    SetNumThreads(threads);
+    std::mutex mu;
+    std::vector<std::pair<int64_t, int64_t>> chunks;
+    ParallelFor(3, 250, 11, [&](int64_t first, int64_t last) {
+      std::lock_guard<std::mutex> lock(mu);
+      chunks.emplace_back(first, last);
+    });
+    std::sort(chunks.begin(), chunks.end());
+    return chunks;
+  };
+  const auto serial = collect(1);
+  const auto parallel = collect(4);
+  EXPECT_EQ(serial, parallel);
+  ASSERT_EQ(static_cast<int64_t>(serial.size()), NumChunks(3, 250, 11));
+  // Chunks partition [3, 250) in grain-11 steps.
+  int64_t expected_first = 3;
+  for (const auto& [first, last] : serial) {
+    EXPECT_EQ(first, expected_first);
+    EXPECT_EQ(last, std::min<int64_t>(250, first + 11));
+    expected_first = last;
+  }
+  EXPECT_EQ(expected_first, 250);
+}
+
+TEST_F(ParallelForTest, ExceptionPropagatesToCaller) {
+  SetNumThreads(4);
+  EXPECT_THROW(
+      ParallelFor(0, 64, 4,
+                  [](int64_t first, int64_t last) {
+                    for (int64_t i = first; i < last; ++i) {
+                      if (i == 37) throw std::runtime_error("boom");
+                    }
+                  }),
+      std::runtime_error);
+  // The pool survives a throwing job and runs subsequent work.
+  std::atomic<int64_t> total{0};
+  ParallelFor(0, 100, 5, [&](int64_t first, int64_t last) {
+    for (int64_t i = first; i < last; ++i) total.fetch_add(i);
+  });
+  EXPECT_EQ(total.load(), 99 * 100 / 2);
+}
+
+TEST_F(ParallelForTest, NestedParallelForRunsInline) {
+  SetNumThreads(4);
+  constexpr int kRows = 32;
+  constexpr int kCols = 48;
+  std::vector<int> cells(kRows * kCols, 0);
+  ParallelFor(0, kRows, 2, [&](int64_t rfirst, int64_t rlast) {
+    for (int64_t r = rfirst; r < rlast; ++r) {
+      // Inner loop must run serially inline on this thread — it still
+      // covers its whole range.
+      ParallelFor(0, kCols, 8, [&](int64_t cfirst, int64_t clast) {
+        for (int64_t c = cfirst; c < clast; ++c) {
+          cells[r * kCols + c] += 1;
+        }
+      });
+    }
+  });
+  EXPECT_EQ(std::accumulate(cells.begin(), cells.end(), 0), kRows * kCols);
+  EXPECT_EQ(*std::min_element(cells.begin(), cells.end()), 1);
+  EXPECT_EQ(*std::max_element(cells.begin(), cells.end()), 1);
+}
+
+TEST_F(ParallelForTest, SetNumThreadsClampsAndRoundTrips) {
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(0);  // clamps to 1 (fully serial)
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(-5);
+  EXPECT_EQ(NumThreads(), 1);
+}
+
+TEST_F(ParallelForTest, OrderedChunkReductionIsDeterministic) {
+  // Per-chunk partials reduced in chunk order give bitwise-identical
+  // floating-point sums at any thread count.
+  std::vector<float> values(10000);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = std::sin(static_cast<float>(i)) * 1e-3f;
+  }
+  auto chunked_sum = [&](int threads) {
+    SetNumThreads(threads);
+    const int64_t grain = 64;
+    const int64_t chunks =
+        NumChunks(0, static_cast<int64_t>(values.size()), grain);
+    std::vector<double> partial(chunks, 0.0);
+    ParallelFor(0, static_cast<int64_t>(values.size()), grain,
+                [&](int64_t first, int64_t last) {
+                  double acc = 0.0;
+                  for (int64_t i = first; i < last; ++i) acc += values[i];
+                  partial[first / grain] = acc;
+                });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  const double serial = chunked_sum(1);
+  const double parallel = chunked_sum(4);
+  EXPECT_EQ(serial, parallel);  // bitwise, not approximate
+}
+
+}  // namespace
+}  // namespace gp
