@@ -1,0 +1,132 @@
+// Fault-recovery benchmark: runs in-context evaluation under a ladder of
+// injected fault regimes and reports accuracy alongside the degradation
+// counters, demonstrating that every injected fault is either recovered
+// (a counter increments) or surfaced as a typed Status — never a crash or
+// a NaN accuracy. Also exercises the checkpoint integrity frame against
+// file-level corruption.
+//
+//   ./bench/bench_fault_recovery [--scale=0.45] [--steps=250]
+//                                [--fault=embed_nan=0.3,seed=7]
+//
+// When --fault (or GP_FAULT) is set, its spec is appended to the regime
+// table as an extra row.
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "nn/serialize.h"
+#include "util/fault.h"
+
+namespace gp {
+namespace {
+
+struct Regime {
+  const char* name;
+  const char* spec;  // empty = no injection (baseline)
+};
+
+int64_t RunRegimes(const bench::Env& env, const std::string& extra_spec) {
+  DatasetBundle pretrain_ds = MakeMagSim(env.scale, env.seed);
+  DatasetBundle eval_ds = MakeArxivSim(env.scale, env.seed + 1);
+
+  GraphPrompterConfig config =
+      FullGraphPrompterConfig(pretrain_ds.graph.feature_dim(), env.seed + 2);
+  CHECK_OK(Validate(config));
+  CHECK_OK(pretrain_ds.graph.Validate());
+  CHECK_OK(eval_ds.graph.Validate());
+  auto model = bench::MakePretrained(config, pretrain_ds, env);
+
+  std::vector<Regime> regimes = {
+      {"clean", ""},
+      {"embed_nan 10%", "embed_nan=0.1,seed=7"},
+      {"embed_nan 50%", "embed_nan=0.5,seed=7"},
+      {"prompt drop 30%", "prompt_drop=0.3,seed=7"},
+      {"prompt dup 30%", "prompt_dup=0.3,seed=7"},
+      {"cache poison", "cache_poison=0.5,seed=7"},
+      {"slow batches", "slow_every=4,slow_ms=2,seed=7"},
+      {"everything", "embed_nan=0.2,prompt_drop=0.2,prompt_dup=0.2,"
+                     "cache_poison=0.3,slow_every=8,slow_ms=1,seed=7"},
+  };
+  if (!extra_spec.empty()) {
+    regimes.push_back({"--fault", extra_spec.c_str()});
+  }
+
+  const EvalConfig eval = bench::DefaultEval(env, /*ways=*/5);
+  TablePrinter table(
+      {"fault regime", "accuracy %", "±std", "degradation events"});
+  int64_t clean_events = -1;
+
+  for (const Regime& regime : regimes) {
+    auto spec_or = ParseFaultSpec(regime.spec);
+    CHECK_OK(spec_or.status());
+    EvalResult result;
+    {
+      ScopedFaultInjection scoped(*spec_or);
+      result = EvaluateInContext(*model, eval_ds, eval);
+    }
+    // The robustness contract: accuracy is always finite, and any injected
+    // fault shows up in the counters.
+    CHECK(std::isfinite(result.accuracy_percent.mean));
+    const int64_t events = result.degradation.TotalEvents();
+    if (clean_events < 0) clean_events = events;
+    table.AddRow({regime.name,
+                  TablePrinter::Num(result.accuracy_percent.mean),
+                  TablePrinter::Num(result.accuracy_percent.std),
+                  std::to_string(events)});
+    if (events > 0) {
+      std::printf("  [%s]\n%s", regime.name,
+                  result.degradation.ToString().c_str());
+    }
+  }
+
+  std::printf("\nGraceful degradation under injected faults (%s, 5-way):\n",
+              eval_ds.name.c_str());
+  table.Print();
+  bench::WriteCsvOrWarn(table, env.outdir + "/fault_recovery.csv");
+  return clean_events;
+}
+
+void RunCheckpointCorruption(const bench::Env& env) {
+  GraphPrompterConfig config = FullGraphPrompterConfig(32, env.seed + 3);
+  config.embedding_dim = 16;
+  GraphPrompterModel model(config);
+  const std::string path = env.outdir + "/fault_recovery_ckpt.bin";
+
+  std::printf("\nCheckpoint integrity under file corruption:\n");
+  for (FileFaultMode mode : {FileFaultMode::kTruncate, FileFaultMode::kBitFlip,
+                             FileFaultMode::kMagic}) {
+    CHECK_OK(SaveModule(model, path));
+    FaultSpec spec;
+    spec.file_mode = mode;
+    spec.seed = env.seed;
+    CHECK_OK(FaultInjector(spec).CorruptFileBytes(path));
+    GraphPrompterModel restored(config);
+    const Status status = LoadModule(&restored, path);
+    CHECK(!status.ok());  // corruption must never load silently
+    std::printf("  %-9s -> %s\n", FileFaultModeName(mode),
+                status.ToString().c_str());
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace gp
+
+int main(int argc, char** argv) {
+  gp::Flags flags(argc, argv);
+  const std::string extra_spec = flags.GetString("fault", "");
+  const gp::bench::Env env = gp::bench::ParseEnv(argc, argv);
+
+  const int64_t clean_events = gp::RunRegimes(env, extra_spec);
+  CHECK_EQ(clean_events, 0);  // the clean baseline must never degrade
+  gp::RunCheckpointCorruption(env);
+
+  std::printf(
+      "\nEvery fault regime finished with finite accuracy; recoverable\n"
+      "faults incremented degradation counters and file corruption was\n"
+      "rejected with typed errors.\n");
+  return 0;
+}

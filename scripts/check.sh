@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Full verification sweep: tier-1 build + tests, then the robustness suite
+# under AddressSanitizer and UndefinedBehaviorSanitizer. The sanitizer
+# passes focus on the `robustness` ctest label, where fault injection
+# deliberately pushes NaN/Inf values and corrupted bytes through the
+# pipeline, but can run everything with CHECK_ALL=1.
+#
+# Usage: scripts/check.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "-j" && -n "${2:-}" ]]; then
+  JOBS="$2"
+fi
+
+run() {
+  echo "+ $*"
+  "$@"
+}
+
+echo "=== tier-1: default build + full test suite ==="
+run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+run cmake --build build -j "$JOBS"
+run ctest --test-dir build --output-on-failure
+
+label_args=(-L robustness)
+if [[ "${CHECK_ALL:-0}" == "1" ]]; then
+  label_args=()
+fi
+
+echo "=== ASan: address-sanitized robustness tests ==="
+run cmake -B build-asan -S . -DGP_SANITIZE=address
+run cmake --build build-asan -j "$JOBS"
+run ctest --test-dir build-asan "${label_args[@]}" --output-on-failure
+
+echo "=== UBSan: undefined-behavior-sanitized robustness tests ==="
+run cmake -B build-ubsan -S . -DGP_SANITIZE=undefined
+run cmake --build build-ubsan -j "$JOBS"
+run ctest --test-dir build-ubsan "${label_args[@]}" --output-on-failure
+
+echo "all checks passed"

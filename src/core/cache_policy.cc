@@ -42,6 +42,20 @@ bool LruCache::Touch(int64_t id) {
   return true;
 }
 
+bool LruCache::Erase(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  order_.erase(it->second.position);
+  nodes_.erase(it);
+  return true;
+}
+
+CacheEntry* LruCache::MutableEntry(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return nullptr;
+  return &it->second.entry;
+}
+
 std::vector<std::pair<int64_t, const CacheEntry*>> LruCache::Entries() const {
   std::vector<std::pair<int64_t, const CacheEntry*>> out;
   out.reserve(nodes_.size());
@@ -72,6 +86,25 @@ int64_t FifoCache::Insert(CacheEntry entry) {
 }
 
 bool FifoCache::Touch(int64_t id) { return nodes_.count(id) > 0; }
+
+bool FifoCache::Erase(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  for (auto pos = order_.begin(); pos != order_.end(); ++pos) {
+    if (*pos == id) {
+      order_.erase(pos);
+      break;
+    }
+  }
+  nodes_.erase(it);
+  return true;
+}
+
+CacheEntry* FifoCache::MutableEntry(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return nullptr;
+  return &it->second;
+}
 
 std::vector<std::pair<int64_t, const CacheEntry*>> FifoCache::Entries()
     const {

@@ -34,6 +34,10 @@ class ReplacementCache {
 
   virtual int64_t Insert(CacheEntry entry) = 0;
   virtual bool Touch(int64_t id) = 0;
+  // Removes an entry outright (quarantine of poisoned pseudo-prompts).
+  virtual bool Erase(int64_t id) = 0;
+  // Mutable payload access; fault-injection and diagnostic hook.
+  virtual CacheEntry* MutableEntry(int64_t id) = 0;
   virtual std::vector<std::pair<int64_t, const CacheEntry*>> Entries()
       const = 0;
   virtual void Clear() = 0;
@@ -50,6 +54,10 @@ class LfuReplacementCache : public ReplacementCache {
     return cache_.Insert(std::move(entry));
   }
   bool Touch(int64_t id) override { return cache_.Touch(id); }
+  bool Erase(int64_t id) override { return cache_.Erase(id); }
+  CacheEntry* MutableEntry(int64_t id) override {
+    return cache_.MutableEntry(id);
+  }
   std::vector<std::pair<int64_t, const CacheEntry*>> Entries()
       const override {
     return cache_.Entries();
@@ -72,6 +80,8 @@ class LruCache : public ReplacementCache {
   int size() const override { return static_cast<int>(nodes_.size()); }
   int64_t Insert(CacheEntry entry) override;
   bool Touch(int64_t id) override;
+  bool Erase(int64_t id) override;
+  CacheEntry* MutableEntry(int64_t id) override;
   std::vector<std::pair<int64_t, const CacheEntry*>> Entries() const override;
   void Clear() override;
 
@@ -95,6 +105,8 @@ class FifoCache : public ReplacementCache {
   int size() const override { return static_cast<int>(nodes_.size()); }
   int64_t Insert(CacheEntry entry) override;
   bool Touch(int64_t id) override;
+  bool Erase(int64_t id) override;
+  CacheEntry* MutableEntry(int64_t id) override;
   std::vector<std::pair<int64_t, const CacheEntry*>> Entries() const override;
   void Clear() override;
 

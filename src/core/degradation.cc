@@ -1,0 +1,60 @@
+#include "core/degradation.h"
+
+#include <utility>
+#include <vector>
+
+namespace gp {
+
+namespace {
+
+// Name/value view over every counter, shared by Merge/Total/ToString so a
+// new counter only needs to be added here once.
+std::vector<std::pair<const char*, int64_t DegradationStats::*>> Fields() {
+  using S = DegradationStats;
+  return {
+      {"quarantined_prompts", &S::quarantined_prompts},
+      {"sanitized_queries", &S::sanitized_queries},
+      {"selector_knn_only", &S::selector_knn_only},
+      {"selector_selection_only", &S::selector_selection_only},
+      {"selector_random", &S::selector_random},
+      {"deduped_prompts", &S::deduped_prompts},
+      {"missing_class_prompts", &S::missing_class_prompts},
+      {"augmenter_rejected_inserts", &S::augmenter_rejected_inserts},
+      {"augmenter_evicted_poisoned", &S::augmenter_evicted_poisoned},
+      {"augmenter_stage_skips", &S::augmenter_stage_skips},
+      {"prediction_fallbacks", &S::prediction_fallbacks},
+      {"nonfinite_scores_skipped", &S::nonfinite_scores_skipped},
+      {"slow_batches", &S::slow_batches},
+  };
+}
+
+}  // namespace
+
+int64_t DegradationStats::TotalEvents() const {
+  int64_t total = 0;
+  for (const auto& [name, member] : Fields()) total += this->*member;
+  return total;
+}
+
+void DegradationStats::Merge(const DegradationStats& other) {
+  for (const auto& [name, member] : Fields()) {
+    this->*member += other.*member;
+  }
+}
+
+std::string DegradationStats::ToString() const {
+  std::string out;
+  for (const auto& [name, member] : Fields()) {
+    const int64_t value = this->*member;
+    if (value == 0) continue;
+    out += "  ";
+    out += name;
+    out += ": ";
+    out += std::to_string(value);
+    out += "\n";
+  }
+  if (out.empty()) return "no degradation events\n";
+  return out;
+}
+
+}  // namespace gp

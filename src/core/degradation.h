@@ -1,0 +1,54 @@
+// Observability for graceful degradation (the fault-tolerance ladder).
+//
+// Every recovery path in the inference pipeline — quarantined non-finite
+// prompt embeddings, selector fallbacks, rejected or evicted pseudo-prompt
+// cache entries, sanitized queries, non-finite score skips — increments a
+// counter here instead of failing silently. EvaluateInContext threads one
+// instance through the whole episode loop and returns it in EvalResult, so
+// callers can tell a clean run from one that limped through faults.
+
+#ifndef GRAPHPROMPTER_CORE_DEGRADATION_H_
+#define GRAPHPROMPTER_CORE_DEGRADATION_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gp {
+
+struct DegradationStats {
+  // Stage 1 (Prompt Generator) — non-finite embeddings.
+  int64_t quarantined_prompts = 0;   // candidate rows removed from S
+  int64_t sanitized_queries = 0;     // query rows zeroed (must be predicted)
+
+  // Stage 2 (Prompt Selector) — fallback ladder kNN -> selection-layer-only
+  // -> random.
+  int64_t selector_knn_only = 0;        // importance term dropped
+  int64_t selector_selection_only = 0;  // similarity term dropped
+  int64_t selector_random = 0;          // both dropped: random selection
+  int64_t deduped_prompts = 0;          // duplicate prompt ids removed
+  int64_t missing_class_prompts = 0;    // classes left without any prompt
+
+  // Stage 3 (Prompt Augmenter) — cache hygiene.
+  int64_t augmenter_rejected_inserts = 0;  // non-finite insert candidates
+  int64_t augmenter_evicted_poisoned = 0;  // poisoned entries evicted
+  int64_t augmenter_stage_skips = 0;       // whole stage skipped (unhealthy)
+
+  // Prediction & metrics.
+  int64_t prediction_fallbacks = 0;        // non-finite scores -> fallback
+  int64_t nonfinite_scores_skipped = 0;    // metrics rows skipped
+  int64_t slow_batches = 0;                // injected latency faults seen
+
+  // Sum over every counter: 0 means the run never degraded.
+  int64_t TotalEvents() const;
+
+  // Accumulates `other` into this.
+  void Merge(const DegradationStats& other);
+
+  // One line per non-zero counter ("  quarantined_prompts: 3\n"...);
+  // "no degradation events" when clean.
+  std::string ToString() const;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_DEGRADATION_H_

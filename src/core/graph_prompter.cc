@@ -2,17 +2,55 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
+#include "util/fault.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
 
 namespace gp {
 
+Status Validate(const GraphPrompterConfig& config) {
+  auto require = [](bool ok, const std::string& what) {
+    return ok ? Status::Ok() : InvalidArgumentError("config: " + what);
+  };
+  GP_RETURN_IF_ERROR(require(config.feature_dim > 0, "feature_dim must be > 0"));
+  GP_RETURN_IF_ERROR(
+      require(config.embedding_dim > 0, "embedding_dim must be > 0"));
+  GP_RETURN_IF_ERROR(require(config.gnn_layers >= 1, "gnn_layers must be >= 1"));
+  GP_RETURN_IF_ERROR(
+      require(config.recon_hidden > 0, "recon_hidden must be > 0"));
+  GP_RETURN_IF_ERROR(
+      require(config.selection_hidden > 0, "selection_hidden must be > 0"));
+  GP_RETURN_IF_ERROR(
+      require(config.task_layers >= 1, "task_layers must be >= 1"));
+  GP_RETURN_IF_ERROR(
+      require(std::isfinite(config.score_temperature) &&
+                  config.score_temperature > 0.0f,
+              "score_temperature must be finite and > 0"));
+  GP_RETURN_IF_ERROR(
+      require(config.sampler.num_hops >= 1, "sampler.num_hops must be >= 1"));
+  GP_RETURN_IF_ERROR(
+      require(config.sampler.max_nodes >= 1, "sampler.max_nodes must be >= 1"));
+  GP_RETURN_IF_ERROR(
+      require(config.sampler.num_walks >= 1, "sampler.num_walks must be >= 1"));
+  GP_RETURN_IF_ERROR(require(config.augmenter.cache_capacity >= 0,
+                             "augmenter.cache_capacity must be >= 0"));
+  GP_RETURN_IF_ERROR(require(config.augmenter.top_k_hits >= 0,
+                             "augmenter.top_k_hits must be >= 0"));
+  GP_RETURN_IF_ERROR(require(std::isfinite(config.augmenter.min_confidence),
+                             "augmenter.min_confidence must be finite"));
+  GP_RETURN_IF_ERROR(require(config.cache_inserts_per_batch >= 0,
+                             "cache_inserts_per_batch must be >= 0"));
+  return Status::Ok();
+}
+
 GraphPrompterModel::GraphPrompterModel(const GraphPrompterConfig& config)
     : config_(config) {
+  CHECK_OK(Validate(config));
   Rng rng(config.seed);
 
   PromptGeneratorConfig gen;
@@ -78,6 +116,47 @@ std::vector<float> SoftmaxConfidence(const Tensor& scores) {
   return out;
 }
 
+// Indices of rows containing any non-finite value. A read-only scan: on a
+// clean run it finds nothing and the pipeline below is byte-for-byte the
+// unvalidated one.
+std::vector<int> NonFiniteRows(const Tensor& t) {
+  std::vector<int> bad;
+  for (int r = 0; r < t.rows(); ++r) {
+    if (!t.RowFinite(r)) bad.push_back(r);
+  }
+  return bad;
+}
+
+// Zeroes the given rows in place (query sanitization: a query must still be
+// predicted, so it degrades to the origin instead of being dropped).
+void ZeroRows(Tensor* t, const std::vector<int>& rows) {
+  float* data = t->mutable_data().data();
+  const int cols = t->cols();
+  for (int r : rows) {
+    std::fill_n(data + static_cast<size_t>(r) * cols, cols, 0.0f);
+  }
+}
+
+// Prodigy-style selection: `shots` random candidates per class. Shared by
+// the random_prompt_selection config and the last rung of the degradation
+// ladder.
+std::vector<int> RandomSelection(const std::vector<int>& candidate_labels,
+                                 int ways, int shots, Rng* rng) {
+  std::vector<int> selected;
+  for (int cls = 0; cls < ways; ++cls) {
+    std::vector<int> members;
+    for (size_t p = 0; p < candidate_labels.size(); ++p) {
+      if (candidate_labels[p] == cls) {
+        members.push_back(static_cast<int>(p));
+      }
+    }
+    rng->Shuffle(&members);
+    const int keep = std::min<int>(shots, members.size());
+    for (int i = 0; i < keep; ++i) selected.push_back(members[i]);
+  }
+  return selected;
+}
+
 }  // namespace
 
 EvalResult EvaluateInContext(const GraphPrompterModel& model,
@@ -115,6 +194,43 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
     }
     Tensor candidate_emb =
         model.generator().EmbedItems(dataset, candidate_items, &trial_rng);
+    if (FaultInjector* inj = GlobalFaultInjector()) {
+      inj->CorruptRows(&candidate_emb.mutable_data(), candidate_emb.rows(),
+                       candidate_emb.cols());
+    }
+
+    // Quarantine: a candidate with a non-finite embedding would poison
+    // every similarity and importance it touches, so it is removed from
+    // the candidate pool. If *every* row is damaged there is nothing left
+    // to select from — sanitize to zeros and fall through to the random
+    // rung of the ladder instead of returning an empty prompt set.
+    bool candidates_degenerate = false;
+    if (const std::vector<int> bad = NonFiniteRows(candidate_emb);
+        !bad.empty()) {
+      if (bad.size() == static_cast<size_t>(candidate_emb.rows())) {
+        ZeroRows(&candidate_emb, bad);
+        candidates_degenerate = true;
+      } else {
+        std::vector<int> keep;
+        std::vector<int> kept_items, kept_labels;
+        size_t next_bad = 0;
+        for (int r = 0; r < candidate_emb.rows(); ++r) {
+          if (next_bad < bad.size() && bad[next_bad] == r) {
+            ++next_bad;
+            continue;
+          }
+          keep.push_back(r);
+          kept_items.push_back(candidate_items[r]);
+          kept_labels.push_back(candidate_labels[r]);
+        }
+        candidate_emb = GatherRows(candidate_emb, keep);
+        candidate_items = std::move(kept_items);
+        candidate_labels = std::move(kept_labels);
+      }
+      result.degradation.quarantined_prompts += bad.size();
+      LOG(WARNING) << "trial " << trial << ": quarantined " << bad.size()
+                   << " candidate embedding rows with non-finite values";
+    }
 
     Tensor candidate_importance;  // I_p (Eq. 5)
     if (mc.use_selection_layer) {
@@ -131,35 +247,66 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
     }
     Tensor query_emb =
         model.generator().EmbedItems(dataset, query_items, &trial_rng);
+    if (FaultInjector* inj = GlobalFaultInjector()) {
+      inj->CorruptRows(&query_emb.mutable_data(), query_emb.rows(),
+                       query_emb.cols());
+    }
+    // Unlike candidates, a damaged query cannot be dropped — it still needs
+    // a prediction. Sanitize the row to zeros; the task graph then scores
+    // it from label-prototype structure alone.
+    if (const std::vector<int> bad = NonFiniteRows(query_emb); !bad.empty()) {
+      ZeroRows(&query_emb, bad);
+      result.degradation.sanitized_queries += bad.size();
+      LOG(WARNING) << "trial " << trial << ": sanitized " << bad.size()
+                   << " query embedding rows with non-finite values";
+    }
     Tensor query_importance;
     if (mc.use_selection_layer) {
       query_importance = model.selection().Importance(query_emb);
     }
     total_query_seconds += query_embed_timer.ElapsedSeconds();
 
-    // ---- Stage 2: prompt selection -> S-hat (k per class).
+    // ---- Stage 2: prompt selection -> S-hat (k per class), with the
+    // degradation ladder kNN -> selection-layer-only -> random. Health
+    // checks are read-only; on a clean run the selector sees exactly the
+    // configured combination of terms.
+    const bool imp_healthy = mc.use_selection_layer &&
+                             candidate_importance.AllFinite() &&
+                             query_importance.AllFinite();
+    const bool sim_healthy = mc.use_knn && !candidates_degenerate;
     Stopwatch select_timer;
     std::vector<int> selected;
     if (mc.random_prompt_selection ||
         (!mc.use_knn && !mc.use_selection_layer)) {
       // Prodigy behaviour: k random candidates per class.
-      for (int cls = 0; cls < ways; ++cls) {
-        std::vector<int> members;
-        for (size_t p = 0; p < candidate_labels.size(); ++p) {
-          if (candidate_labels[p] == cls) {
-            members.push_back(static_cast<int>(p));
-          }
-        }
-        trial_rng.Shuffle(&members);
-        const int keep = std::min<int>(eval_config.shots, members.size());
-        for (int i = 0; i < keep; ++i) selected.push_back(members[i]);
-      }
+      selected = RandomSelection(candidate_labels, ways, eval_config.shots,
+                                 &trial_rng);
+    } else if (!sim_healthy && !imp_healthy) {
+      // Bottom rung: neither the similarity nor the importance term can be
+      // trusted; a random per-class pick still yields a usable prompt set.
+      selected = RandomSelection(candidate_labels, ways, eval_config.shots,
+                                 &trial_rng);
+      ++result.degradation.selector_random;
+      LOG(WARNING) << "trial " << trial
+                   << ": prompt selector degraded to random selection";
     } else {
       KnnConfig knn;
       knn.shots = eval_config.shots;
       knn.metric = mc.metric;
-      knn.use_similarity = mc.use_knn;
-      knn.use_importance = mc.use_selection_layer;
+      knn.use_similarity = mc.use_knn && sim_healthy;
+      knn.use_importance = mc.use_selection_layer && imp_healthy;
+      if (mc.use_selection_layer && !knn.use_importance) {
+        ++result.degradation.selector_knn_only;
+        LOG(WARNING) << "trial " << trial
+                     << ": non-finite importance, selector degraded to "
+                        "kNN-only scoring";
+      }
+      if (mc.use_knn && !knn.use_similarity) {
+        ++result.degradation.selector_selection_only;
+        LOG(WARNING) << "trial " << trial
+                     << ": similarity unusable, selector degraded to "
+                        "selection-layer-only scoring";
+      }
       const KnnSelection selection =
           mc.selector == SelectorKind::kClustering
               ? SelectPromptsByClustering(candidate_emb, candidate_importance,
@@ -170,6 +317,35 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
                               candidate_labels, query_emb, query_importance,
                               ways, knn);
       selected = selection.selected;
+    }
+
+    // Prompt-set hygiene after optional fault injection: drop duplicate
+    // ids (a duplicated prompt would double-weight its class prototype)
+    // and account for classes that lost every prompt. SegmentMeanRows
+    // tolerates an empty class (prototype = label embedding only), so a
+    // missing class degrades accuracy but cannot produce NaN.
+    if (FaultInjector* inj = GlobalFaultInjector()) {
+      inj->MutatePromptSet(&selected);
+    }
+    {
+      std::vector<char> seen_prompt(candidate_labels.size(), 0);
+      std::vector<int> unique;
+      for (int p : selected) {
+        if (p >= 0 && p < static_cast<int>(candidate_labels.size()) &&
+            !seen_prompt[p]) {
+          seen_prompt[p] = 1;
+          unique.push_back(p);
+        }
+      }
+      if (unique.size() != selected.size()) {
+        result.degradation.deduped_prompts += selected.size() - unique.size();
+        selected = std::move(unique);
+      }
+      std::vector<char> class_covered(ways, 0);
+      for (int p : selected) class_covered[candidate_labels[p]] = 1;
+      for (int cls = 0; cls < ways; ++cls) {
+        if (!class_covered[cls]) ++result.degradation.missing_class_prompts;
+      }
     }
 
     // Refined prompt set S-hat. Note: the importance-weighted embeddings
@@ -193,6 +369,11 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
     }
     PromptAugmenter augmenter(augmenter_config, trial_rng.NextUint64());
     std::vector<int> predictions(query_expected.size(), -1);
+    // Circuit breaker: once more entries have been evicted as poisoned than
+    // the cache even holds, the pseudo-prompt source is clearly unhealthy —
+    // skip the augmenter stage for the rest of the episode (Eq. 9 degrades
+    // to S-hat' = S-hat).
+    bool augmenter_enabled = mc.use_augmenter;
 
     Stopwatch predict_timer;
     const int num_queries = static_cast<int>(query_items.size());
@@ -202,9 +383,38 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
           std::min(eval_config.query_batch, num_queries - start);
       Tensor batch_emb = SliceRows(query_emb, start, count);
 
+      if (FaultInjector* inj = GlobalFaultInjector()) {
+        if (inj->MaybeSlowBatch()) ++result.degradation.slow_batches;
+        if (augmenter_enabled) {
+          const auto entries = augmenter.cache().Entries();
+          const int victim =
+              inj->PickCacheEntryToPoison(static_cast<int>(entries.size()));
+          if (victim >= 0) {
+            CacheEntry* entry =
+                augmenter.mutable_cache().MutableEntry(entries[victim].first);
+            if (entry != nullptr && !entry->embedding.empty()) {
+              entry->embedding[0] =
+                  std::numeric_limits<float>::quiet_NaN();
+            }
+          }
+        }
+      }
+
       Tensor step_prompts = prompt_emb;
       std::vector<int> step_labels = prompt_labels;
-      if (mc.use_augmenter) {
+      if (augmenter_enabled) {
+        augmenter.EvictPoisoned(model.config().embedding_dim, ways);
+        if (augmenter.health().evicted_poisoned >
+            augmenter_config.cache_capacity) {
+          augmenter_enabled = false;
+          ++result.degradation.augmenter_stage_skips;
+          LOG(WARNING) << "trial " << trial
+                       << ": prompt cache repeatedly poisoned; augmenter "
+                          "stage disabled for the rest of the episode";
+        }
+      }
+      if (augmenter_enabled &&
+          augmenter.ValidateCache(model.config().embedding_dim, ways).ok()) {
         const auto cached =
             augmenter.GetCachedPrompts(model.config().embedding_dim);
         if (cached.embeddings.rows() > 0) {
@@ -216,19 +426,31 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
 
       const TaskGraphOutput out =
           model.task_net().Forward(step_prompts, step_labels, batch_emb, ways);
-      const std::vector<int> batch_pred = ArgmaxRows(out.query_scores);
-      const std::vector<float> confidence =
-          SoftmaxConfidence(out.query_scores);
+      std::vector<int> batch_pred = ArgmaxRows(out.query_scores);
+      std::vector<float> confidence = SoftmaxConfidence(out.query_scores);
+      // Prediction fallback: a row of non-finite scores (damaged weights or
+      // an injected fault that slipped past earlier rungs) gets a
+      // deterministic random vote instead of an argmax over NaN, and its
+      // confidence is floored so it can never enter the cache.
       for (int i = 0; i < count; ++i) {
+        if (!out.query_scores.RowFinite(i)) {
+          batch_pred[i] = static_cast<int>(trial_rng.UniformInt(ways));
+          confidence[i] = 0.0f;
+          ++result.degradation.prediction_fallbacks;
+        }
         predictions[start + i] = batch_pred[i];
       }
-      if (mc.use_augmenter) {
+      if (augmenter_enabled) {
         augmenter.ObserveQueries(batch_emb, batch_pred, confidence,
                                  std::min(mc.cache_inserts_per_batch, ways));
       }
     }
     total_query_seconds += predict_timer.ElapsedSeconds();
     total_queries += num_queries;
+    result.degradation.augmenter_rejected_inserts +=
+        augmenter.health().rejected_nonfinite;
+    result.degradation.augmenter_evicted_poisoned +=
+        augmenter.health().evicted_poisoned;
 
     result.trial_accuracy_percent.push_back(
         100.0 * Accuracy(predictions, query_expected));

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/degradation.h"
 #include "core/knn_retrieval.h"
 #include "core/metrics.h"
 #include "core/prompt_augmenter.h"
@@ -21,6 +22,7 @@
 #include "core/selection_layer.h"
 #include "core/task_graph.h"
 #include "data/episode.h"
+#include "util/status.h"
 
 namespace gp {
 
@@ -54,6 +56,13 @@ struct GraphPrompterConfig {
 
   uint64_t seed = 42;
 };
+
+// Config invariants: positive dimensions and layer counts, a finite
+// positive score temperature, sane sampler caps, and a cache/confidence
+// setup the augmenter can actually honor. Checked at the pipeline boundary
+// (model construction, examples, benches) so a bad config fails with a
+// typed error instead of a crash deep inside a kernel.
+Status Validate(const GraphPrompterConfig& config);
 
 // The trainable model (generator + selection layer + task network).
 class GraphPrompterModel : public Module {
@@ -97,12 +106,25 @@ struct EvalResult {
   // data-graph embeddings of the final trial with episode labels.
   Tensor embeddings;
   std::vector<int> embedding_labels;
+  // How often each graceful-degradation fallback fired across all trials
+  // (all zeros on a clean run). See core/degradation.h.
+  DegradationStats degradation;
 };
 
 // Runs Algorithm 2: per trial, samples an episode, embeds candidates and
 // queries, selects prompts (kNN + selection layer + voting, or random for
 // the Prodigy configuration), streams query batches through the task graph
 // with optional cache augmentation, and scores accuracy.
+//
+// Fault tolerance: non-finite candidate embeddings are quarantined and the
+// selector degrades along kNN -> selection-layer-only -> random; non-finite
+// query embeddings are sanitized; the augmenter evicts poisoned cache
+// entries and is skipped entirely when the cache is unhealthy; non-finite
+// prediction scores fall back to deterministic per-query votes. Every
+// fallback increments EvalResult::degradation. When the process-global
+// FaultInjector (util/fault.h) is configured, faults are injected at each
+// of these sites; with injection off, results are bitwise identical to the
+// unvalidated pipeline.
 EvalResult EvaluateInContext(const GraphPrompterModel& model,
                              const DatasetBundle& dataset,
                              const EvalConfig& eval_config);

@@ -36,6 +36,22 @@ bool LfuCache::Touch(int64_t id) {
   return true;
 }
 
+bool LfuCache::Erase(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return false;
+  auto bucket = it->second.bucket;
+  bucket->members.erase(it->second.position);
+  if (bucket->members.empty()) buckets_.erase(bucket);
+  nodes_.erase(it);
+  return true;
+}
+
+CacheEntry* LfuCache::MutableEntry(int64_t id) {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) return nullptr;
+  return &it->second.entry;
+}
+
 void LfuCache::Promote(int64_t id) {
   NodeInfo& info = nodes_.at(id);
   auto bucket = info.bucket;

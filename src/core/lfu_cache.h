@@ -47,6 +47,14 @@ class LfuCache {
   // are ignored (returns false).
   bool Touch(int64_t id);
 
+  // Removes `id` outright (used to quarantine poisoned entries). Returns
+  // false for unknown/already-evicted ids.
+  bool Erase(int64_t id);
+
+  // Mutable payload of `id`, or nullptr if absent. Fault-injection and
+  // diagnostic hook; does not affect frequencies.
+  CacheEntry* MutableEntry(int64_t id);
+
   // Current frequency of an entry; 0 if absent.
   int FrequencyOf(int64_t id) const;
 

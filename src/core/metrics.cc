@@ -45,7 +45,8 @@ double RowDistance(const Tensor& embeddings, int a, int b) {
 }  // namespace
 
 double SilhouetteScore(const Tensor& embeddings,
-                       const std::vector<int>& labels) {
+                       const std::vector<int>& labels,
+                       DegradationStats* stats) {
   const int n = embeddings.rows();
   CHECK_EQ(static_cast<size_t>(n), labels.size());
   int num_classes = 0;
@@ -57,6 +58,7 @@ double SilhouetteScore(const Tensor& embeddings,
 
   double total_s = 0.0;
   int counted = 0;
+  int64_t skipped_nonfinite = 0;
   for (int i = 0; i < n; ++i) {
     if (class_size[labels[i]] < 2) continue;  // silhouette undefined
     // Mean distance to every class.
@@ -74,12 +76,25 @@ double SilhouetteScore(const Tensor& embeddings,
     for (int c = 0; c < num_classes; ++c) {
       if (c != labels[i] && class_size[c] > 0) b = std::min(b, mean_dist[c]);
     }
-    if (!std::isfinite(b)) continue;
+    // A non-finite a (NaN embedding row) or b (NaN distances, or no other
+    // reachable cluster) would poison the whole mean; skip the row and
+    // account for it instead of dropping it invisibly.
+    if (!std::isfinite(a) || !std::isfinite(b)) {
+      ++skipped_nonfinite;
+      continue;
+    }
     const double denom = std::max(a, b);
     if (denom > 0.0) {
       total_s += (b - a) / denom;
       ++counted;
     }
+  }
+  if (skipped_nonfinite > 0) {
+    if (stats != nullptr) {
+      stats->nonfinite_scores_skipped += skipped_nonfinite;
+    }
+    LOG(WARNING) << "SilhouetteScore: skipped " << skipped_nonfinite << "/"
+                 << n << " rows with non-finite scores";
   }
   return counted > 0 ? total_s / counted : 0.0;
 }

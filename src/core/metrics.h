@@ -7,6 +7,7 @@
 
 #include <vector>
 
+#include "core/degradation.h"
 #include "tensor/tensor.h"
 
 namespace gp {
@@ -25,8 +26,12 @@ MeanStd ComputeMeanStd(const std::vector<double>& values);
 // Mean silhouette coefficient of `embeddings` (rows) under `labels`, using
 // Euclidean distance. Higher = tighter, better-separated clusters. Returns
 // 0 for degenerate inputs (single cluster or singleton clusters only).
+// Rows whose scores come out non-finite (NaN embeddings, or no reachable
+// other cluster) are skipped with a warning; the skip count is added to
+// `stats->nonfinite_scores_skipped` when `stats` is non-null.
 double SilhouetteScore(const Tensor& embeddings,
-                       const std::vector<int>& labels);
+                       const std::vector<int>& labels,
+                       DegradationStats* stats = nullptr);
 
 // Ratio of mean intra-class pairwise distance to mean inter-class pairwise
 // distance (lower is better).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -102,10 +103,15 @@ void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
       ParallelFor(0, num_entries, grain,
                   [&](int64_t first, int64_t last) {
                     for (int64_t i = first; i < last; ++i) {
-                      sims[i] = {EntrySimilarity(qe, query_norm,
-                                                 entries[i].second->embedding,
-                                                 config_.metric),
-                                 entries[i].first};
+                      float sim = EntrySimilarity(
+                          qe, query_norm, entries[i].second->embedding,
+                          config_.metric);
+                      // A NaN similarity (poisoned entry or query) would
+                      // break the partial_sort's ordering; rank it last.
+                      if (!std::isfinite(sim)) {
+                        sim = -std::numeric_limits<float>::infinity();
+                      }
+                      sims[i] = {sim, entries[i].first};
                     }
                   });
       const int k = std::min<int>(config_.top_k_hits, sims.size());
@@ -130,13 +136,69 @@ void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
   const int inserts = std::min(max_inserts, num_queries);
   for (int i = 0; i < inserts; ++i) {
     const int q = order[i];
-    if (confidences[q] < config_.min_confidence) continue;
+    // Insert validation: a pseudo-prompt with non-finite values would be
+    // retrieved for every later query of the episode, turning one bad
+    // prediction into a poisoned cache. Reject it here and count the event.
+    if (!std::isfinite(confidences[q]) || predicted_labels[q] < 0 ||
+        !query_embeddings.RowFinite(q)) {
+      ++health_.rejected_nonfinite;
+      continue;
+    }
+    if (confidences[q] < config_.min_confidence) {
+      ++health_.rejected_low_confidence;
+      continue;
+    }
     CacheEntry entry;
     entry.embedding = query_embeddings.Row(q);
     entry.pseudo_label = predicted_labels[q];
     entry.confidence = confidences[q];
     cache_->Insert(std::move(entry));
   }
+}
+
+namespace {
+
+bool EntryPoisoned(const CacheEntry& entry, int dim, int num_classes) {
+  if (static_cast<int>(entry.embedding.size()) != dim) return true;
+  if (entry.pseudo_label < 0 || entry.pseudo_label >= num_classes) {
+    return true;
+  }
+  if (!std::isfinite(entry.confidence)) return true;
+  for (float v : entry.embedding) {
+    if (!std::isfinite(v)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int PromptAugmenter::EvictPoisoned(int dim, int num_classes) {
+  int evicted = 0;
+  for (const auto& [id, entry] : cache_->Entries()) {
+    if (EntryPoisoned(*entry, dim, num_classes)) {
+      cache_->Erase(id);
+      ++evicted;
+    }
+  }
+  if (evicted > 0) {
+    health_.evicted_poisoned += evicted;
+    LOG(WARNING) << "prompt augmenter: evicted " << evicted
+                 << " poisoned cache entr" << (evicted == 1 ? "y" : "ies");
+  }
+  return evicted;
+}
+
+Status PromptAugmenter::ValidateCache(int dim, int num_classes) const {
+  for (const auto& [id, entry] : cache_->Entries()) {
+    if (EntryPoisoned(*entry, dim, num_classes)) {
+      return FailedPreconditionError(
+          "prompt cache entry " + std::to_string(id) +
+          " is poisoned (dim=" +
+          std::to_string(entry->embedding.size()) + ", label=" +
+          std::to_string(entry->pseudo_label) + ")");
+    }
+  }
+  return Status::Ok();
 }
 
 }  // namespace gp

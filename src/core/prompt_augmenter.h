@@ -9,6 +9,7 @@
 #ifndef GRAPHPROMPTER_CORE_PROMPT_AUGMENTER_H_
 #define GRAPHPROMPTER_CORE_PROMPT_AUGMENTER_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "core/cache_policy.h"
@@ -16,6 +17,7 @@
 #include "core/lfu_cache.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace gp {
 
@@ -51,18 +53,44 @@ class PromptAugmenter {
 
   // Feeds back one predicted batch: bumps LFU frequencies of cache entries
   // similar to the queries, then inserts up to `max_inserts` (<= m, the
-  // paper's |Q-hat| <= m) pseudo-labelled queries.
+  // paper's |Q-hat| <= m) pseudo-labelled queries. A query with a
+  // non-finite embedding or confidence is never cached (Eq. 9's S-hat'
+  // must stay clean): it is rejected and counted in health().
   void ObserveQueries(const Tensor& query_embeddings,
                       const std::vector<int>& predicted_labels,
                       const std::vector<float>& confidences, int max_inserts);
 
+  // Scans the cache and evicts entries that are poisoned — non-finite
+  // embedding values, a wrong embedding width, or a pseudo-label outside
+  // [0, num_classes). Returns the number of entries evicted. Cheap
+  // (capacity is small: Fig. 5 peaks at c = 3) and safe to call per batch.
+  int EvictPoisoned(int dim, int num_classes);
+
+  // Checks that every cached entry is usable for a (dim)-wide prompt set
+  // with labels in [0, num_classes). kFailedPrecondition when the cache is
+  // unhealthy; the caller then skips the augmenter stage for the episode
+  // instead of crashing in GetCachedPrompts.
+  Status ValidateCache(int dim, int num_classes) const;
+
+  // Degradation counters for the augmenter stage.
+  struct Health {
+    int64_t rejected_nonfinite = 0;       // inserts refused: bad values
+    int64_t rejected_low_confidence = 0;  // inserts refused: below gate
+    int64_t evicted_poisoned = 0;         // entries removed by EvictPoisoned
+  };
+  const Health& health() const { return health_; }
+
   const ReplacementCache& cache() const { return *cache_; }
+  // Mutable cache access: the fault-injection path poisons entries through
+  // this to exercise EvictPoisoned/ValidateCache.
+  ReplacementCache& mutable_cache() { return *cache_; }
   void Reset() { cache_->Clear(); }
 
  private:
   PromptAugmenterConfig config_;
   std::unique_ptr<ReplacementCache> cache_;
   Rng rng_;
+  Health health_;
 };
 
 }  // namespace gp

@@ -22,6 +22,44 @@ bool Eligible(const DatasetBundle& dataset, int cls,
 
 }  // namespace
 
+Status FewShotTask::Validate(int num_items) const {
+  const int m = ways();
+  if (m < 1) return InvalidArgumentError("episode has no classes");
+  if (candidates.empty()) {
+    return InvalidArgumentError("episode has no candidate prompts");
+  }
+  if (queries.empty()) return InvalidArgumentError("episode has no queries");
+  std::vector<int> per_class(m, 0);
+  for (const ExampleItem& ex : candidates) {
+    if (ex.item < 0 || ex.item >= num_items) {
+      return OutOfRangeError("candidate item id out of range: " +
+                             std::to_string(ex.item));
+    }
+    if (ex.label < 0 || ex.label >= m) {
+      return OutOfRangeError("candidate label out of range: " +
+                             std::to_string(ex.label));
+    }
+    ++per_class[ex.label];
+  }
+  for (int cls = 0; cls < m; ++cls) {
+    if (per_class[cls] == 0) {
+      return InvalidArgumentError("episode class " + std::to_string(cls) +
+                                  " has no candidates");
+    }
+  }
+  for (const ExampleItem& ex : queries) {
+    if (ex.item < 0 || ex.item >= num_items) {
+      return OutOfRangeError("query item id out of range: " +
+                             std::to_string(ex.item));
+    }
+    if (ex.label < 0 || ex.label >= m) {
+      return OutOfRangeError("query label out of range: " +
+                             std::to_string(ex.label));
+    }
+  }
+  return Status::Ok();
+}
+
 EpisodeSampler::EpisodeSampler(const DatasetBundle* dataset)
     : dataset_(dataset) {
   CHECK(dataset != nullptr);
@@ -78,6 +116,12 @@ StatusOr<FewShotTask> EpisodeSampler::Sample(const EpisodeConfig& config,
   }
   // Shuffle so query order does not encode the label.
   rng->Shuffle(&task.queries);
+  // Boundary check: a task leaving the sampler must be internally
+  // consistent before it reaches the three inference stages.
+  const int num_items = dataset_->task == TaskType::kNodeClassification
+                            ? dataset_->graph.num_nodes()
+                            : dataset_->graph.num_edges();
+  GP_RETURN_IF_ERROR(task.Validate(num_items));
   return task;
 }
 

@@ -29,6 +29,12 @@ struct FewShotTask {
   std::vector<ExampleItem> queries;
 
   int ways() const { return static_cast<int>(class_global.size()); }
+
+  // Integrity check for an episode entering the inference pipeline:
+  // non-empty candidate/query sets, every item id in [0, num_items), every
+  // episode label in [0, ways), and at least one candidate per class.
+  // `num_items` is the dataset's node or edge count (task-dependent).
+  Status Validate(int num_items) const;
 };
 
 struct EpisodeConfig {

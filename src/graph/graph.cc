@@ -1,8 +1,85 @@
 #include "graph/graph.h"
 
+#include <cmath>
 #include <sstream>
 
 namespace gp {
+
+Status Graph::Validate() const {
+  if (num_nodes_ < 0) return InvalidArgumentError("negative node count");
+  if (num_relations_ < 1) {
+    return InvalidArgumentError("graph needs >= 1 relation");
+  }
+  // CSR structure.
+  if (static_cast<int>(offsets_.size()) != num_nodes_ + 1) {
+    return InvalidArgumentError("CSR offsets size mismatch");
+  }
+  if (!offsets_.empty() &&
+      (offsets_.front() != 0 ||
+       offsets_.back() != static_cast<int>(adjacency_.size()))) {
+    return InvalidArgumentError("CSR offsets do not span the adjacency");
+  }
+  for (size_t v = 1; v < offsets_.size(); ++v) {
+    if (offsets_[v] < offsets_[v - 1]) {
+      return InvalidArgumentError("CSR offsets not monotone at node " +
+                                  std::to_string(v - 1));
+    }
+  }
+  for (const AdjEntry& entry : adjacency_) {
+    if (entry.neighbor < 0 || entry.neighbor >= num_nodes_) {
+      return InvalidArgumentError("dangling adjacency neighbor " +
+                                  std::to_string(entry.neighbor));
+    }
+    if (entry.relation < 0 || entry.relation >= num_relations_) {
+      return InvalidArgumentError("adjacency relation out of range");
+    }
+    if (entry.edge_id < 0 ||
+        entry.edge_id >= static_cast<int>(edges_.size())) {
+      return InvalidArgumentError("adjacency edge id out of range");
+    }
+  }
+  // Edge records.
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    const Edge& edge = edges_[e];
+    if (edge.src < 0 || edge.src >= num_nodes_ || edge.dst < 0 ||
+        edge.dst >= num_nodes_) {
+      return InvalidArgumentError("dangling edge " + std::to_string(e) +
+                                  " (" + std::to_string(edge.src) + " -> " +
+                                  std::to_string(edge.dst) + ")");
+    }
+    if (edge.relation < 0 || edge.relation >= num_relations_) {
+      return InvalidArgumentError("edge relation out of range at edge " +
+                                  std::to_string(e));
+    }
+  }
+  // Labels.
+  if (static_cast<int>(node_labels_.size()) != num_nodes_) {
+    return InvalidArgumentError("node label count mismatch");
+  }
+  for (size_t v = 0; v < node_labels_.size(); ++v) {
+    if (node_labels_[v] < -1 || node_labels_[v] >= num_node_classes_) {
+      return InvalidArgumentError("node " + std::to_string(v) +
+                                  " label out of range: " +
+                                  std::to_string(node_labels_[v]));
+    }
+  }
+  // Features: shape + finiteness (a NaN feature poisons every embedding
+  // computed from the node's neighborhood).
+  if (node_features_.defined()) {
+    if (node_features_.rows() != num_nodes_) {
+      return InvalidArgumentError("feature row count mismatch");
+    }
+    const std::vector<float>& data = node_features_.data();
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (!std::isfinite(data[i])) {
+        return InvalidArgumentError(
+            "non-finite node feature at node " +
+            std::to_string(i / node_features_.cols()));
+      }
+    }
+  }
+  return Status::Ok();
+}
 
 std::string Graph::DebugString() const {
   std::ostringstream out;

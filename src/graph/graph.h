@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace gp {
 
@@ -73,6 +74,13 @@ class Graph {
   const std::vector<int>& EdgesOfRelation(int relation) const {
     return edges_by_relation_[relation];
   }
+
+  // Structural integrity check, used at pipeline boundaries (after loading
+  // a graph from disk, before evaluation): CSR offsets monotone and
+  // consistent with the adjacency payload, no dangling edge endpoints or
+  // out-of-range relations/edge ids, labels within [-1, num_node_classes),
+  // and node features finite with one row per node. O(V + E + V*d).
+  Status Validate() const;
 
   std::string DebugString() const;
 

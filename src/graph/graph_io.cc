@@ -1,73 +1,52 @@
 #include "graph/graph_io.h"
 
 #include <cstdint>
-#include <fstream>
 
 #include "graph/builder.h"
+#include "util/checksum.h"
 
 namespace gp {
 namespace {
 
 constexpr uint32_t kMagic = 0x47504752;  // "GPGR"
-
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-void WriteI32(std::ofstream& out, int32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
-bool ReadI32(std::ifstream& in, int32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+// v1 was the footer-less legacy layout; v2 adds the integrity frame
+// (version + CRC32) around the same topology/feature payload.
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
 Status SaveGraph(const Graph& graph, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return InternalError("cannot open graph file for writing: " + path);
-  }
-  WriteU32(out, kMagic);
-  WriteI32(out, graph.num_nodes());
-  WriteI32(out, graph.num_relations());
-  WriteI32(out, graph.feature_dim());
+  PayloadWriter payload;
+  payload.WriteI32(graph.num_nodes());
+  payload.WriteI32(graph.num_relations());
+  payload.WriteI32(graph.feature_dim());
   // Node labels.
   for (int v = 0; v < graph.num_nodes(); ++v) {
-    WriteI32(out, graph.node_label(v));
+    payload.WriteI32(graph.node_label(v));
   }
   // Features.
   const auto& features = graph.node_features();
-  out.write(reinterpret_cast<const char*>(features.data().data()),
-            static_cast<std::streamsize>(features.size() * sizeof(float)));
+  payload.WriteBytes(features.data().data(),
+                     static_cast<size_t>(features.size()) * sizeof(float));
   // Edges (original records; adjacency is rebuilt on load).
-  WriteI32(out, graph.num_edges());
+  payload.WriteI32(graph.num_edges());
   for (const Edge& e : graph.edges()) {
-    WriteI32(out, e.src);
-    WriteI32(out, e.dst);
-    WriteI32(out, e.relation);
+    payload.WriteI32(e.src);
+    payload.WriteI32(e.dst);
+    payload.WriteI32(e.relation);
   }
-  if (!out.good()) return InternalError("graph write failed: " + path);
-  return Status::Ok();
+  return WriteFramedFile(path, kMagic, kVersion, payload.payload());
 }
 
 StatusOr<Graph> LoadGraph(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return NotFoundError("cannot open graph file: " + path);
-  }
-  uint32_t magic = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic) {
-    return InvalidArgumentError("bad graph file magic: " + path);
-  }
+  GP_ASSIGN_OR_RETURN(FramedPayload framed,
+                      ReadFramedFile(path, kMagic, kVersion, kVersion,
+                                     "graph"));
+  PayloadReader reader(framed.payload);
   int32_t num_nodes = 0, num_relations = 0, feature_dim = 0;
-  if (!ReadI32(in, &num_nodes) || !ReadI32(in, &num_relations) ||
-      !ReadI32(in, &feature_dim)) {
-    return InvalidArgumentError("truncated graph file: " + path);
+  if (!reader.ReadI32(&num_nodes) || !reader.ReadI32(&num_relations) ||
+      !reader.ReadI32(&feature_dim)) {
+    return DataLossError("truncated graph file: " + path);
   }
   if (num_nodes < 0 || num_relations < 1 || feature_dim < 0) {
     return InvalidArgumentError("corrupt graph header: " + path);
@@ -75,26 +54,28 @@ StatusOr<Graph> LoadGraph(const std::string& path) {
   GraphBuilder builder(num_relations);
   for (int v = 0; v < num_nodes; ++v) {
     int32_t label = -1;
-    if (!ReadI32(in, &label)) {
-      return InvalidArgumentError("truncated node labels: " + path);
+    if (!reader.ReadI32(&label)) {
+      return DataLossError("truncated node labels: " + path);
     }
     builder.AddNode(label);
   }
   std::vector<float> feature_data(
       static_cast<size_t>(num_nodes) * feature_dim);
-  in.read(reinterpret_cast<char*>(feature_data.data()),
-          static_cast<std::streamsize>(feature_data.size() * sizeof(float)));
-  if (!in.good()) return InvalidArgumentError("truncated features: " + path);
+  if (!reader.ReadBytes(feature_data.data(),
+                        feature_data.size() * sizeof(float))) {
+    return DataLossError("truncated features: " + path);
+  }
   builder.SetNodeFeatures(
       Tensor::FromData(num_nodes, feature_dim, std::move(feature_data)));
   int32_t num_edges = 0;
-  if (!ReadI32(in, &num_edges) || num_edges < 0) {
-    return InvalidArgumentError("truncated edge count: " + path);
+  if (!reader.ReadI32(&num_edges) || num_edges < 0) {
+    return DataLossError("truncated edge count: " + path);
   }
   for (int e = 0; e < num_edges; ++e) {
     int32_t src = 0, dst = 0, relation = 0;
-    if (!ReadI32(in, &src) || !ReadI32(in, &dst) || !ReadI32(in, &relation)) {
-      return InvalidArgumentError("truncated edges: " + path);
+    if (!reader.ReadI32(&src) || !reader.ReadI32(&dst) ||
+        !reader.ReadI32(&relation)) {
+      return DataLossError("truncated edges: " + path);
     }
     if (src < 0 || src >= num_nodes || dst < 0 || dst >= num_nodes ||
         relation < 0 || relation >= num_relations) {
@@ -102,7 +83,12 @@ StatusOr<Graph> LoadGraph(const std::string& path) {
     }
     builder.AddEdge(src, dst, relation);
   }
-  return builder.Build();
+  Graph graph = builder.Build();
+  // Boundary check: everything the CRC cannot see (semantic invariants of
+  // the rebuilt CSR structure, feature finiteness) is validated before the
+  // graph enters the pipeline.
+  GP_RETURN_IF_ERROR(graph.Validate());
+  return graph;
 }
 
 }  // namespace gp

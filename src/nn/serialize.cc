@@ -1,74 +1,75 @@
 #include "nn/serialize.h"
 
+#include <cmath>
 #include <cstdint>
-#include <fstream>
 #include <map>
+
+#include "util/checksum.h"
 
 namespace gp {
 namespace {
 
 constexpr uint32_t kMagic = 0x47505031;  // "GPP1"
-
-void WriteU32(std::ofstream& out, uint32_t v) {
-  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
-}
-
-bool ReadU32(std::ifstream& in, uint32_t* v) {
-  in.read(reinterpret_cast<char*>(v), sizeof(*v));
-  return in.good();
-}
+// v1 was the footer-less legacy layout; v2 adds the integrity frame
+// (version + CRC32) around the same parameter payload.
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
 Status SaveModule(const Module& module, const std::string& path) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out.is_open()) {
-    return InternalError("cannot open checkpoint for writing: " + path);
-  }
   const auto named = module.NamedParameters();
-  WriteU32(out, kMagic);
-  WriteU32(out, static_cast<uint32_t>(named.size()));
+  PayloadWriter payload;
+  payload.WriteU32(static_cast<uint32_t>(named.size()));
   for (const auto& [name, tensor] : named) {
-    WriteU32(out, static_cast<uint32_t>(name.size()));
-    out.write(name.data(), static_cast<std::streamsize>(name.size()));
-    WriteU32(out, static_cast<uint32_t>(tensor.rows()));
-    WriteU32(out, static_cast<uint32_t>(tensor.cols()));
-    out.write(reinterpret_cast<const char*>(tensor.data().data()),
-              static_cast<std::streamsize>(tensor.size() * sizeof(float)));
+    payload.WriteU32(static_cast<uint32_t>(name.size()));
+    payload.WriteBytes(name.data(), name.size());
+    payload.WriteU32(static_cast<uint32_t>(tensor.rows()));
+    payload.WriteU32(static_cast<uint32_t>(tensor.cols()));
+    payload.WriteBytes(tensor.data().data(), tensor.size() * sizeof(float));
   }
-  if (!out.good()) return InternalError("write failed: " + path);
-  return Status::Ok();
+  return WriteFramedFile(path, kMagic, kVersion, payload.payload());
 }
 
 Status LoadModule(Module* module, const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in.is_open()) {
-    return NotFoundError("cannot open checkpoint: " + path);
-  }
-  uint32_t magic = 0, count = 0;
-  if (!ReadU32(in, &magic) || magic != kMagic) {
-    return InvalidArgumentError("bad checkpoint magic in " + path);
-  }
-  if (!ReadU32(in, &count)) {
-    return InvalidArgumentError("truncated checkpoint: " + path);
+  GP_ASSIGN_OR_RETURN(
+      FramedPayload framed,
+      ReadFramedFile(path, kMagic, kVersion, kVersion, "checkpoint"));
+  PayloadReader reader(framed.payload);
+  uint32_t count = 0;
+  if (!reader.ReadU32(&count)) {
+    return DataLossError("truncated checkpoint: " + path);
   }
   std::map<std::string, std::pair<std::pair<int, int>, std::vector<float>>>
       stored;
   for (uint32_t i = 0; i < count; ++i) {
     uint32_t name_len = 0, rows = 0, cols = 0;
-    if (!ReadU32(in, &name_len)) {
-      return InvalidArgumentError("truncated checkpoint: " + path);
+    if (!reader.ReadU32(&name_len)) {
+      return DataLossError("truncated checkpoint: " + path);
     }
-    std::string name(name_len, '\0');
-    in.read(name.data(), name_len);
-    if (!ReadU32(in, &rows) || !ReadU32(in, &cols)) {
-      return InvalidArgumentError("truncated checkpoint: " + path);
+    std::string name;
+    if (!reader.ReadString(&name, name_len)) {
+      return DataLossError("truncated parameter name: " + path);
     }
-    std::vector<float> data(static_cast<size_t>(rows) * cols);
-    in.read(reinterpret_cast<char*>(data.data()),
-            static_cast<std::streamsize>(data.size() * sizeof(float)));
-    if (!in.good()) {
-      return InvalidArgumentError("truncated checkpoint: " + path);
+    if (!reader.ReadU32(&rows) || !reader.ReadU32(&cols)) {
+      return DataLossError("truncated checkpoint: " + path);
+    }
+    const size_t elems = static_cast<size_t>(rows) * cols;
+    if (elems * sizeof(float) > reader.remaining()) {
+      return DataLossError("truncated parameter data for '" + name +
+                           "': " + path);
+    }
+    std::vector<float> data(elems);
+    if (!reader.ReadBytes(data.data(), elems * sizeof(float))) {
+      return DataLossError("truncated checkpoint: " + path);
+    }
+    // Weight hygiene: a checkpoint written after divergent training (or
+    // corrupted before the CRC was computed) must not silently poison
+    // every downstream embedding.
+    for (float v : data) {
+      if (!std::isfinite(v)) {
+        return InvalidArgumentError("non-finite values in parameter '" +
+                                    name + "': " + path);
+      }
     }
     stored[name] = {{static_cast<int>(rows), static_cast<int>(cols)},
                     std::move(data)};

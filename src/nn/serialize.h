@@ -1,8 +1,13 @@
 // Binary checkpointing of module parameters.
 //
-// Format: magic, count, then for each parameter: name length, name bytes,
-// rows, cols, float32 data. Loading matches by name and checks shapes, so a
-// checkpoint can be restored into a freshly constructed model.
+// Format: an integrity frame [magic u32][version u32][payload][crc32 u32]
+// (util/checksum.h) whose payload is: count, then for each parameter: name
+// length, name bytes, rows, cols, float32 data. Loading matches by name and
+// checks shapes, so a checkpoint can be restored into a freshly constructed
+// model. Corruption is reported as a typed error instead of garbage
+// weights: kDataLoss for truncation or a CRC mismatch, kInvalidArgument for
+// a wrong magic or non-finite parameter values, kFailedPrecondition for an
+// unsupported version.
 
 #ifndef GRAPHPROMPTER_NN_SERIALIZE_H_
 #define GRAPHPROMPTER_NN_SERIALIZE_H_

@@ -94,6 +94,24 @@ float Tensor::Norm() const {
   return static_cast<float>(std::sqrt(total));
 }
 
+bool Tensor::AllFinite() const {
+  if (!defined()) return true;
+  for (float v : impl_->data) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+bool Tensor::RowFinite(int r) const {
+  DCHECK_GE(r, 0);
+  DCHECK_LT(r, rows());
+  const float* row = impl_->data.data() + static_cast<size_t>(r) * cols();
+  for (int c = 0; c < cols(); ++c) {
+    if (!std::isfinite(row[c])) return false;
+  }
+  return true;
+}
+
 std::string Tensor::ToString(int max_values) const {
   if (!defined()) return "Tensor(undefined)";
   std::ostringstream out;

@@ -117,6 +117,13 @@ class Tensor {
   // Frobenius norm of the values (no autograd).
   float Norm() const;
 
+  // True when every element is finite (no NaN/Inf). An undefined tensor is
+  // vacuously finite. Used by the fault-tolerance validation paths.
+  bool AllFinite() const;
+
+  // True when every element of row `r` is finite.
+  bool RowFinite(int r) const;
+
   // Debug string "Tensor(RxC)[v0, v1, ...]" (truncated).
   std::string ToString(int max_values = 8) const;
 

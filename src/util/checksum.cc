@@ -1,0 +1,103 @@
+#include "util/checksum.h"
+
+#include <array>
+#include <fstream>
+
+namespace gp {
+
+namespace {
+
+// Byte-at-a-time table, generated once at first use.
+const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size, uint32_t seed) {
+  const auto& table = Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint32_t c = seed ^ 0xffffffffu;
+  for (size_t i = 0; i < size; ++i) {
+    c = table[(c ^ bytes[i]) & 0xffu] ^ (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+Status WriteFramedFile(const std::string& path, uint32_t magic,
+                       uint32_t version, const std::string& payload) {
+  std::string framed;
+  framed.reserve(payload.size() + 12);
+  AppendU32(&framed, magic);
+  AppendU32(&framed, version);
+  framed += payload;
+  AppendU32(&framed, Crc32(framed.data(), framed.size()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return InternalError("cannot open file for writing: " + path);
+  }
+  out.write(framed.data(), static_cast<std::streamsize>(framed.size()));
+  if (!out.good()) return InternalError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<FramedPayload> ReadFramedFile(const std::string& path,
+                                       uint32_t magic, uint32_t min_version,
+                                       uint32_t max_version,
+                                       const std::string& kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return NotFoundError("cannot open " + kind + " file: " + path);
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (!in.good() && !in.eof()) {
+    return InternalError("read failed for " + kind + " file: " + path);
+  }
+  // Frame = magic + version + footer at minimum.
+  if (contents.size() < 12) {
+    return DataLossError("truncated " + kind + " file (" +
+                         std::to_string(contents.size()) + " bytes): " + path);
+  }
+  uint32_t stored_magic = 0;
+  std::memcpy(&stored_magic, contents.data(), sizeof(stored_magic));
+  if (stored_magic != magic) {
+    return InvalidArgumentError("bad magic: not a " + kind + " file: " + path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, contents.data() + contents.size() - 4,
+              sizeof(stored_crc));
+  const uint32_t actual_crc = Crc32(contents.data(), contents.size() - 4);
+  if (stored_crc != actual_crc) {
+    return DataLossError("CRC mismatch in " + kind + " file (corrupt or "
+                         "truncated): " + path);
+  }
+  FramedPayload out;
+  std::memcpy(&out.version, contents.data() + 4, sizeof(out.version));
+  if (out.version < min_version || out.version > max_version) {
+    return FailedPreconditionError(
+        kind + " file version " + std::to_string(out.version) +
+        " unsupported (expected " + std::to_string(min_version) + ".." +
+        std::to_string(max_version) + "): " + path);
+  }
+  out.payload.assign(contents, 8, contents.size() - 12);
+  return out;
+}
+
+}  // namespace gp

@@ -1,0 +1,96 @@
+// CRC32 checksumming and integrity-framed binary files.
+//
+// Checkpoints and graph dumps are written as
+//   [magic u32][version u32][payload bytes][crc32 u32]
+// where the CRC covers everything before the footer. Loading verifies the
+// frame and returns typed errors: kInvalidArgument for a foreign file (bad
+// magic), kDataLoss for truncation or bit corruption, kFailedPrecondition
+// for a format-version mismatch. This turns silently garbage weights from a
+// damaged checkpoint into a recoverable, observable failure.
+
+#ifndef GRAPHPROMPTER_UTIL_CHECKSUM_H_
+#define GRAPHPROMPTER_UTIL_CHECKSUM_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/status.h"
+
+namespace gp {
+
+// CRC-32 (IEEE 802.3 polynomial, the zlib variant) of `size` bytes.
+// `seed` chains incremental computations: pass the previous return value.
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+// Writes `payload` to `path` framed with magic, version, and CRC footer.
+Status WriteFramedFile(const std::string& path, uint32_t magic,
+                       uint32_t version, const std::string& payload);
+
+struct FramedPayload {
+  uint32_t version = 0;
+  std::string payload;
+};
+
+// Reads a framed file, verifying size, magic, CRC, and version (must lie in
+// [min_version, max_version]). `kind` names the file type in error messages
+// ("checkpoint", "graph").
+StatusOr<FramedPayload> ReadFramedFile(const std::string& path,
+                                       uint32_t magic, uint32_t min_version,
+                                       uint32_t max_version,
+                                       const std::string& kind);
+
+// Bounds-checked little cursor over an in-memory payload. Every Read*
+// returns false once the payload is exhausted, so parsers can surface
+// truncation as a typed error instead of reading garbage.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& payload) : payload_(payload) {}
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadI32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
+
+  // Copies `size` raw bytes into `out`.
+  bool ReadBytes(void* out, size_t size) { return ReadRaw(out, size); }
+
+  bool ReadString(std::string* out, size_t size) {
+    if (remaining() < size) return false;
+    out->assign(payload_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  size_t remaining() const { return payload_.size() - pos_; }
+
+ private:
+  bool ReadRaw(void* out, size_t size) {
+    if (remaining() < size) return false;
+    std::memcpy(out, payload_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+
+  const std::string& payload_;
+  size_t pos_ = 0;
+};
+
+// Append-only builder for the payload of a framed file.
+class PayloadWriter {
+ public:
+  void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteBytes(const void* data, size_t size) { WriteRaw(data, size); }
+
+  const std::string& payload() const { return payload_; }
+
+ private:
+  void WriteRaw(const void* data, size_t size) {
+    payload_.append(static_cast<const char*>(data), size);
+  }
+
+  std::string payload_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_UTIL_CHECKSUM_H_

@@ -1,0 +1,119 @@
+// Deterministic fault injection for robustness testing.
+//
+// A FaultInjector simulates the failure modes a production serving system
+// must survive: non-finite embeddings coming out of a numerically damaged
+// encoder, prompts dropped or duplicated by a lossy upstream stage,
+// poisoned pseudo-prompt cache entries, corrupted checkpoint/graph files,
+// and pathologically slow batches. All decisions are driven by a seeded
+// Rng, so a given spec reproduces the exact same fault pattern every run.
+//
+// Specs are parsed from a comma-separated key=value grammar shared by the
+// `--fault=` flag and the GP_FAULT environment variable:
+//
+//   embed_nan=P     corrupt each embedded row with NaN/Inf with prob P
+//   prompt_drop=P   drop each selected prompt with prob P (keeps >= 1)
+//   prompt_dup=P    duplicate each selected prompt with prob P
+//   cache_poison=P  poison a cached pseudo-prompt with prob P per batch
+//   file=MODE       corrupt files passed to CorruptFileBytes:
+//                   truncate | bitflip | magic
+//   slow_every=N    every Nth query batch sleeps...
+//   slow_ms=M       ...for M milliseconds (default 5)
+//   seed=S          injector RNG seed (default 1337)
+//
+// Example: --fault=embed_nan=0.2,prompt_drop=0.3,seed=7
+//
+// Injection sites call through the process-global injector, which is null
+// (zero overhead beyond a pointer test) unless explicitly configured.
+
+#ifndef GRAPHPROMPTER_UTIL_FAULT_H_
+#define GRAPHPROMPTER_UTIL_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gp {
+
+enum class FileFaultMode { kNone, kTruncate, kBitFlip, kMagic };
+
+const char* FileFaultModeName(FileFaultMode mode);
+
+struct FaultSpec {
+  double embed_nan_prob = 0.0;
+  double prompt_drop_prob = 0.0;
+  double prompt_dup_prob = 0.0;
+  double cache_poison_prob = 0.0;
+  FileFaultMode file_mode = FileFaultMode::kNone;
+  int slow_every = 0;  // 0 disables slow-batch injection
+  int slow_ms = 5;
+  uint64_t seed = 1337;
+
+  // True if any fault class is active.
+  bool Any() const;
+};
+
+// Parses the grammar above. Empty spec parses to an all-disabled FaultSpec.
+// Unknown keys and out-of-range probabilities are kInvalidArgument.
+StatusOr<FaultSpec> ParseFaultSpec(const std::string& spec);
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultSpec& spec);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  // Overwrites a deterministic subset of rows of a row-major (rows x cols)
+  // buffer with NaN/Inf values. Returns the number of rows corrupted.
+  int CorruptRows(std::vector<float>* data, int rows, int cols);
+
+  // Drops each element of `selected` with prompt_drop_prob (always keeping
+  // at least one) and duplicates each survivor with prompt_dup_prob.
+  // Returns the number of mutations applied.
+  int MutatePromptSet(std::vector<int>* selected);
+
+  // With cache_poison_prob, picks one of `num_entries` cache slots to
+  // poison; returns its index, or -1 for no fault this round.
+  int PickCacheEntryToPoison(int num_entries);
+
+  // Corrupts the file at `path` per the spec's file mode: truncates it to
+  // half, flips one bit mid-file, or stomps the leading magic bytes.
+  Status CorruptFileBytes(const std::string& path);
+
+  // Sleeps for slow_ms on every slow_every-th call; returns true when the
+  // slow batch fired.
+  bool MaybeSlowBatch();
+
+ private:
+  FaultSpec spec_;
+  Rng rng_;
+  int64_t batch_counter_ = 0;
+};
+
+// Process-global injector: null until configured. Injection sites treat
+// null as "fault injection disabled".
+FaultInjector* GlobalFaultInjector();
+
+// Parses `spec` and installs it globally (empty spec uninstalls). When
+// `spec` is empty, the GP_FAULT environment variable is consulted first.
+Status ConfigureGlobalFaultInjection(const std::string& spec);
+
+// RAII scope for tests: installs an injector on construction, restores the
+// previous one on destruction.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultSpec& spec);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_UTIL_FAULT_H_

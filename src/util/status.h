@@ -23,6 +23,9 @@ enum class StatusCode {
   kFailedPrecondition = 4,
   kInternal = 5,
   kUnimplemented = 6,
+  // Unrecoverable loss or corruption of stored data (truncated or
+  // bit-flipped checkpoint/graph files).
+  kDataLoss = 7,
 };
 
 // Returns a short human-readable name for `code` ("OK", "INVALID_ARGUMENT"…).
@@ -57,6 +60,7 @@ Status OutOfRangeError(std::string message);
 Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
+Status DataLossError(std::string message);
 
 // Holds either a value of type T or an error Status.
 //
@@ -120,5 +124,21 @@ void StatusOr<T>::AbortIfError() const {
     ::gp::Status gp_status_ = (expr);         \
     if (!gp_status_.ok()) return gp_status_;  \
   } while (false)
+
+// Evaluates `expr` (a StatusOr<T>), returns its Status on error, otherwise
+// move-assigns the value into `lhs`:
+//   GP_ASSIGN_OR_RETURN(Graph graph, LoadGraph(path));
+// `lhs` may declare a new variable or name an existing one.
+#define GP_ASSIGN_OR_RETURN(lhs, expr) \
+  GP_ASSIGN_OR_RETURN_IMPL_(GP_STATUS_CONCAT_(gp_statusor_, __LINE__), lhs, \
+                            expr)
+
+#define GP_ASSIGN_OR_RETURN_IMPL_(statusor, lhs, expr) \
+  auto statusor = (expr);                              \
+  if (!statusor.ok()) return statusor.status();        \
+  lhs = std::move(statusor).value()
+
+#define GP_STATUS_CONCAT_(a, b) GP_STATUS_CONCAT_IMPL_(a, b)
+#define GP_STATUS_CONCAT_IMPL_(a, b) a##b
 
 #endif  // GRAPHPROMPTER_UTIL_STATUS_H_

@@ -1,0 +1,276 @@
+// End-to-end fault-tolerance tests: inject faults into the in-context
+// evaluation pipeline and assert that every one is either recovered (a
+// DegradationStats counter increments) or surfaced as a typed Status —
+// never a crash or a NaN accuracy.
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/graph_prompter.h"
+#include "util/fault.h"
+
+namespace gp {
+namespace {
+
+GraphPrompterConfig TinyConfig(int feature_dim, uint64_t seed) {
+  GraphPrompterConfig config = FullGraphPrompterConfig(feature_dim, seed);
+  config.embedding_dim = 16;
+  config.recon_hidden = 16;
+  config.selection_hidden = 16;
+  config.sampler.max_nodes = 10;
+  return config;
+}
+
+EvalConfig TinyEval() {
+  EvalConfig config;
+  config.ways = 3;
+  config.shots = 2;
+  config.candidates_per_class = 5;
+  config.num_queries = 24;
+  config.trials = 2;
+  config.seed = 11;
+  return config;
+}
+
+void ExpectFiniteAccuracy(const EvalResult& result) {
+  EXPECT_TRUE(std::isfinite(result.accuracy_percent.mean));
+  EXPECT_GE(result.accuracy_percent.mean, 0.0);
+  EXPECT_LE(result.accuracy_percent.mean, 100.0);
+  for (double acc : result.trial_accuracy_percent) {
+    EXPECT_TRUE(std::isfinite(acc));
+  }
+}
+
+TEST(FaultRecoveryTest, CleanRunHasNoDegradationEvents) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  EXPECT_EQ(result.degradation.TotalEvents(), 0);
+  EXPECT_EQ(result.degradation.ToString(), "no degradation events\n");
+}
+
+TEST(FaultRecoveryTest, ValidationPathsAreBitwiseInvisibleWhenClean) {
+  // The robustness machinery (finiteness scans, dedup pass, cache
+  // validation) must not perturb a healthy run: results with the ladder
+  // compiled in must equal the seed pipeline's exactly.
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+  const auto a = EvaluateInContext(model, ds, TinyEval());
+  const auto b = EvaluateInContext(model, ds, TinyEval());
+  ASSERT_EQ(a.trial_accuracy_percent.size(), b.trial_accuracy_percent.size());
+  for (size_t i = 0; i < a.trial_accuracy_percent.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.trial_accuracy_percent[i],
+                     b.trial_accuracy_percent[i]);
+  }
+}
+
+TEST(FaultRecoveryTest, RecoversFromNonFiniteEmbeddings) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+
+  FaultSpec spec;
+  spec.embed_nan_prob = 0.3;
+  spec.seed = 5;
+  ScopedFaultInjection scoped(spec);
+
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  ExpectFiniteAccuracy(result);
+  // Candidate rows get quarantined and/or query rows sanitized.
+  EXPECT_GT(result.degradation.quarantined_prompts +
+                result.degradation.sanitized_queries,
+            0);
+}
+
+TEST(FaultRecoveryTest, SurvivesTotalEmbeddingCorruption) {
+  // Every embedded row damaged: the similarity term is unusable, so the
+  // selector must step down the ladder (selection-layer-only over the
+  // sanitized embeddings, or random if that is also unusable) and still
+  // produce predictions.
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+
+  FaultSpec spec;
+  spec.embed_nan_prob = 1.0;
+  spec.seed = 5;
+  ScopedFaultInjection scoped(spec);
+
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  ExpectFiniteAccuracy(result);
+  EXPECT_GT(result.degradation.quarantined_prompts, 0);
+  EXPECT_GT(result.degradation.sanitized_queries, 0);
+  EXPECT_GT(result.degradation.selector_selection_only +
+                result.degradation.selector_random,
+            0);
+}
+
+TEST(FaultRecoveryTest, SelectorFallsToRandomWithoutSelectionLayer) {
+  // With the selection layer ablated, total embedding corruption leaves no
+  // healthy scoring term at all — the bottom (random) rung must catch it.
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterConfig config = TinyConfig(ds.graph.feature_dim(), 13);
+  config.use_selection_layer = false;
+  GraphPrompterModel model(config);
+
+  FaultSpec spec;
+  spec.embed_nan_prob = 1.0;
+  spec.seed = 5;
+  ScopedFaultInjection scoped(spec);
+
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  ExpectFiniteAccuracy(result);
+  EXPECT_GT(result.degradation.selector_random, 0);
+}
+
+TEST(FaultRecoveryTest, RecoversFromPromptDropAndDuplication) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+
+  FaultSpec spec;
+  spec.prompt_drop_prob = 0.5;
+  spec.prompt_dup_prob = 0.5;
+  spec.seed = 5;
+  ScopedFaultInjection scoped(spec);
+
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  ExpectFiniteAccuracy(result);
+  // Duplicates removed and/or dropped classes accounted for.
+  EXPECT_GT(result.degradation.deduped_prompts +
+                result.degradation.missing_class_prompts,
+            0);
+}
+
+TEST(FaultRecoveryTest, EvictsPoisonedCacheEntries) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterConfig config = TinyConfig(ds.graph.feature_dim(), 13);
+  // Make cache insertion easy so there is something to poison.
+  config.augmenter.min_confidence = 0.0f;
+  GraphPrompterModel model(config);
+
+  FaultSpec spec;
+  spec.cache_poison_prob = 1.0;
+  spec.seed = 5;
+  ScopedFaultInjection scoped(spec);
+
+  EvalConfig eval = TinyEval();
+  eval.trials = 1;
+  const auto result = EvaluateInContext(model, ds, eval);
+  ExpectFiniteAccuracy(result);
+  EXPECT_GT(result.degradation.augmenter_evicted_poisoned, 0);
+  // Poisoning every batch trips the circuit breaker.
+  EXPECT_GT(result.degradation.augmenter_stage_skips, 0);
+}
+
+TEST(FaultRecoveryTest, SlowBatchesAreCounted) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+
+  FaultSpec spec;
+  spec.slow_every = 2;
+  spec.slow_ms = 0;  // count the fault without actually sleeping
+  ScopedFaultInjection scoped(spec);
+
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  ExpectFiniteAccuracy(result);
+  EXPECT_GT(result.degradation.slow_batches, 0);
+}
+
+TEST(FaultRecoveryTest, CombinedFaultsStillYieldFiniteAccuracy) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+
+  FaultSpec spec;
+  spec.embed_nan_prob = 0.25;
+  spec.prompt_drop_prob = 0.25;
+  spec.prompt_dup_prob = 0.25;
+  spec.cache_poison_prob = 0.5;
+  spec.slow_every = 4;
+  spec.slow_ms = 0;
+  spec.seed = 17;
+  ScopedFaultInjection scoped(spec);
+
+  const auto result = EvaluateInContext(model, ds, TinyEval());
+  ExpectFiniteAccuracy(result);
+  EXPECT_GT(result.degradation.TotalEvents(), 0);
+  EXPECT_NE(result.degradation.ToString(), "no degradation events\n");
+}
+
+TEST(FaultRecoveryTest, FaultRunsAreDeterministicForSeed) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  GraphPrompterModel model(TinyConfig(ds.graph.feature_dim(), 13));
+
+  FaultSpec spec;
+  spec.embed_nan_prob = 0.3;
+  spec.prompt_drop_prob = 0.3;
+  spec.seed = 21;
+
+  std::vector<double> first;
+  int64_t first_events = 0;
+  {
+    ScopedFaultInjection scoped(spec);
+    const auto result = EvaluateInContext(model, ds, TinyEval());
+    first = result.trial_accuracy_percent;
+    first_events = result.degradation.TotalEvents();
+  }
+  {
+    ScopedFaultInjection scoped(spec);
+    const auto result = EvaluateInContext(model, ds, TinyEval());
+    EXPECT_EQ(result.trial_accuracy_percent, first);
+    EXPECT_EQ(result.degradation.TotalEvents(), first_events);
+  }
+}
+
+TEST(FaultRecoveryTest, ConfigValidationRejectsBadConfigs) {
+  GraphPrompterConfig config = TinyConfig(8, 1);
+  EXPECT_TRUE(Validate(config).ok());
+
+  GraphPrompterConfig bad = config;
+  bad.embedding_dim = 0;
+  EXPECT_EQ(Validate(bad).code(), StatusCode::kInvalidArgument);
+
+  bad = config;
+  bad.score_temperature = std::numeric_limits<float>::quiet_NaN();
+  EXPECT_EQ(Validate(bad).code(), StatusCode::kInvalidArgument);
+
+  bad = config;
+  bad.sampler.max_nodes = 0;
+  EXPECT_EQ(Validate(bad).code(), StatusCode::kInvalidArgument);
+
+  bad = config;
+  bad.cache_inserts_per_batch = -1;
+  EXPECT_EQ(Validate(bad).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FaultRecoveryTest, GraphAndEpisodeValidateOnCleanData) {
+  DatasetBundle ds = MakeArxivSim(0.3, 12);
+  EXPECT_TRUE(ds.graph.Validate().ok());
+
+  EpisodeSampler sampler(&ds);
+  EpisodeConfig episode;
+  episode.ways = 3;
+  episode.candidates_per_class = 5;
+  episode.num_queries = 10;
+  Rng rng(3);
+  auto task = sampler.Sample(episode, &rng);
+  ASSERT_TRUE(task.ok());
+  EXPECT_TRUE(task->Validate(ds.graph.num_nodes()).ok());
+}
+
+TEST(FaultRecoveryTest, DegradationStatsMergeAndPrint) {
+  DegradationStats a, b;
+  a.quarantined_prompts = 2;
+  b.quarantined_prompts = 3;
+  b.selector_random = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.quarantined_prompts, 5);
+  EXPECT_EQ(a.selector_random, 1);
+  EXPECT_EQ(a.TotalEvents(), 6);
+  const std::string text = a.ToString();
+  EXPECT_NE(text.find("quarantined_prompts: 5"), std::string::npos);
+  EXPECT_NE(text.find("selector_random: 1"), std::string::npos);
+  EXPECT_EQ(text.find("sanitized_queries"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,216 @@
+#include "util/fault.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace gp {
+namespace {
+
+TEST(ParseFaultSpecTest, EmptySpecDisablesEverything) {
+  auto spec = ParseFaultSpec("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(spec->Any());
+}
+
+TEST(ParseFaultSpecTest, FullGrammarParses) {
+  auto spec = ParseFaultSpec(
+      "embed_nan=0.25,prompt_drop=0.5,prompt_dup=0.125,cache_poison=1,"
+      "file=bitflip,slow_every=3,slow_ms=7,seed=99");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec->embed_nan_prob, 0.25);
+  EXPECT_DOUBLE_EQ(spec->prompt_drop_prob, 0.5);
+  EXPECT_DOUBLE_EQ(spec->prompt_dup_prob, 0.125);
+  EXPECT_DOUBLE_EQ(spec->cache_poison_prob, 1.0);
+  EXPECT_EQ(spec->file_mode, FileFaultMode::kBitFlip);
+  EXPECT_EQ(spec->slow_every, 3);
+  EXPECT_EQ(spec->slow_ms, 7);
+  EXPECT_EQ(spec->seed, 99u);
+  EXPECT_TRUE(spec->Any());
+}
+
+TEST(ParseFaultSpecTest, RejectsBadInput) {
+  EXPECT_EQ(ParseFaultSpec("embed_nan=2.0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("embed_nan=-0.1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("embed_nan=abc").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("file=shred").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("slow_every=-1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("no_such_key=1").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ParseFaultSpec("keyonly").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ParseFaultSpecTest, ToleratesEmptyItems) {
+  auto spec = ParseFaultSpec(",embed_nan=0.5,,");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec->embed_nan_prob, 0.5);
+}
+
+TEST(FaultInjectorTest, CorruptRowsIsDeterministic) {
+  FaultSpec spec;
+  spec.embed_nan_prob = 0.5;
+  spec.seed = 7;
+
+  std::vector<float> a(8 * 6, 1.0f), b(8 * 6, 1.0f);
+  const int na = FaultInjector(spec).CorruptRows(&a, 8, 6);
+  const int nb = FaultInjector(spec).CorruptRows(&b, 8, 6);
+  EXPECT_EQ(na, nb);
+  EXPECT_GT(na, 0);
+  // Bitwise-identical corruption pattern (NaN != NaN, so compare bytes).
+  EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(float)));
+
+  int bad_rows = 0;
+  for (int r = 0; r < 8; ++r) {
+    bool bad = false;
+    for (int c = 0; c < 6; ++c) {
+      if (!std::isfinite(a[r * 6 + c])) bad = true;
+    }
+    bad_rows += bad ? 1 : 0;
+  }
+  EXPECT_EQ(bad_rows, na);
+}
+
+TEST(FaultInjectorTest, CorruptRowsDisabledIsNoOp) {
+  FaultSpec spec;  // embed_nan_prob = 0
+  std::vector<float> data(4 * 4, 2.0f);
+  EXPECT_EQ(FaultInjector(spec).CorruptRows(&data, 4, 4), 0);
+  for (float v : data) EXPECT_EQ(v, 2.0f);
+}
+
+TEST(FaultInjectorTest, MutatePromptSetKeepsAtLeastOne) {
+  FaultSpec spec;
+  spec.prompt_drop_prob = 1.0;  // drop everything
+  std::vector<int> selected = {3, 1, 4, 1, 5};
+  FaultInjector injector(spec);
+  EXPECT_GT(injector.MutatePromptSet(&selected), 0);
+  ASSERT_EQ(selected.size(), 1u);
+  EXPECT_EQ(selected[0], 3);  // retains the first element
+}
+
+TEST(FaultInjectorTest, MutatePromptSetDuplicates) {
+  FaultSpec spec;
+  spec.prompt_dup_prob = 1.0;
+  std::vector<int> selected = {1, 2, 3};
+  FaultInjector injector(spec);
+  EXPECT_EQ(injector.MutatePromptSet(&selected), 3);
+  EXPECT_EQ(selected, (std::vector<int>{1, 1, 2, 2, 3, 3}));
+}
+
+TEST(FaultInjectorTest, PickCacheEntryRespectsProbability) {
+  FaultSpec off;
+  EXPECT_EQ(FaultInjector(off).PickCacheEntryToPoison(10), -1);
+
+  FaultSpec on;
+  on.cache_poison_prob = 1.0;
+  FaultInjector injector(on);
+  const int victim = injector.PickCacheEntryToPoison(10);
+  EXPECT_GE(victim, 0);
+  EXPECT_LT(victim, 10);
+  EXPECT_EQ(injector.PickCacheEntryToPoison(0), -1);
+}
+
+TEST(FaultInjectorTest, CorruptFileBytesTruncatesToHalf) {
+  const std::string path = ::testing::TempDir() + "/fault_trunc.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    std::string payload(64, 'x');
+    out.write(payload.data(), payload.size());
+  }
+  FaultSpec spec;
+  spec.file_mode = FileFaultMode::kTruncate;
+  ASSERT_TRUE(FaultInjector(spec).CorruptFileBytes(path).ok());
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  EXPECT_EQ(in.tellg(), 32);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectorTest, CorruptFileBytesFlipsExactlyOneBit) {
+  const std::string path = ::testing::TempDir() + "/fault_flip.bin";
+  const std::string original(64, 'x');
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write(original.data(), original.size());
+  }
+  FaultSpec spec;
+  spec.file_mode = FileFaultMode::kBitFlip;
+  ASSERT_TRUE(FaultInjector(spec).CorruptFileBytes(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string mutated((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  ASSERT_EQ(mutated.size(), original.size());
+  int bits_changed = 0;
+  for (size_t i = 0; i < original.size(); ++i) {
+    unsigned char diff = static_cast<unsigned char>(original[i] ^ mutated[i]);
+    while (diff != 0) {
+      bits_changed += diff & 1;
+      diff >>= 1;
+    }
+  }
+  EXPECT_EQ(bits_changed, 1);
+  std::remove(path.c_str());
+}
+
+TEST(FaultInjectorTest, CorruptFileBytesMissingFileIsNotFound) {
+  FaultSpec spec;
+  spec.file_mode = FileFaultMode::kMagic;
+  EXPECT_EQ(
+      FaultInjector(spec).CorruptFileBytes("/does/not/exist.bin").code(),
+      StatusCode::kNotFound);
+}
+
+TEST(FaultInjectorTest, MaybeSlowBatchFiresEveryNth) {
+  FaultSpec spec;
+  spec.slow_every = 3;
+  spec.slow_ms = 0;
+  FaultInjector injector(spec);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (injector.MaybeSlowBatch()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(FaultInjector(FaultSpec{}).MaybeSlowBatch());
+}
+
+TEST(GlobalFaultInjectionTest, ConfigureInstallsAndClears) {
+  ASSERT_TRUE(ConfigureGlobalFaultInjection("embed_nan=0.5,seed=3").ok());
+  ASSERT_NE(GlobalFaultInjector(), nullptr);
+  EXPECT_DOUBLE_EQ(GlobalFaultInjector()->spec().embed_nan_prob, 0.5);
+
+  // Invalid spec leaves an error and does not crash.
+  EXPECT_EQ(ConfigureGlobalFaultInjection("embed_nan=nope").code(),
+            StatusCode::kInvalidArgument);
+
+  ASSERT_TRUE(ConfigureGlobalFaultInjection("").ok());
+  EXPECT_EQ(GlobalFaultInjector(), nullptr);
+}
+
+TEST(GlobalFaultInjectionTest, ScopedInjectionRestoresPrevious) {
+  EXPECT_EQ(GlobalFaultInjector(), nullptr);
+  {
+    FaultSpec spec;
+    spec.prompt_drop_prob = 1.0;
+    ScopedFaultInjection scoped(spec);
+    ASSERT_NE(GlobalFaultInjector(), nullptr);
+    EXPECT_DOUBLE_EQ(GlobalFaultInjector()->spec().prompt_drop_prob, 1.0);
+    {
+      FaultSpec inner;
+      inner.prompt_dup_prob = 1.0;
+      ScopedFaultInjection nested(inner);
+      EXPECT_DOUBLE_EQ(GlobalFaultInjector()->spec().prompt_dup_prob, 1.0);
+    }
+    EXPECT_DOUBLE_EQ(GlobalFaultInjector()->spec().prompt_drop_prob, 1.0);
+  }
+  EXPECT_EQ(GlobalFaultInjector(), nullptr);
+}
+
+}  // namespace
+}  // namespace gp

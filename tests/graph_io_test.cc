@@ -56,13 +56,28 @@ TEST(GraphIoTest, MissingFileFails) {
 TEST(GraphIoTest, BadMagicFails) {
   const std::string path = TempPath("bad_magic.bin");
   {
+    // Large enough to pass the minimum framed-file size check so the
+    // magic check itself is what rejects it.
+    std::ofstream out(path, std::ios::binary);
+    const uint32_t junk[4] = {0xdeadbeef, 0xdeadbeef, 0xdeadbeef, 0xdeadbeef};
+    out.write(reinterpret_cast<const char*>(junk), sizeof(junk));
+  }
+  auto result = LoadGraph(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TinyFileIsDataLoss) {
+  const std::string path = TempPath("tiny.bin");
+  {
     std::ofstream out(path, std::ios::binary);
     const uint32_t junk = 0xdeadbeef;
     out.write(reinterpret_cast<const char*>(&junk), sizeof(junk));
   }
   auto result = LoadGraph(path);
   EXPECT_FALSE(result.ok());
-  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().code(), StatusCode::kDataLoss);
   std::remove(path.c_str());
 }
 

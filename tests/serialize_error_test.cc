@@ -1,0 +1,236 @@
+// Error-path coverage for the integrity-framed binary formats: a corrupted
+// checkpoint or graph dump must surface as a typed Status (kDataLoss,
+// kInvalidArgument, kFailedPrecondition), never as silently garbage data.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/graph_prompter.h"
+#include "data/synthetic.h"
+#include "graph/graph_io.h"
+#include "nn/serialize.h"
+#include "util/checksum.h"
+#include "util/fault.h"
+
+namespace gp {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
+}
+
+GraphPrompterConfig TinyConfig() {
+  GraphPrompterConfig config = FullGraphPrompterConfig(8, 1);
+  config.embedding_dim = 8;
+  config.recon_hidden = 8;
+  config.selection_hidden = 8;
+  return config;
+}
+
+// Saves a valid checkpoint for `model` and returns its path.
+std::string SaveCheckpoint(const GraphPrompterModel& model,
+                           const char* name) {
+  const std::string path = TempPath(name);
+  EXPECT_TRUE(SaveModule(model, path).ok());
+  return path;
+}
+
+TEST(CheckpointErrorTest, RoundTripStillWorks) {
+  GraphPrompterModel model(TinyConfig());
+  const std::string path = SaveCheckpoint(model, "ok_ckpt.bin");
+  GraphPrompterModel restored(TinyConfig());
+  EXPECT_TRUE(LoadModule(&restored, path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, TruncatedFileIsDataLoss) {
+  GraphPrompterModel model(TinyConfig());
+  const std::string path = SaveCheckpoint(model, "trunc_ckpt.bin");
+
+  FaultSpec spec;
+  spec.file_mode = FileFaultMode::kTruncate;
+  ASSERT_TRUE(FaultInjector(spec).CorruptFileBytes(path).ok());
+
+  GraphPrompterModel restored(TinyConfig());
+  const Status status = LoadModule(&restored, path);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, FlippedBitIsDataLoss) {
+  GraphPrompterModel model(TinyConfig());
+  const std::string path = SaveCheckpoint(model, "flip_ckpt.bin");
+
+  // Flip one bit in the middle of the payload; the CRC footer catches it.
+  std::string contents = ReadFile(path);
+  ASSERT_GT(contents.size(), 20u);
+  contents[contents.size() / 2] ^= 0x10;
+  WriteFile(path, contents);
+
+  GraphPrompterModel restored(TinyConfig());
+  const Status status = LoadModule(&restored, path);
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, WrongMagicIsInvalidArgument) {
+  GraphPrompterModel model(TinyConfig());
+  const std::string path = SaveCheckpoint(model, "magic_ckpt.bin");
+
+  FaultSpec spec;
+  spec.file_mode = FileFaultMode::kMagic;
+  ASSERT_TRUE(FaultInjector(spec).CorruptFileBytes(path).ok());
+
+  GraphPrompterModel restored(TinyConfig());
+  const Status status = LoadModule(&restored, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, WrongVersionIsFailedPrecondition) {
+  GraphPrompterModel model(TinyConfig());
+  const std::string path = SaveCheckpoint(model, "version_ckpt.bin");
+
+  // Re-frame the same payload under a future format version; the CRC is
+  // valid, so the version gate is what rejects it.
+  std::string contents = ReadFile(path);
+  ASSERT_GT(contents.size(), 12u);
+  uint32_t magic = 0;
+  std::memcpy(&magic, contents.data(), sizeof(magic));
+  const std::string payload =
+      contents.substr(8, contents.size() - 12);  // strip header + footer
+  ASSERT_TRUE(WriteFramedFile(path, magic, /*version=*/99, payload).ok());
+
+  GraphPrompterModel restored(TinyConfig());
+  const Status status = LoadModule(&restored, path);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, MissingFileIsNotFound) {
+  GraphPrompterModel restored(TinyConfig());
+  EXPECT_EQ(LoadModule(&restored, "/does/not/exist.ckpt").code(),
+            StatusCode::kNotFound);
+}
+
+TEST(GraphErrorTest, TruncatedFileIsDataLoss) {
+  NodeGraphConfig config;
+  config.num_nodes = 40;
+  config.num_classes = 4;
+  Graph graph = MakeNodeClassificationGraph(config);
+  const std::string path = TempPath("trunc_graph.bin");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+
+  FaultSpec spec;
+  spec.file_mode = FileFaultMode::kTruncate;
+  ASSERT_TRUE(FaultInjector(spec).CorruptFileBytes(path).ok());
+
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(GraphErrorTest, FlippedBitIsDataLoss) {
+  NodeGraphConfig config;
+  config.num_nodes = 40;
+  config.num_classes = 4;
+  Graph graph = MakeNodeClassificationGraph(config);
+  const std::string path = TempPath("flip_graph.bin");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+
+  std::string contents = ReadFile(path);
+  ASSERT_GT(contents.size(), 20u);
+  contents[contents.size() / 3] ^= 0x04;
+  WriteFile(path, contents);
+
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(GraphErrorTest, WrongMagicIsInvalidArgument) {
+  NodeGraphConfig config;
+  config.num_nodes = 40;
+  config.num_classes = 4;
+  Graph graph = MakeNodeClassificationGraph(config);
+  const std::string path = TempPath("magic_graph.bin");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+
+  FaultSpec spec;
+  spec.file_mode = FileFaultMode::kMagic;
+  ASSERT_TRUE(FaultInjector(spec).CorruptFileBytes(path).ok());
+
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphErrorTest, WrongVersionIsFailedPrecondition) {
+  NodeGraphConfig config;
+  config.num_nodes = 40;
+  config.num_classes = 4;
+  Graph graph = MakeNodeClassificationGraph(config);
+  const std::string path = TempPath("version_graph.bin");
+  ASSERT_TRUE(SaveGraph(graph, path).ok());
+
+  std::string contents = ReadFile(path);
+  ASSERT_GT(contents.size(), 12u);
+  uint32_t magic = 0;
+  std::memcpy(&magic, contents.data(), sizeof(magic));
+  const std::string payload = contents.substr(8, contents.size() - 12);
+  ASSERT_TRUE(WriteFramedFile(path, magic, /*version=*/77, payload).ok());
+
+  EXPECT_EQ(LoadGraph(path).status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
+TEST(ChecksumTest, Crc32KnownVectorAndChaining) {
+  // Standard test vector: CRC-32("123456789") = 0xcbf43926.
+  const char* digits = "123456789";
+  EXPECT_EQ(Crc32(digits, 9), 0xcbf43926u);
+  // Incremental computation matches one-shot.
+  const uint32_t partial = Crc32(digits, 4);
+  EXPECT_EQ(Crc32(digits + 4, 5, partial), 0xcbf43926u);
+}
+
+TEST(ChecksumTest, FramedFileRoundTrip) {
+  const std::string path = TempPath("frame_roundtrip.bin");
+  const std::string payload = "hello framed world";
+  ASSERT_TRUE(WriteFramedFile(path, 0x41424344, 3, payload).ok());
+  auto framed = ReadFramedFile(path, 0x41424344, 1, 5, "test");
+  ASSERT_TRUE(framed.ok());
+  EXPECT_EQ(framed->version, 3u);
+  EXPECT_EQ(framed->payload, payload);
+  std::remove(path.c_str());
+}
+
+TEST(ChecksumTest, PayloadReaderBoundsChecks) {
+  PayloadWriter writer;
+  writer.WriteU32(7);
+  writer.WriteI32(-3);
+  PayloadReader reader(writer.payload());
+  uint32_t u = 0;
+  int32_t i = 0;
+  EXPECT_TRUE(reader.ReadU32(&u));
+  EXPECT_EQ(u, 7u);
+  EXPECT_TRUE(reader.ReadI32(&i));
+  EXPECT_EQ(i, -3);
+  EXPECT_EQ(reader.remaining(), 0u);
+  EXPECT_FALSE(reader.ReadU32(&u));  // exhausted: refuses, not garbage
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,5 +1,9 @@
 #include "util/status.h"
 
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 namespace gp {
@@ -71,6 +75,80 @@ Status FailsThenPropagates(bool fail) {
 TEST(StatusTest, ReturnIfErrorMacro) {
   EXPECT_EQ(FailsThenPropagates(true).code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(FailsThenPropagates(false).code(), StatusCode::kInternal);
+}
+
+TEST(StatusTest, DataLossErrorCodeAndName) {
+  Status s = DataLossError("corrupt checkpoint");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: corrupt checkpoint");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDataLoss), "DATA_LOSS");
+}
+
+TEST(StatusTest, StatusMovePreservesError) {
+  Status s = NotFoundError("gone");
+  Status moved = std::move(s);
+  EXPECT_EQ(moved.code(), StatusCode::kNotFound);
+  EXPECT_EQ(moved.message(), "gone");
+}
+
+TEST(StatusOrTest, MovedFromStatusOrTransfersOwnership) {
+  StatusOr<std::vector<int>> v = std::vector<int>{1, 2, 3};
+  StatusOr<std::vector<int>> moved = std::move(v);
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(moved->size(), 3u);
+}
+
+StatusOr<int> ParsePositive(int v) {
+  if (v <= 0) return InvalidArgumentError("not positive");
+  return v;
+}
+
+StatusOr<int> DoubleViaAssignOrReturn(int v) {
+  GP_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(StatusOrTest, AssignOrReturnUnwrapsValue) {
+  auto result = DoubleViaAssignOrReturn(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagatesError) {
+  auto result = DoubleViaAssignOrReturn(-1);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(result.status().message(), "not positive");
+}
+
+StatusOr<std::unique_ptr<int>> MakeBox(bool fail) {
+  if (fail) return InternalError("no box");
+  return std::make_unique<int>(9);
+}
+
+StatusOr<int> UnwrapBox(bool fail) {
+  GP_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(fail));
+  return *box;
+}
+
+TEST(StatusOrTest, AssignOrReturnHandlesMoveOnlyTypes) {
+  auto ok = UnwrapBox(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 9);
+  EXPECT_EQ(UnwrapBox(true).status().code(), StatusCode::kInternal);
+}
+
+Status TwoAssignsInOneFunction() {
+  // Distinct hidden temporaries per expansion (line-based names): two
+  // GP_ASSIGN_OR_RETURN uses in one scope must not collide.
+  GP_ASSIGN_OR_RETURN(int a, ParsePositive(1));
+  GP_ASSIGN_OR_RETURN(int b, ParsePositive(2));
+  return a + b == 3 ? Status::Ok() : InternalError("bad sum");
+}
+
+TEST(StatusOrTest, AssignOrReturnComposesInOneScope) {
+  EXPECT_TRUE(TwoAssignsInOneFunction().ok());
 }
 
 }  // namespace
