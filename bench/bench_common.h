@@ -9,7 +9,14 @@
 //                 (default GP_NUM_THREADS env, else hardware concurrency;
 //                 results are bitwise identical at any thread count)
 //   --outdir=DIR  CSV output directory            (default "results")
-// Results are printed as paper-style tables and written as CSV.
+//   --telemetry=PATH  write a telemetry snapshot (JSON, or CSV by
+//                 extension) at exit; GP_TELEMETRY env is the fallback
+//   --trace=PATH  record trace spans and write Chrome trace JSON (or CSV
+//                 by extension) at exit; GP_TRACE env is the fallback
+// Results are printed as paper-style tables and written as CSV. Every
+// binary additionally writes <outdir>/BENCH_<name>.json (schema in
+// obs/bench_report.h): config, per-stage span timings, telemetry
+// counters, and its headline accuracy metrics.
 
 #ifndef GRAPHPROMPTER_BENCH_BENCH_COMMON_H_
 #define GRAPHPROMPTER_BENCH_BENCH_COMMON_H_
@@ -22,6 +29,8 @@
 #include "baselines/prodigy.h"
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
+#include "obs/bench_report.h"
+#include "obs/export.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -38,6 +47,8 @@ struct Env {
   uint64_t seed = 1;
   int threads = 0;  // resolved to the actual pool size by ParseEnv
   std::string outdir = "results";
+  std::string telemetry_path;  // empty = GP_TELEMETRY env, else disabled
+  std::string trace_path;      // empty = GP_TRACE env, else disabled
 };
 
 inline Env ParseEnv(int argc, char** argv) {
@@ -55,7 +66,35 @@ inline Env ParseEnv(int argc, char** argv) {
   env.threads = NumThreads();
   env.outdir = flags.GetString("outdir", env.outdir);
   std::filesystem::create_directories(env.outdir);
+  env.telemetry_path = flags.GetString("telemetry", env.telemetry_path);
+  env.trace_path = flags.GetString("trace", env.trace_path);
+  ConfigureObservability(env.telemetry_path, env.trace_path);
   return env;
+}
+
+// Standard main() body for a bench binary: parses flags, runs `run` with a
+// reporter, then writes <outdir>/BENCH_<name>.json plus any configured
+// telemetry/trace exports. Keeps every binary's export path identical.
+inline int BenchMain(const std::string& name, int argc, char** argv,
+                     void (*run)(const Env&, BenchReporter*)) {
+  const Env env = ParseEnv(argc, argv);
+  BenchReporter report(name);
+  report.AddConfig("scale", env.scale);
+  report.AddConfig("pretrain_steps", static_cast<int64_t>(env.pretrain_steps));
+  report.AddConfig("trials", static_cast<int64_t>(env.trials));
+  report.AddConfig("queries", static_cast<int64_t>(env.queries));
+  report.AddConfig("seed", static_cast<int64_t>(env.seed));
+  report.AddConfig("threads", static_cast<int64_t>(env.threads));
+  run(env, &report);
+  const Status status = report.WriteJson(env.outdir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+  const Status obs_status = ExportConfiguredObservability();
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", obs_status.ToString().c_str());
+  }
+  return 0;
 }
 
 inline PretrainConfig DefaultPretrain(const Env& env) {

@@ -12,7 +12,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Extension: design-choice ablations ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
   DatasetBundle fb = MakeFb15kSim(env.scale, env.seed + 3);
@@ -72,6 +72,9 @@ void Run(const Env& env) {
       const EvalConfig eval = DefaultEval(env, ways);
       const auto result = EvaluateInContext(*model, fb, eval);
       row.push_back(Cell(result.accuracy_percent));
+      report->AddMetric(variant.group + "/" + variant.name + "/ways=" +
+                            std::to_string(ways),
+                        result.accuracy_percent.mean, "%");
     }
     table.AddRow(row);
     std::printf("  %s/%s done\n", variant.group.c_str(),
@@ -91,6 +94,6 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("ext_design_choices", argc, argv,
+                              gp::bench::Run);
 }

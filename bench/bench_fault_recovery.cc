@@ -28,7 +28,8 @@ struct Regime {
   const char* spec;  // empty = no injection (baseline)
 };
 
-int64_t RunRegimes(const bench::Env& env, const std::string& extra_spec) {
+int64_t RunRegimes(const bench::Env& env, const std::string& extra_spec,
+                   BenchReporter* report) {
   DatasetBundle pretrain_ds = MakeMagSim(env.scale, env.seed);
   DatasetBundle eval_ds = MakeArxivSim(env.scale, env.seed + 1);
 
@@ -76,6 +77,13 @@ int64_t RunRegimes(const bench::Env& env, const std::string& extra_spec) {
                   TablePrinter::Num(result.accuracy_percent.mean),
                   TablePrinter::Num(result.accuracy_percent.std),
                   std::to_string(events)});
+    std::string key = regime.name;
+    for (auto& ch : key) {
+      if (ch == ' ') ch = '_';
+    }
+    report->AddMetric(key + "/accuracy", result.accuracy_percent.mean, "%");
+    report->AddMetric(key + "/degradation_events",
+                      static_cast<double>(events), "events");
     if (events > 0) {
       std::printf("  [%s]\n%s", regime.name,
                   result.degradation.ToString().c_str());
@@ -120,9 +128,26 @@ int main(int argc, char** argv) {
   const std::string extra_spec = flags.GetString("fault", "");
   const gp::bench::Env env = gp::bench::ParseEnv(argc, argv);
 
-  const int64_t clean_events = gp::RunRegimes(env, extra_spec);
+  // Hand-rolled BenchMain: this bench owns an extra --fault flag and an
+  // invariant check between its two stages.
+  gp::BenchReporter report("fault_recovery");
+  report.AddConfig("scale", env.scale);
+  report.AddConfig("pretrain_steps", static_cast<int64_t>(env.pretrain_steps));
+  report.AddConfig("seed", static_cast<int64_t>(env.seed));
+  if (!extra_spec.empty()) report.AddConfig("fault", extra_spec);
+
+  const int64_t clean_events = gp::RunRegimes(env, extra_spec, &report);
   CHECK_EQ(clean_events, 0);  // the clean baseline must never degrade
   gp::RunCheckpointCorruption(env);
+
+  const gp::Status status = report.WriteJson(env.outdir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+  const gp::Status obs_status = gp::ExportConfiguredObservability();
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", obs_status.ToString().c_str());
+  }
 
   std::printf(
       "\nEvery fault regime finished with finite accuracy; recoverable\n"

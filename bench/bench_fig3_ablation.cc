@@ -43,7 +43,7 @@ std::vector<Variant> MakeVariants(const GraphPrompterConfig& base) {
 
 }  // namespace
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Fig. 3: ablation study (3-shot, ways 5..40) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
   const GraphPrompterConfig base =
@@ -93,10 +93,16 @@ void Run(const Env& env) {
         const auto result = EvaluateInContext(*models[i], dataset, eval);
         row.push_back(Cell(result.accuracy_percent));
         ys.push_back(result.accuracy_percent.mean);
+        report->AddMetric(dataset.name + "/ways=" + std::to_string(ways) +
+                              "/" + variants[i].name,
+                          result.accuracy_percent.mean, "%");
       }
       const auto r_prodigy = EvaluateInContext(*prodigy, dataset, eval);
       row.push_back(Cell(r_prodigy.accuracy_percent));
       ys.push_back(r_prodigy.accuracy_percent.mean);
+      report->AddMetric(dataset.name + "/ways=" + std::to_string(ways) +
+                            "/Prodigy",
+                        r_prodigy.accuracy_percent.mean, "%");
       table.AddRow(row);
       series.AddPoint(ways, ys);
       std::printf("  %s ways=%d done\n", dataset.name.c_str(), ways);
@@ -117,6 +123,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("fig3_ablation", argc, argv, gp::bench::Run);
 }

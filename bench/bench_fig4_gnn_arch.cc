@@ -10,7 +10,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Fig. 4: generator GNN architecture (3-shot) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
 
@@ -42,6 +42,10 @@ void Run(const Env& env) {
                     Cell(r_gat.accuracy_percent)});
       points[ways].push_back(r_sage.accuracy_percent.mean);
       points[ways].push_back(r_gat.accuracy_percent.mean);
+      const std::string cell =
+          dataset.name + "/ways=" + std::to_string(ways);
+      report->AddMetric(cell + "/sage", r_sage.accuracy_percent.mean, "%");
+      report->AddMetric(cell + "/gat", r_gat.accuracy_percent.mean, "%");
       std::printf("  %s ways=%d done (sage %.2f%%, gat %.2f%%)\n",
                   dataset.name.c_str(), ways, r_sage.accuracy_percent.mean,
                   r_gat.accuracy_percent.mean);
@@ -60,6 +64,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("fig4_gnn_arch", argc, argv, gp::bench::Run);
 }

@@ -9,7 +9,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Fig. 5: cache size sweep (3-shot, 20-way) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
   const GraphPrompterConfig base =
@@ -36,6 +36,8 @@ void Run(const Env& env) {
       const auto result = EvaluateInContext(model, dataset, eval);
       row.push_back(Cell(result.accuracy_percent));
       ys.push_back(result.accuracy_percent.mean);
+      report->AddMetric(dataset.name + "/cache=" + std::to_string(cache),
+                        result.accuracy_percent.mean, "%");
     }
     table.AddRow(row);
     series.AddPoint(cache, ys);
@@ -54,6 +56,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("fig5_cache_size", argc, argv, gp::bench::Run);
 }

@@ -10,7 +10,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Fig. 6: shots sweep (5-way) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
   DatasetBundle mag = MakeMagSim(env.scale, env.seed + 1);
@@ -60,6 +60,12 @@ void Run(const Env& env) {
                     Cell(r_ours.accuracy_percent)});
       series.AddPoint(shots, {r_prodigy.accuracy_percent.mean,
                               r_ours.accuracy_percent.mean});
+      const std::string cell =
+          setting.dataset.name + "/shots=" + std::to_string(shots);
+      report->AddMetric(cell + "/graphprompter",
+                        r_ours.accuracy_percent.mean, "%");
+      report->AddMetric(cell + "/prodigy", r_prodigy.accuracy_percent.mean,
+                        "%");
     }
     std::printf("\n%s (5-way):\n", setting.dataset.name.c_str());
     table.Print();
@@ -79,6 +85,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("fig6_shots", argc, argv, gp::bench::Run);
 }

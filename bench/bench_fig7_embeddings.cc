@@ -31,7 +31,7 @@ void DumpTsne(const Tensor& embeddings, const std::vector<int>& labels,
 
 }  // namespace
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Fig. 7: embedding distributions (5-way) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
   auto ours = MakePretrained(
@@ -70,6 +70,11 @@ void Run(const Env& env) {
                     TablePrinter::Num(ratio_prodigy, 3),
                     TablePrinter::Num(ratio_ours, 3)});
 
+      const std::string cell =
+          dataset.name + "/shots=" + std::to_string(shots);
+      report->AddMetric(cell + "/silhouette_ours", sil_ours);
+      report->AddMetric(cell + "/silhouette_prodigy", sil_prodigy);
+
       std::string tag = dataset.name.substr(0, 4) + "_k" +
                         std::to_string(shots);
       DumpTsne(r_ours.embeddings, r_ours.embedding_labels,
@@ -93,6 +98,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("fig7_embeddings", argc, argv, gp::bench::Run);
 }

@@ -7,7 +7,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Fig. 8: multi-hop subgraphs (3-shot, 10-way) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
 
@@ -41,6 +41,12 @@ void Run(const Env& env) {
                     Cell(r_ours.accuracy_percent)});
       row_vals.push_back(r_prodigy.accuracy_percent.mean);
       row_vals.push_back(r_ours.accuracy_percent.mean);
+      const std::string cell =
+          datasets[d].name + "/hops=" + std::to_string(hops);
+      report->AddMetric(cell + "/graphprompter",
+                        r_ours.accuracy_percent.mean, "%");
+      report->AddMetric(cell + "/prodigy", r_prodigy.accuracy_percent.mean,
+                        "%");
       std::printf("  %s hops=%d done (ours %.2f%%, prodigy %.2f%%)\n",
                   datasets[d].name.c_str(), hops,
                   r_ours.accuracy_percent.mean,
@@ -60,6 +66,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("fig8_multihop", argc, argv, gp::bench::Run);
 }

@@ -9,7 +9,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Fig. 9: pretraining curves on Wiki ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
 
@@ -47,6 +47,17 @@ void Run(const Env& env) {
   table.Print();
   WriteCsvOrWarn(series, env.outdir + "/fig9_training_curves.csv");
 
+  report->AddMetric("pretrain_seconds/graphprompter", ours_seconds, "s");
+  report->AddMetric("pretrain_seconds/prodigy", prodigy_seconds, "s");
+  if (!ours_curves.loss.empty()) {
+    report->AddMetric("final_loss/graphprompter", ours_curves.loss.back());
+    report->AddMetric("final_loss/prodigy", prodigy_curves.loss.back());
+    report->AddMetric("final_train_acc/graphprompter",
+                      ours_curves.train_accuracy.back(), "%");
+    report->AddMetric("final_train_acc/prodigy",
+                      prodigy_curves.train_accuracy.back(), "%");
+  }
+
   std::printf(
       "\nWall-clock for %d steps: ours %.1fs, Prodigy %.1fs (%.0f%%"
       " overhead)\n",
@@ -62,6 +73,6 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("fig9_training_curves", argc, argv,
+                              gp::bench::Run);
 }

@@ -5,7 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "core/knn_retrieval.h"
+#include "obs/export.h"
 #include "core/lfu_cache.h"
 #include "core/task_graph.h"
 #include "data/datasets.h"
@@ -131,4 +134,17 @@ BENCHMARK(BM_TaskGraphForward)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
 }  // namespace
 }  // namespace gp
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so observability export (GP_TELEMETRY / GP_TRACE
+// env vars; google-benchmark owns the command line here) runs at exit.
+int main(int argc, char** argv) {
+  gp::ConfigureObservability("", "");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  const gp::Status status = gp::ExportConfiguredObservability();
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
+  }
+  return 0;
+}

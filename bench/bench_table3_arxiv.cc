@@ -14,7 +14,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Table III: arXiv node classification (3-shot) ===\n");
   DatasetBundle mag = MakeMagSim(env.scale, env.seed);
   DatasetBundle arxiv = MakeArxivSim(env.scale, env.seed + 1);
@@ -70,6 +70,11 @@ void Run(const Env& env) {
                   bench::Cell(r_ours.accuracy_percent)});
     std::printf("  ways=%d done (ours %.2f%%, prodigy %.2f%%)\n", ways,
                 r_ours.accuracy_percent.mean, r_prodigy.accuracy_percent.mean);
+    const std::string cell = "ways=" + std::to_string(ways);
+    report->AddMetric(cell + "/graphprompter", r_ours.accuracy_percent.mean,
+                      "%");
+    report->AddMetric(cell + "/prodigy", r_prodigy.accuracy_percent.mean,
+                      "%");
   }
   std::printf("\nMeasured (this reproduction):\n");
   table.Print();
@@ -86,6 +91,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("table3_arxiv", argc, argv, gp::bench::Run);
 }

@@ -9,7 +9,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Table V: many-way generalisation (3-shot) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
 
@@ -48,6 +48,12 @@ void Run(const Env& env) {
       std::printf("  %s ways=%d done (ours %.2f%%, prodigy %.2f%%)\n",
                   dataset.name.c_str(), ways, r_ours.accuracy_percent.mean,
                   r_prodigy.accuracy_percent.mean);
+      const std::string cell =
+          dataset.name + "/ways=" + std::to_string(ways);
+      report->AddMetric(cell + "/graphprompter",
+                        r_ours.accuracy_percent.mean, "%");
+      report->AddMetric(cell + "/prodigy", r_prodigy.accuracy_percent.mean,
+                        "%");
     }
   }
   std::printf("\nMeasured (this reproduction):\n");
@@ -67,6 +73,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("table5_manyways", argc, argv, gp::bench::Run);
 }

@@ -8,7 +8,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Table VI: OFA vs GraphPrompter (3-shot) ===\n");
 
   // Node domain.
@@ -46,6 +46,10 @@ void Run(const Env& env) {
     table.AddRow({arxiv.name, std::to_string(ways),
                   Cell(r_ofa.accuracy_percent),
                   Cell(r_ours.accuracy_percent)});
+    const std::string cell = arxiv.name + "/ways=" + std::to_string(ways);
+    report->AddMetric(cell + "/graphprompter", r_ours.accuracy_percent.mean,
+                      "%");
+    report->AddMetric(cell + "/ofa", r_ofa.accuracy_percent.mean, "%");
     std::printf("  %s ways=%d done\n", arxiv.name.c_str(), ways);
   }
   for (int ways : {5, 10, 20, 40}) {
@@ -55,6 +59,10 @@ void Run(const Env& env) {
     table.AddRow({fb.name, std::to_string(ways),
                   Cell(r_ofa.accuracy_percent),
                   Cell(r_ours.accuracy_percent)});
+    const std::string cell = fb.name + "/ways=" + std::to_string(ways);
+    report->AddMetric(cell + "/graphprompter", r_ours.accuracy_percent.mean,
+                      "%");
+    report->AddMetric(cell + "/ofa", r_ofa.accuracy_percent.mean, "%");
     std::printf("  %s ways=%d done\n", fb.name.c_str(), ways);
   }
   std::printf("\nMeasured (this reproduction):\n");
@@ -73,6 +81,5 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("table6_ofa", argc, argv, gp::bench::Run);
 }

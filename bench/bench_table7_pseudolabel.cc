@@ -10,7 +10,7 @@
 
 namespace gp::bench {
 
-void Run(const Env& env) {
+void Run(const Env& env, BenchReporter* report) {
   std::printf("=== Table VII: random pseudo-label robustness (20-way) ===\n");
   DatasetBundle wiki = MakeWikiSim(env.scale, env.seed);
   const GraphPrompterConfig base =
@@ -46,6 +46,7 @@ void Run(const Env& env) {
     }
     const MeanStd agg = ComputeMeanStd(accs);
     row.push_back(TablePrinter::MeanStd(agg.mean, agg.std));
+    report->AddMetric(dataset.name + "/random_pseudo_labels", agg.mean, "%");
     // Confident pseudo-labels, same episodes (averaged over the seeds).
     std::vector<double> confident_accs;
     for (int rseed : random_seeds) {
@@ -56,6 +57,8 @@ void Run(const Env& env) {
     }
     row.push_back(
         TablePrinter::Num(ComputeMeanStd(confident_accs).mean));
+    report->AddMetric(dataset.name + "/confident_pseudo_labels",
+                      ComputeMeanStd(confident_accs).mean, "%");
     table.AddRow(row);
   }
   std::printf("\nMeasured (this reproduction):\n");
@@ -71,6 +74,6 @@ void Run(const Env& env) {
 }  // namespace gp::bench
 
 int main(int argc, char** argv) {
-  gp::bench::Run(gp::bench::ParseEnv(argc, argv));
-  return 0;
+  return gp::bench::BenchMain("table7_pseudolabel", argc, argv,
+                              gp::bench::Run);
 }

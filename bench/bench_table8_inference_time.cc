@@ -11,7 +11,6 @@
 
 #include <algorithm>
 #include <cinttypes>
-#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -187,33 +186,26 @@ class CapturingReporter : public benchmark::ConsoleReporter {
 void WriteResults(const std::vector<CapturedRun>& results, const Env& env) {
   TablePrinter table({"method", "ways", "ms_per_query", "iterations",
                       "threads"});
+  BenchReporter report("table8_inference_time");
+  report.AddConfig("scale", env.scale);
+  report.AddConfig("seed", static_cast<int64_t>(env.seed));
+  report.AddConfig("threads", static_cast<int64_t>(env.threads));
   for (const CapturedRun& run : results) {
     table.AddRow({run.method, std::to_string(run.ways),
                   TablePrinter::Num(run.ms_per_query, 4),
                   std::to_string(run.iterations),
                   std::to_string(env.threads)});
+    const std::string cell =
+        run.method + "/ways=" + std::to_string(run.ways);
+    report.AddMetric(cell + "/ms_per_query", run.ms_per_query, "ms");
+    report.AddMetric(cell + "/iterations",
+                     static_cast<double>(run.iterations), "iters");
   }
   WriteCsvOrWarn(table, env.outdir + "/table8_inference_time.csv");
-
-  const std::string json_path = env.outdir + "/table8_inference_time.json";
-  std::ofstream json(json_path);
-  if (!json) {
-    std::fprintf(stderr, "warning: cannot write %s\n", json_path.c_str());
-    return;
+  const Status status = report.WriteJson(env.outdir);
+  if (!status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", status.ToString().c_str());
   }
-  json << "{\n  \"benchmark\": \"table8_inference_time\",\n"
-       << "  \"threads\": " << env.threads << ",\n"
-       << "  \"scale\": " << env.scale << ",\n"
-       << "  \"seed\": " << env.seed << ",\n  \"results\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const CapturedRun& run = results[i];
-    json << "    {\"method\": \"" << run.method << "\", \"ways\": "
-         << run.ways << ", \"ms_per_query\": " << run.ms_per_query
-         << ", \"iterations\": " << run.iterations << "}"
-         << (i + 1 < results.size() ? "," : "") << "\n";
-  }
-  json << "  ]\n}\n";
-  std::printf("wrote %s\n", json_path.c_str());
 }
 
 }  // namespace
@@ -244,6 +236,10 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
   gp::bench::WriteResults(reporter.results, env);
+  const gp::Status obs_status = gp::ExportConfiguredObservability();
+  if (!obs_status.ok()) {
+    std::fprintf(stderr, "warning: %s\n", obs_status.ToString().c_str());
+  }
 
   std::printf(
       "\nPaper reference (Table VIII, FB15K-237 / NELL, ms per query):\n"

@@ -10,12 +10,15 @@
 //
 //   ./examples/online_adaptation [--steps=300] [--ways=20]
 //                                [--fault=embed_nan=0.2,seed=7]
+//                                [--telemetry=telemetry.json]
+//                                [--trace=trace.json]
 
 #include <cstdio>
 
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
 #include "nn/serialize.h"
+#include "obs/export.h"
 #include "util/fault.h"
 #include "util/flags.h"
 #include "util/table.h"
@@ -25,6 +28,8 @@ int main(int argc, char** argv) {
   const uint64_t seed = flags.GetInt("seed", 23);
   const int ways = static_cast<int>(flags.GetInt("ways", 20));
   CHECK_OK(gp::ConfigureGlobalFaultInjection(flags.GetString("fault", "")));
+  gp::ConfigureObservability(flags.GetString("telemetry", ""),
+                             flags.GetString("trace", ""));
 
   gp::DatasetBundle wiki = gp::MakeWikiSim(0.6, seed);
   gp::DatasetBundle nell = gp::MakeNellSim(0.6, seed + 1);
@@ -79,5 +84,10 @@ int main(int argc, char** argv) {
       "admits noisy pseudo-labels (paper Fig. 5 peaks at c=3).\n");
   std::printf("\ndegradation events across all runs:\n%s",
               degradation.ToString().c_str());
+
+  // End-of-run telemetry summary: per-stage span timings, cache hit rate,
+  // fault-injector activations, registry-backed degradation counters.
+  std::printf("\n%s", gp::TelemetrySummary(gp::Telemetry().Snapshot()).c_str());
+  CHECK_OK(gp::ExportConfiguredObservability());
   return 0;
 }

@@ -3,17 +3,21 @@
 // ~60 lines of user code.
 //
 //   ./examples/quickstart [--steps=200] [--seed=1]
+//                         [--telemetry=telemetry.json] [--trace=trace.json]
 
 #include <cstdio>
 
 #include "baselines/prodigy.h"
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
+#include "obs/export.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
   gp::Flags flags(argc, argv);
   const uint64_t seed = flags.GetInt("seed", 1);
+  gp::ConfigureObservability(flags.GetString("telemetry", ""),
+                             flags.GetString("trace", ""));
 
   // 1. Datasets. MakeMagSim / MakeArxivSim generate citation-style graphs
   //    sharing a semantic feature space but with disjoint label sets; any
@@ -65,5 +69,10 @@ int main(int argc, char** argv) {
               baseline.accuracy_percent.mean, baseline.accuracy_percent.std);
   std::printf("  GraphPrompter (ours):      %.2f%% ±%.2f\n",
               ours.accuracy_percent.mean, ours.accuracy_percent.std);
+
+  // 5. End-of-run telemetry: stage timings and pipeline counters collected
+  //    by the observability registry while the steps above ran.
+  std::printf("\n%s", gp::TelemetrySummary(gp::Telemetry().Snapshot()).c_str());
+  CHECK_OK(gp::ExportConfiguredObservability());
   return 0;
 }

@@ -25,6 +25,15 @@ run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$JOBS"
 run ctest --test-dir build --output-on-failure
 
+echo "=== observability: labeled tests + telemetry smoke ==="
+run ctest --test-dir build -L observability --output-on-failure
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+run ./build/examples/quickstart --steps=5 \
+  --telemetry="$smoke_dir/telemetry.json" --trace="$smoke_dir/trace.json"
+run ./build/tools/check_telemetry_json "$smoke_dir/telemetry.json" \
+  "$smoke_dir/trace.json"
+
 label_args=(-L robustness)
 if [[ "${CHECK_ALL:-0}" == "1" ]]; then
   label_args=()

@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/telemetry.h"
+
 namespace gp {
 
 namespace {
@@ -39,6 +41,14 @@ int64_t DegradationStats::TotalEvents() const {
 void DegradationStats::Merge(const DegradationStats& other) {
   for (const auto& [name, member] : Fields()) {
     this->*member += other.*member;
+  }
+}
+
+void DegradationStats::PublishToTelemetry() const {
+  for (const auto& [name, member] : Fields()) {
+    const int64_t value = this->*member;
+    if (value == 0) continue;
+    Telemetry().GetCounter(std::string("degradation/") + name)->Add(value);
   }
 }
 

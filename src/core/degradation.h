@@ -44,6 +44,11 @@ struct DegradationStats {
   // Accumulates `other` into this.
   void Merge(const DegradationStats& other);
 
+  // Adds every counter into the process-wide telemetry registry under
+  // "degradation/<name>". The struct itself stays the per-run view; the
+  // registry accumulates across runs for exporters.
+  void PublishToTelemetry() const;
+
   // One line per non-zero counter ("  quarantined_prompts: 3\n"...);
   // "no degradation events" when clean.
   std::string ToString() const;

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
 #include "util/fault.h"
@@ -178,7 +181,12 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
   double total_query_seconds = 0.0;
   int64_t total_queries = 0;
 
+  static Counter* trials_done = Telemetry().GetCounter("eval/trials");
+  static Counter* queries_done = Telemetry().GetCounter("eval/queries");
+
   for (int trial = 0; trial < eval_config.trials; ++trial) {
+    GP_TRACE_SPAN("eval/trial");
+    trials_done->Add(1);
     NoGradGuard no_grad;
     Rng trial_rng = rng.Fork();
     auto task_or = sampler.Sample(episode, &trial_rng);
@@ -192,8 +200,12 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
       candidate_items.push_back(ex.item);
       candidate_labels.push_back(ex.label);
     }
-    Tensor candidate_emb =
-        model.generator().EmbedItems(dataset, candidate_items, &trial_rng);
+    Tensor candidate_emb;
+    {
+      GP_TRACE_SPAN("eval/embed_candidates");
+      candidate_emb =
+          model.generator().EmbedItems(dataset, candidate_items, &trial_rng);
+    }
     if (FaultInjector* inj = GlobalFaultInjector()) {
       inj->CorruptRows(&candidate_emb.mutable_data(), candidate_emb.rows(),
                        candidate_emb.cols());
@@ -245,8 +257,12 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
       query_items.push_back(ex.item);
       query_expected.push_back(ex.label);
     }
-    Tensor query_emb =
-        model.generator().EmbedItems(dataset, query_items, &trial_rng);
+    Tensor query_emb;
+    {
+      GP_TRACE_SPAN("eval/embed_queries");
+      query_emb =
+          model.generator().EmbedItems(dataset, query_items, &trial_rng);
+    }
     if (FaultInjector* inj = GlobalFaultInjector()) {
       inj->CorruptRows(&query_emb.mutable_data(), query_emb.rows(),
                        query_emb.cols());
@@ -275,6 +291,10 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
                              query_importance.AllFinite();
     const bool sim_healthy = mc.use_knn && !candidates_degenerate;
     Stopwatch select_timer;
+    // Explicit span object (not GP_TRACE_SPAN) so it can close right where
+    // the selection stage hands off to prediction, mid-scope.
+    std::optional<TraceSpan> select_span;
+    select_span.emplace("eval/select_prompts");
     std::vector<int> selected;
     if (mc.random_prompt_selection ||
         (!mc.use_knn && !mc.use_selection_layer)) {
@@ -356,6 +376,7 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
     Tensor prompt_emb = GatherRows(candidate_emb, selected);
     std::vector<int> prompt_labels;
     for (int p : selected) prompt_labels.push_back(candidate_labels[p]);
+    select_span.reset();
     total_query_seconds += select_timer.ElapsedSeconds();
 
     // ---- Stage 3 + prediction: stream query batches through the task
@@ -376,6 +397,7 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
     bool augmenter_enabled = mc.use_augmenter;
 
     Stopwatch predict_timer;
+    GP_TRACE_SPAN("eval/predict");
     const int num_queries = static_cast<int>(query_items.size());
     for (int start = 0; start < num_queries;
          start += eval_config.query_batch) {
@@ -467,6 +489,8 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
   result.accuracy_percent = ComputeMeanStd(result.trial_accuracy_percent);
   result.ms_per_query =
       total_queries > 0 ? 1e3 * total_query_seconds / total_queries : 0.0;
+  queries_done->Add(total_queries);
+  result.degradation.PublishToTelemetry();
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <numeric>
 
 #include "core/kmeans.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -109,10 +111,14 @@ KnnSelection SelectPrompts(const Tensor& prompt_embeddings,
                            const Tensor& query_embeddings,
                            const Tensor& query_importance, int num_classes,
                            const KnnConfig& config) {
+  GP_TRACE_SPAN("selector/knn");
   const int num_prompts = prompt_embeddings.rows();
   const int num_queries = query_embeddings.rows();
   CHECK_EQ(static_cast<size_t>(num_prompts), prompt_labels.size());
   CHECK_GE(num_classes, 1);
+
+  static Counter* pairs = Telemetry().GetCounter("selector/scored_pairs");
+  pairs->Add(static_cast<int64_t>(num_prompts) * num_queries);
 
   KnnSelection out;
   out.votes.assign(num_prompts, 0.0);

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "nn/optimizer.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tensor/autograd.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -162,7 +164,10 @@ PretrainCurves Pretrain(GraphPrompterModel* model,
   double window_loss = 0.0;
   int window_correct = 0, window_total = 0, window_steps = 0;
 
+  static Counter* steps_done = Telemetry().GetCounter("pretrain/steps");
   for (int step = 1; step <= config.steps; ++step) {
+    GP_TRACE_SPAN("pretrain/step");
+    steps_done->Add(1);
     optimizer.ZeroGrad();
 
     Tensor total_loss;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/telemetry.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 #include "util/parallel.h"
@@ -82,7 +83,14 @@ void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
   // 1. LFU frequency update: each query "hits" its top-k most similar
   //    cache entries. The per-entry similarity scan runs in parallel
   //    (disjoint writes into `sims`); Touch stays serial in entry order.
+  static Counter* hits = Telemetry().GetCounter("augmenter/cache_hits");
+  static Counter* misses = Telemetry().GetCounter("augmenter/cache_misses");
+
   const auto entries = cache_->Entries();
+  if (entries.empty()) {
+    // Nothing cached yet: every query of this batch is a miss.
+    misses->Add(num_queries);
+  }
   if (!entries.empty()) {
     const int dim = query_embeddings.cols();
     const float* qdata = query_embeddings.data().data();
@@ -119,6 +127,7 @@ void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
           sims.begin(), sims.begin() + k, sims.end(),
           [](const auto& a, const auto& b) { return a.first > b.first; });
       for (int i = 0; i < k; ++i) cache_->Touch(sims[i].second);
+      hits->Add(k);
     }
   }
 
@@ -142,17 +151,33 @@ void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
     if (!std::isfinite(confidences[q]) || predicted_labels[q] < 0 ||
         !query_embeddings.RowFinite(q)) {
       ++health_.rejected_nonfinite;
+      static Counter* c =
+          Telemetry().GetCounter("augmenter/rejected_nonfinite");
+      c->Add(1);
       continue;
     }
     if (confidences[q] < config_.min_confidence) {
       ++health_.rejected_low_confidence;
+      static Counter* c =
+          Telemetry().GetCounter("augmenter/rejected_low_confidence");
+      c->Add(1);
       continue;
     }
     CacheEntry entry;
     entry.embedding = query_embeddings.Row(q);
     entry.pseudo_label = predicted_labels[q];
     entry.confidence = confidences[q];
-    cache_->Insert(std::move(entry));
+    const bool at_capacity =
+        cache_->capacity() > 0 && cache_->size() == cache_->capacity();
+    if (cache_->Insert(std::move(entry)) >= 0) {
+      static Counter* inserted = Telemetry().GetCounter("augmenter/inserts");
+      inserted->Add(1);
+      if (at_capacity) {
+        static Counter* evictions =
+            Telemetry().GetCounter("augmenter/evictions");
+        evictions->Add(1);
+      }
+    }
   }
 }
 
@@ -182,6 +207,8 @@ int PromptAugmenter::EvictPoisoned(int dim, int num_classes) {
   }
   if (evicted > 0) {
     health_.evicted_poisoned += evicted;
+    static Counter* c = Telemetry().GetCounter("augmenter/poison_evictions");
+    c->Add(evicted);
     LOG(WARNING) << "prompt augmenter: evicted " << evicted
                  << " poisoned cache entr" << (evicted == 1 ? "y" : "ies");
   }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -94,6 +96,7 @@ Tensor PromptGenerator::ReconstructEdgeWeights(const Graph& graph,
   if (!config_.use_reconstruction) {
     return Tensor::Full(sg.num_edges(), 1, 1.0f);
   }
+  GP_TRACE_SPAN("generator/reconstruct");
   return EdgeWeightsFor(features, sg.edge_src, sg.edge_dst);
 }
 
@@ -122,16 +125,24 @@ Tensor PromptGenerator::EmbedSubgraphs(const Graph& graph,
     offset += sg.num_nodes();
   }
 
+  static Counter* embedded = Telemetry().GetCounter("generator/subgraphs");
+  embedded->Add(static_cast<int64_t>(subgraphs.size()));
+
   Tensor features = GatherRows(graph.node_features(), union_nodes);
   if (feature_offset.defined()) {
     features = Add(features, feature_offset);  // broadcast row
   }
   Tensor edge_weight;  // undefined = unit weights
   if (config_.use_reconstruction && !union_src.empty()) {
+    GP_TRACE_SPAN("generator/reconstruct");
     edge_weight = EdgeWeightsFor(features, union_src, union_dst);
   }
-  Tensor node_embeddings =
-      encoder_->Forward(features, union_src, union_dst, edge_weight);
+  Tensor node_embeddings;
+  {
+    GP_TRACE_SPAN("generator/encode");
+    node_embeddings =
+        encoder_->Forward(features, union_src, union_dst, edge_weight);
+  }
 
   // Readout: mean of each subgraph's center-node embeddings.
   Tensor centers = GatherRows(node_embeddings, center_rows);
@@ -144,8 +155,11 @@ Tensor PromptGenerator::EmbedItems(const DatasetBundle& dataset,
                                    Rng* rng) const {
   std::vector<Subgraph> subgraphs;
   subgraphs.reserve(items.size());
-  for (int item : items) {
-    subgraphs.push_back(SampleForItem(dataset, item, rng));
+  {
+    GP_TRACE_SPAN("generator/sample");
+    for (int item : items) {
+      subgraphs.push_back(SampleForItem(dataset, item, rng));
+    }
   }
   return EmbedSubgraphs(dataset.graph, subgraphs);
 }

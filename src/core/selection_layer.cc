@@ -1,5 +1,6 @@
 #include "core/selection_layer.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 
 namespace gp {
@@ -11,6 +12,7 @@ SelectionLayer::SelectionLayer(const SelectionLayerConfig& config, Rng* rng) {
 }
 
 Tensor SelectionLayer::Importance(const Tensor& embeddings) const {
+  GP_TRACE_SPAN("selector/importance");
   return Sigmoid(mlp_->Forward(embeddings));
 }
 

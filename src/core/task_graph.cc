@@ -1,5 +1,6 @@
 #include "core/task_graph.h"
 
+#include "obs/trace.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -34,6 +35,7 @@ TaskGraphOutput TaskGraphNet::Forward(const Tensor& prompt_embeddings,
                                       const std::vector<int>& prompt_labels,
                                       const Tensor& query_embeddings,
                                       int num_classes) const {
+  GP_TRACE_SPAN("task_graph/forward");
   const int num_prompts = prompt_embeddings.rows();
   const int num_queries = query_embeddings.rows();
   const int dim = config_.embedding_dim;

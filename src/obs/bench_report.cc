@@ -1,0 +1,110 @@
+#include "obs/bench_report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json.h"
+#include "obs/telemetry.h"
+
+namespace gp {
+
+BenchReporter::BenchReporter(std::string name) : name_(std::move(name)) {}
+
+void BenchReporter::AddConfig(const std::string& key,
+                              const std::string& value) {
+  config_.push_back({key, value, /*is_string=*/true});
+}
+
+void BenchReporter::AddConfig(const std::string& key, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  config_.push_back({key, std::isfinite(value) ? buf : "null",
+                     /*is_string=*/false});
+}
+
+void BenchReporter::AddConfig(const std::string& key, int64_t value) {
+  config_.push_back({key, std::to_string(value), /*is_string=*/false});
+}
+
+void BenchReporter::AddMetric(const std::string& label, double value,
+                              const std::string& unit) {
+  metrics_.push_back({label, value, unit});
+}
+
+std::string BenchReporter::ToJson() const {
+  const TelemetrySnapshot snapshot = Telemetry().Snapshot();
+  json::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("benchmark").String(name_);
+
+  w.Key("config").BeginObject();
+  for (const ConfigEntry& entry : config_) {
+    w.Key(entry.key);
+    if (entry.is_string) {
+      w.String(entry.value);
+    } else {
+      // Pre-rendered numeric literal; splice it through the writer's
+      // escape-free path by distinguishing int from double text.
+      if (entry.value.find_first_of(".eEn") == std::string::npos) {
+        w.Int(std::stoll(entry.value));
+      } else if (entry.value == "null") {
+        w.Null();
+      } else {
+        w.Double(std::stod(entry.value));
+      }
+    }
+  }
+  w.EndObject();
+
+  w.Key("stages").BeginArray();
+  for (const StageSample& stage : snapshot.Stages()) {
+    w.BeginObject();
+    w.Key("name").String(stage.name);
+    w.Key("count").Int(stage.count);
+    w.Key("total_ms").Double(stage.total_ms);
+    w.Key("mean_ms").Double(stage.count > 0 ? stage.total_ms / stage.count
+                                            : 0.0);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("counters").BeginObject();
+  for (const CounterSample& c : snapshot.PlainCounters()) {
+    w.Key(c.name).Int(c.value);
+  }
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const GaugeSample& g : snapshot.gauges) {
+    w.Key(g.name).Double(g.value);
+  }
+  w.EndObject();
+
+  w.Key("results").BeginArray();
+  for (const Metric& metric : metrics_) {
+    w.BeginObject();
+    w.Key("label").String(metric.label);
+    w.Key("value").Double(metric.value);
+    w.Key("unit").String(metric.unit);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Status BenchReporter::WriteJson(const std::string& outdir) const {
+  const std::string path = outdir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return InvalidArgumentError("cannot open for writing: " + path);
+  out << ToJson();
+  out.close();
+  if (!out) return DataLossError("short write: " + path);
+  std::printf("wrote %s\n", path.c_str());
+  return Status::Ok();
+}
+
+}  // namespace gp

@@ -1,0 +1,76 @@
+// Standardized benchmark result export: every bench binary funnels its
+// run through a BenchReporter, which writes results/BENCH_<name>.json with
+// a stable schema so the benchmark trajectory can accumulate across runs:
+//
+//   {
+//     "schema_version": 1,
+//     "benchmark": "<name>",
+//     "config":   { "scale": 0.45, "seed": 1, ... },
+//     "stages":   [ {"name":"selector/knn","count":N,
+//                    "total_ms":T,"mean_ms":M}, ... ],
+//     "counters": { "augmenter/cache_hits": 123, ... },
+//     "gauges":   { "parallel/threads": 4, ... },
+//     "results":  [ {"label":"FB15K_237/ways=5/accuracy",
+//                    "value":57.2,"unit":"%"}, ... ]
+//   }
+//
+// "stages" and "counters" are captured from the process-wide telemetry
+// registry at WriteJson time, so everything the instrumented pipeline
+// recorded during the bench lands in the report automatically; the bench
+// itself only adds its config and headline metrics.
+
+#ifndef GRAPHPROMPTER_OBS_BENCH_REPORT_H_
+#define GRAPHPROMPTER_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace gp {
+
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  // Config entries appear in insertion order.
+  void AddConfig(const std::string& key, const std::string& value);
+  void AddConfig(const std::string& key, double value);
+  void AddConfig(const std::string& key, int64_t value);
+
+  // A headline measurement (accuracy cell, ms/query, ...). `label` should
+  // encode the cell coordinates, e.g. "FB15K_237/ways=10/accuracy".
+  void AddMetric(const std::string& label, double value,
+                 const std::string& unit = "");
+
+  int num_metrics() const { return static_cast<int>(metrics_.size()); }
+
+  // Serializes the report (including a fresh telemetry snapshot).
+  std::string ToJson() const;
+
+  // Writes <outdir>/BENCH_<name>.json.
+  Status WriteJson(const std::string& outdir) const;
+
+ private:
+  struct ConfigEntry {
+    std::string key;
+    std::string value;  // pre-rendered JSON literal for numbers
+    bool is_string;
+  };
+  struct Metric {
+    std::string label;
+    double value;
+    std::string unit;
+  };
+
+  std::string name_;
+  std::vector<ConfigEntry> config_;
+  std::vector<Metric> metrics_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_OBS_BENCH_REPORT_H_

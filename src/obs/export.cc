@@ -1,0 +1,264 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "obs/json.h"
+#include "obs/trace.h"
+
+namespace gp {
+namespace {
+
+Status WriteFileOrError(const std::string& path, const std::string& body) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return InvalidArgumentError("cannot open for writing: " + path);
+  }
+  out << body;
+  out.close();
+  if (!out) return DataLossError("short write: " + path);
+  return Status::Ok();
+}
+
+void AppendSpansJson(const TelemetrySnapshot& snapshot,
+                     json::JsonWriter* w) {
+  w->Key("spans").BeginArray();
+  for (const StageSample& stage : snapshot.Stages()) {
+    w->BeginObject();
+    w->Key("name").String(stage.name);
+    w->Key("count").Int(stage.count);
+    w->Key("total_ms").Double(stage.total_ms);
+    w->Key("mean_ms").Double(stage.count > 0 ? stage.total_ms / stage.count
+                                             : 0.0);
+    w->EndObject();
+  }
+  w->EndArray();
+}
+
+}  // namespace
+
+std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snapshot) {
+  json::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Int(1);
+  w.Key("kind").String("telemetry");
+
+  w.Key("counters").BeginObject();
+  for (const CounterSample& c : snapshot.PlainCounters()) {
+    w.Key(c.name).Int(c.value);
+  }
+  w.EndObject();
+
+  w.Key("gauges").BeginObject();
+  for (const GaugeSample& g : snapshot.gauges) {
+    w.Key(g.name).Double(g.value);
+  }
+  w.EndObject();
+
+  w.Key("histograms").BeginArray();
+  for (const HistogramSample& h : snapshot.histograms) {
+    w.BeginObject();
+    w.Key("name").String(h.name);
+    w.Key("bounds").BeginArray();
+    for (double b : h.bounds) w.Double(b);
+    w.EndArray();
+    w.Key("counts").BeginArray();
+    for (int64_t c : h.counts) w.Int(c);
+    w.EndArray();
+    w.Key("count").Int(h.total_count);
+    w.Key("sum").Double(h.sum);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  AppendSpansJson(snapshot, &w);
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Status WriteTelemetryJson(const TelemetrySnapshot& snapshot,
+                          const std::string& path) {
+  return WriteFileOrError(path, TelemetrySnapshotToJson(snapshot));
+}
+
+Status WriteTelemetryCsv(const TelemetrySnapshot& snapshot,
+                         const std::string& path) {
+  std::string body = "kind,name,value\n";
+  for (const CounterSample& c : snapshot.counters) {
+    body += "counter," + c.name + "," + std::to_string(c.value) + "\n";
+  }
+  for (const GaugeSample& g : snapshot.gauges) {
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", g.value);
+    body += "gauge," + g.name + "," + buf + "\n";
+  }
+  for (const HistogramSample& h : snapshot.histograms) {
+    body += "histogram_count," + h.name + "," +
+            std::to_string(h.total_count) + "\n";
+  }
+  return WriteFileOrError(path, body);
+}
+
+std::string ChromeTraceToJson() {
+  json::JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (const TraceEvent& event : CollectTraceEvents()) {
+    w.BeginObject();
+    w.Key("name").String(event.name);
+    w.Key("ph").String("X");  // complete event: start + duration
+    w.Key("ts").Int(event.ts_us);
+    w.Key("dur").Int(event.dur_us);
+    w.Key("pid").Int(1);
+    w.Key("tid").Int(event.tid);
+    w.Key("args").BeginObject();
+    w.Key("id").Int(static_cast<int64_t>(event.id));
+    w.Key("parent").Int(static_cast<int64_t>(event.parent_id));
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("droppedEvents").Int(DroppedTraceEvents());
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Status WriteChromeTrace(const std::string& path) {
+  return WriteFileOrError(path, ChromeTraceToJson());
+}
+
+Status WriteTraceCsv(const std::string& path) {
+  std::string body = "name,ts_us,dur_us,tid,id,parent_id\n";
+  for (const TraceEvent& event : CollectTraceEvents()) {
+    body += std::string(event.name) + "," + std::to_string(event.ts_us) +
+            "," + std::to_string(event.dur_us) + "," +
+            std::to_string(event.tid) + "," + std::to_string(event.id) +
+            "," + std::to_string(event.parent_id) + "\n";
+  }
+  return WriteFileOrError(path, body);
+}
+
+std::string TelemetrySummary(const TelemetrySnapshot& snapshot) {
+  std::string out = "telemetry summary\n";
+  char buf[160];
+
+  const auto stages = snapshot.Stages();
+  if (!stages.empty()) {
+    out += "  stage timings:\n";
+    for (const StageSample& stage : stages) {
+      std::snprintf(buf, sizeof(buf),
+                    "    %-28s %8lld calls  %10.2f ms total  %8.3f ms/call\n",
+                    stage.name.c_str(),
+                    static_cast<long long>(stage.count), stage.total_ms,
+                    stage.count > 0 ? stage.total_ms / stage.count : 0.0);
+      out += buf;
+    }
+  }
+
+  const int64_t hits = snapshot.CounterValue("augmenter/cache_hits");
+  const int64_t misses = snapshot.CounterValue("augmenter/cache_misses");
+  if (hits + misses > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "  augmenter cache: %lld hits / %lld misses (%.1f%% hit "
+                  "rate), %lld inserts, %lld evictions\n",
+                  static_cast<long long>(hits),
+                  static_cast<long long>(misses),
+                  100.0 * static_cast<double>(hits) /
+                      static_cast<double>(hits + misses),
+                  static_cast<long long>(
+                      snapshot.CounterValue("augmenter/inserts")),
+                  static_cast<long long>(
+                      snapshot.CounterValue("augmenter/evictions")));
+    out += buf;
+  }
+
+  bool any_degradation = false;
+  for (const CounterSample& c : snapshot.counters) {
+    if (c.value != 0 && c.name.rfind("degradation/", 0) == 0) {
+      if (!any_degradation) {
+        out += "  degradation counters:\n";
+        any_degradation = true;
+      }
+      out += "    " + c.name + ": " + std::to_string(c.value) + "\n";
+    }
+  }
+  if (!any_degradation) out += "  degradation: no events\n";
+
+  bool header = false;
+  for (const CounterSample& c : snapshot.PlainCounters()) {
+    if (c.value == 0 || c.name.rfind("degradation/", 0) == 0 ||
+        c.name.rfind("augmenter/", 0) == 0) {
+      continue;
+    }
+    if (!header) {
+      out += "  counters:\n";
+      header = true;
+    }
+    out += "    " + c.name + ": " + std::to_string(c.value) + "\n";
+  }
+  return out;
+}
+
+namespace {
+
+std::mutex g_config_mu;
+std::string g_telemetry_path;
+std::string g_trace_path;
+
+std::string ResolvePath(const std::string& explicit_path,
+                        const char* env_var) {
+  if (!explicit_path.empty()) return explicit_path;
+  if (const char* env = std::getenv(env_var)) return env;
+  return "";
+}
+
+bool HasCsvExtension(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+}
+
+}  // namespace
+
+void ConfigureObservability(const std::string& telemetry_path,
+                            const std::string& trace_path) {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_telemetry_path = ResolvePath(telemetry_path, "GP_TELEMETRY");
+  g_trace_path = ResolvePath(trace_path, "GP_TRACE");
+  if (!g_trace_path.empty()) SetTracingEnabled(true);
+}
+
+Status ExportConfiguredObservability() {
+  std::string telemetry_path, trace_path;
+  {
+    std::lock_guard<std::mutex> lock(g_config_mu);
+    telemetry_path = g_telemetry_path;
+    trace_path = g_trace_path;
+  }
+  Status first_error;
+  if (!telemetry_path.empty()) {
+    const TelemetrySnapshot snapshot = Telemetry().Snapshot();
+    const Status status = HasCsvExtension(telemetry_path)
+                              ? WriteTelemetryCsv(snapshot, telemetry_path)
+                              : WriteTelemetryJson(snapshot, telemetry_path);
+    if (status.ok()) {
+      std::printf("wrote telemetry to %s\n", telemetry_path.c_str());
+    } else if (first_error.ok()) {
+      first_error = status;
+    }
+  }
+  if (!trace_path.empty()) {
+    const Status status = HasCsvExtension(trace_path)
+                              ? WriteTraceCsv(trace_path)
+                              : WriteChromeTrace(trace_path);
+    if (status.ok()) {
+      std::printf("wrote trace to %s\n", trace_path.c_str());
+    } else if (first_error.ok()) {
+      first_error = status;
+    }
+  }
+  return first_error;
+}
+
+}  // namespace gp

@@ -1,0 +1,59 @@
+// Exporters for the observability subsystem.
+//
+// Serialization:
+//   WriteTelemetryJson / TelemetrySnapshotToJson — snapshot as JSON
+//     (schema: {"schema_version":1,"kind":"telemetry","counters":{...},
+//      "gauges":{...},"histograms":[...],"spans":[{name,count,total_ms,
+//      mean_ms}]})
+//   WriteTelemetryCsv  — flat "kind,name,value" CSV
+//   WriteChromeTrace   — recorded spans as Chrome trace_event JSON
+//     (open in chrome://tracing or https://ui.perfetto.dev)
+//   WriteTraceCsv      — recorded spans as "name,ts_us,dur_us,tid,id,
+//     parent_id" CSV
+//
+// Run plumbing: ConfigureObservability wires the --telemetry=<path> /
+// --trace=<path> flags (falling back to the GP_TELEMETRY / GP_TRACE
+// environment variables) and ExportConfiguredObservability writes the
+// configured files at end of run. TelemetrySummary renders the
+// human-readable end-of-run report the examples print.
+
+#ifndef GRAPHPROMPTER_OBS_EXPORT_H_
+#define GRAPHPROMPTER_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/telemetry.h"
+#include "util/status.h"
+
+namespace gp {
+
+std::string TelemetrySnapshotToJson(const TelemetrySnapshot& snapshot);
+
+Status WriteTelemetryJson(const TelemetrySnapshot& snapshot,
+                          const std::string& path);
+Status WriteTelemetryCsv(const TelemetrySnapshot& snapshot,
+                         const std::string& path);
+
+std::string ChromeTraceToJson();
+Status WriteChromeTrace(const std::string& path);
+Status WriteTraceCsv(const std::string& path);
+
+// Human-readable end-of-run summary: stage timings (from span counters),
+// augmenter cache hit rate, degradation counters, and any other non-zero
+// counters. Multi-line, ready to print.
+std::string TelemetrySummary(const TelemetrySnapshot& snapshot);
+
+// Resolves the telemetry/trace output paths: an explicit argument wins,
+// otherwise the GP_TELEMETRY / GP_TRACE environment variables are
+// consulted. A non-empty trace path enables event recording immediately.
+void ConfigureObservability(const std::string& telemetry_path,
+                            const std::string& trace_path);
+
+// Writes the files configured above (no-op when neither is set). A ".csv"
+// extension selects the CSV serialization, anything else JSON. Returns the
+// first error; partial exports still attempt every configured sink.
+Status ExportConfiguredObservability();
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_OBS_EXPORT_H_

@@ -1,0 +1,337 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace gp {
+namespace json {
+
+std::string Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (stack_.empty()) return;
+  if (stack_.back() == Frame::kObject) {
+    // Inside an object a value is only legal right after its key.
+    CHECK(pending_key_) << "JsonWriter: value in object without Key()";
+    pending_key_ = false;
+    return;
+  }
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  CHECK(!pending_key_) << "JsonWriter: Key() without value";
+  out_ += '}';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_.push_back(true);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  CHECK(!stack_.empty() && stack_.back() == Frame::kArray);
+  out_ += ']';
+  stack_.pop_back();
+  first_.pop_back();
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& name) {
+  CHECK(!stack_.empty() && stack_.back() == Frame::kObject);
+  CHECK(!pending_key_);
+  if (!first_.back()) out_ += ',';
+  first_.back() = false;
+  out_ += '"';
+  out_ += Escape(name);
+  out_ += "\":";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+  return *this;
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Recursive-descent parser over a string view, tracking position for error
+// messages. Depth is bounded to reject pathological nesting.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    JsonValue root;
+    GP_RETURN_IF_ERROR(ParseValue(&root, 0));
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return InvalidArgumentError("json: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* lit) {
+    const size_t n = std::char_traits<char>::length(lit);
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipSpace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"':
+        out->type = JsonValue::Type::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        if (!ConsumeLiteral("true")) return Error("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = true;
+        return Status::Ok();
+      case 'f':
+        if (!ConsumeLiteral("false")) return Error("bad literal");
+        out->type = JsonValue::Type::kBool;
+        out->bool_value = false;
+        return Status::Ok();
+      case 'n':
+        if (!ConsumeLiteral("null")) return Error("bad literal");
+        out->type = JsonValue::Type::kNull;
+        return Status::Ok();
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (Consume('}')) return Status::Ok();
+    while (true) {
+      SkipSpace();
+      std::string key;
+      GP_RETURN_IF_ERROR(ParseString(&key));
+      SkipSpace();
+      if (!Consume(':')) return Error("expected ':' in object");
+      JsonValue value;
+      GP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipSpace();
+      if (Consume('}')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or '}' in object");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    out->type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (Consume(']')) return Status::Ok();
+    while (true) {
+      JsonValue value;
+      GP_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->elements.push_back(std::move(value));
+      SkipSpace();
+      if (Consume(']')) return Status::Ok();
+      if (!Consume(',')) return Error("expected ',' or ']' in array");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': *out += '"'; break;
+        case '\\': *out += '\\'; break;
+        case '/': *out += '/'; break;
+        case 'b': *out += '\b'; break;
+        case 'f': *out += '\f'; break;
+        case 'n': *out += '\n'; break;
+        case 'r': *out += '\r'; break;
+        case 't': *out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return Error("bad \\u escape");
+          }
+          // The exporters only escape control characters; decode the BMP
+          // code point as UTF-8 without surrogate-pair handling.
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected value");
+    char* end = nullptr;
+    const std::string token = text_.substr(start, pos_ - start);
+    const double value = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Error("bad number");
+    out->type = JsonValue::Type::kNumber;
+    out->number_value = value;
+    return Status::Ok();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<JsonValue> ParseJson(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace json
+}  // namespace gp

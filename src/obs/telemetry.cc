@@ -1,0 +1,219 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace gp {
+
+int TelemetryShardIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kTelemetryShards;
+  return shard;
+}
+
+int64_t Counter::Value() const {
+  int64_t total = 0;
+  for (int s = 0; s < kTelemetryShards; ++s) {
+    total += cells_[s].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (int s = 0; s < kTelemetryShards; ++s) {
+    cells_[s].value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::string name, std::vector<double> bounds)
+    : name_(std::move(name)), bounds_(std::move(bounds)) {
+  for (size_t i = 1; i < bounds_.size(); ++i) {
+    CHECK_LT(bounds_[i - 1], bounds_[i])
+        << "histogram bounds must be strictly ascending: " << name_;
+  }
+  counts_ = std::make_unique<obs_internal::ShardedI64[]>(
+      static_cast<size_t>(kTelemetryShards) * (bounds_.size() + 1));
+}
+
+void Histogram::Observe(double value) {
+  // First bucket whose upper bound admits the value; NaN and values above
+  // the last bound land in the overflow bucket.
+  size_t bucket = bounds_.size();
+  for (size_t i = 0; i < bounds_.size(); ++i) {
+    if (value <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  const size_t shard = static_cast<size_t>(TelemetryShardIndex());
+  counts_[shard * (bounds_.size() + 1) + bucket].value.fetch_add(
+      1, std::memory_order_relaxed);
+  sums_[shard].value.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> merged(bounds_.size() + 1, 0);
+  for (int s = 0; s < kTelemetryShards; ++s) {
+    for (size_t b = 0; b < merged.size(); ++b) {
+      merged[b] +=
+          counts_[static_cast<size_t>(s) * merged.size() + b].value.load(
+              std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+int64_t Histogram::TotalCount() const {
+  int64_t total = 0;
+  for (int64_t c : BucketCounts()) total += c;
+  return total;
+}
+
+double Histogram::Sum() const {
+  // Merged in fixed shard order so repeated reads of the same state agree.
+  double total = 0.0;
+  for (int s = 0; s < kTelemetryShards; ++s) {
+    total += sums_[s].value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Histogram::Reset() {
+  const size_t n = static_cast<size_t>(kTelemetryShards) *
+                   (bounds_.size() + 1);
+  for (size_t i = 0; i < n; ++i) {
+    counts_[i].value.store(0, std::memory_order_relaxed);
+  }
+  for (int s = 0; s < kTelemetryShards; ++s) {
+    sums_[s].value.store(0.0, std::memory_order_relaxed);
+  }
+}
+
+int64_t TelemetrySnapshot::CounterValue(const std::string& name) const {
+  for (const CounterSample& c : counters) {
+    if (c.name == name) return c.value;
+  }
+  return 0;
+}
+
+const HistogramSample* TelemetrySnapshot::FindHistogram(
+    const std::string& name) const {
+  for (const HistogramSample& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+namespace {
+
+constexpr char kSpanPrefix[] = "span/";
+constexpr char kSpanCountSuffix[] = "/count";
+constexpr char kSpanTotalSuffix[] = "/total_us";
+
+bool StripAffixes(const std::string& name, const char* suffix,
+                  std::string* stage) {
+  const size_t prefix_len = sizeof(kSpanPrefix) - 1;
+  const size_t suffix_len = std::char_traits<char>::length(suffix);
+  if (name.size() <= prefix_len + suffix_len) return false;
+  if (name.compare(0, prefix_len, kSpanPrefix) != 0) return false;
+  if (name.compare(name.size() - suffix_len, suffix_len, suffix) != 0) {
+    return false;
+  }
+  *stage = name.substr(prefix_len, name.size() - prefix_len - suffix_len);
+  return true;
+}
+
+}  // namespace
+
+std::vector<StageSample> TelemetrySnapshot::Stages() const {
+  std::map<std::string, StageSample> stages;
+  for (const CounterSample& c : counters) {
+    std::string stage;
+    if (StripAffixes(c.name, kSpanCountSuffix, &stage)) {
+      stages[stage].name = stage;
+      stages[stage].count = c.value;
+    } else if (StripAffixes(c.name, kSpanTotalSuffix, &stage)) {
+      stages[stage].name = stage;
+      stages[stage].total_ms = static_cast<double>(c.value) / 1e3;
+    }
+  }
+  std::vector<StageSample> out;
+  out.reserve(stages.size());
+  for (auto& [name, sample] : stages) out.push_back(std::move(sample));
+  return out;
+}
+
+std::vector<CounterSample> TelemetrySnapshot::PlainCounters() const {
+  std::vector<CounterSample> out;
+  for (const CounterSample& c : counters) {
+    std::string stage;
+    if (StripAffixes(c.name, kSpanCountSuffix, &stage) ||
+        StripAffixes(c.name, kSpanTotalSuffix, &stage)) {
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+Counter* TelemetryRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>(name);
+  return slot.get();
+}
+
+Gauge* TelemetryRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(name);
+  return slot.get();
+}
+
+Histogram* TelemetryRegistry::GetHistogram(const std::string& name,
+                                           std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(name, std::move(bounds));
+  return slot.get();
+}
+
+TelemetrySnapshot TelemetryRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TelemetrySnapshot snapshot;
+  for (const auto& [name, counter] : counters_) {
+    snapshot.counters.push_back({name, counter->Value()});
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snapshot.gauges.push_back({name, gauge->Value()});
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSample sample;
+    sample.name = name;
+    sample.bounds = histogram->bounds();
+    sample.counts = histogram->BucketCounts();
+    sample.total_count = 0;
+    for (int64_t c : sample.counts) sample.total_count += c;
+    sample.sum = histogram->Sum();
+    snapshot.histograms.push_back(std::move(sample));
+  }
+  return snapshot;
+}
+
+void TelemetryRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+TelemetryRegistry& Telemetry() {
+  // Leaked singleton: worker threads may still bump counters while static
+  // destructors run, so the registry must outlive everything.
+  static TelemetryRegistry* registry = new TelemetryRegistry();
+  return *registry;
+}
+
+}  // namespace gp

@@ -1,0 +1,200 @@
+// Process-wide telemetry registry: named counters, gauges, and fixed-bucket
+// histograms.
+//
+// Hot-path writes go to per-thread sharded cells — each metric owns
+// kTelemetryShards cache-line-aligned atomic slots and a thread always
+// writes the slot picked by its (stable) thread index, so concurrent
+// increments from ParallelFor workers never contend on one cache line.
+// Reads (Snapshot / Value) merge the shards in fixed index order and
+// iterate metrics in name order, so two snapshots of the same state are
+// identical.
+//
+// Determinism contract: telemetry is strictly write-only from the compute
+// pipeline's point of view — no kernel ever reads a metric to make a
+// decision — so enabling or exporting telemetry cannot perturb predictions.
+// Counter merges are integer sums (associative and commutative), hence
+// exact regardless of which thread incremented what.
+//
+// Metric handles returned by the registry are valid for the process
+// lifetime; Reset() zeroes values but never invalidates handles, so call
+// sites may cache them in static locals:
+//
+//   static Counter* hits = Telemetry().GetCounter("augmenter/cache_hits");
+//   hits->Add(1);
+
+#ifndef GRAPHPROMPTER_OBS_TELEMETRY_H_
+#define GRAPHPROMPTER_OBS_TELEMETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gp {
+
+// Shard count: a power of two comfortably above the pool sizes this
+// library runs with; threads beyond it wrap around and share (still
+// correct, just potentially contended).
+inline constexpr int kTelemetryShards = 16;
+
+// Stable small index for the calling thread (assigned on first use,
+// wrapped into [0, kTelemetryShards)).
+int TelemetryShardIndex();
+
+namespace obs_internal {
+struct alignas(64) ShardedI64 {
+  std::atomic<int64_t> value{0};
+};
+struct alignas(64) ShardedF64 {
+  std::atomic<double> value{0.0};
+};
+}  // namespace obs_internal
+
+// Monotonically increasing integer metric.
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  void Add(int64_t delta = 1) {
+    cells_[TelemetryShardIndex()].value.fetch_add(delta,
+                                                  std::memory_order_relaxed);
+  }
+
+  // Sum over shards in fixed order.
+  int64_t Value() const;
+
+  const std::string& name() const { return name_; }
+  void Reset();
+
+ private:
+  std::string name_;
+  obs_internal::ShardedI64 cells_[kTelemetryShards];
+};
+
+// Last-written floating-point level (thread count, dataset scale, ...).
+// Gauges are set from configuration code, not from racing hot paths.
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+  const std::string& name() const { return name_; }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+// Fixed-bucket histogram: `bounds` are ascending upper bounds; a value v
+// lands in the first bucket with v <= bound, or the overflow bucket.
+// Bucket counts and the running sum are sharded like counters.
+class Histogram {
+ public:
+  Histogram(std::string name, std::vector<double> bounds);
+
+  void Observe(double value);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  // Merged counts, one per bound plus the overflow bucket.
+  std::vector<int64_t> BucketCounts() const;
+  int64_t TotalCount() const;
+  double Sum() const;
+  void Reset();
+
+ private:
+  std::string name_;
+  std::vector<double> bounds_;
+  // Flattened (shard x bucket) count cells; shard-major so one thread's
+  // buckets share cache lines only with themselves. Heap array because
+  // atomics are neither copyable nor movable.
+  std::unique_ptr<obs_internal::ShardedI64[]> counts_;
+  obs_internal::ShardedF64 sums_[kTelemetryShards];
+};
+
+// ---------------------------------------------------------------- snapshot
+
+struct CounterSample {
+  std::string name;
+  int64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<int64_t> counts;  // bounds.size() + 1 (overflow last)
+  int64_t total_count = 0;
+  double sum = 0.0;
+};
+
+// Per-stage aggregate derived from the span counters that GP_TRACE_SPAN
+// maintains (see obs/trace.h): "span/<name>/count" and
+// "span/<name>/total_us".
+struct StageSample {
+  std::string name;
+  int64_t count = 0;
+  double total_ms = 0.0;
+};
+
+// A point-in-time copy of the registry, metrics sorted by name. This is
+// the unit every exporter consumes.
+struct TelemetrySnapshot {
+  std::vector<CounterSample> counters;  // includes the span/ counters
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  // Counter value by exact name; 0 when absent.
+  int64_t CounterValue(const std::string& name) const;
+  const HistogramSample* FindHistogram(const std::string& name) const;
+
+  // The "span/<name>/{count,total_us}" counter pairs folded into stage
+  // aggregates, sorted by name.
+  std::vector<StageSample> Stages() const;
+  // Counters that are not span bookkeeping, i.e. everything Stages() does
+  // not already represent.
+  std::vector<CounterSample> PlainCounters() const;
+};
+
+class TelemetryRegistry {
+ public:
+  // Returns the existing metric or registers a new one. Never returns
+  // null; the handle lives for the process lifetime.
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  // `bounds` must be ascending; only consulted on first registration.
+  Histogram* GetHistogram(const std::string& name,
+                          std::vector<double> bounds);
+
+  TelemetrySnapshot Snapshot() const;
+
+  // Zeroes every metric value. Handles stay valid. Intended for tests and
+  // for delta-style reporting between pipeline phases.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  // std::map keeps name order stable for deterministic snapshots; values
+  // are node-stable unique_ptrs so handles survive rehash-free.
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// The process-wide registry (never destroyed, so exit-time logging from
+// worker threads stays safe).
+TelemetryRegistry& Telemetry();
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_OBS_TELEMETRY_H_

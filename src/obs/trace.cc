@@ -1,0 +1,138 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/telemetry.h"
+
+namespace gp {
+namespace {
+
+// Bounded event buffer: ~1M spans is far beyond any bench run; past it we
+// drop and count rather than grow without limit.
+constexpr size_t kMaxTraceEvents = size_t{1} << 20;
+
+std::atomic<bool> g_tracing_enabled{false};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<int64_t> g_dropped_events{0};
+
+std::mutex g_events_mu;
+std::vector<TraceEvent>& Events() {
+  static std::vector<TraceEvent>* events = new std::vector<TraceEvent>();
+  return *events;
+}
+
+// Stable small thread index for trace output (0 = first thread to trace).
+int ThisThreadIndex() {
+  static std::atomic<int> next{0};
+  thread_local const int tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+// Innermost open span on this thread; parents for nested spans.
+std::vector<uint64_t>& SpanStack() {
+  thread_local std::vector<uint64_t> stack;
+  return stack;
+}
+
+// Aggregation counters per span name, cached by the literal's address so
+// repeated spans skip the registry's name lookup.
+struct SpanCounters {
+  Counter* count;
+  Counter* total_us;
+};
+
+SpanCounters LookupSpanCounters(const char* name) {
+  static std::mutex mu;
+  static std::unordered_map<const void*, SpanCounters>* cache =
+      new std::unordered_map<const void*, SpanCounters>();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = cache->find(name);
+    if (it != cache->end()) return it->second;
+  }
+  const std::string base = std::string("span/") + name;
+  SpanCounters counters{Telemetry().GetCounter(base + "/count"),
+                        Telemetry().GetCounter(base + "/total_us")};
+  std::lock_guard<std::mutex> lock(mu);
+  return cache->emplace(name, counters).first->second;
+}
+
+}  // namespace
+
+int64_t TraceNowMicros() {
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(g_events_mu);
+    out = Events();
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us != b.ts_us ? a.ts_us < b.ts_us
+                                               : a.id < b.id;
+                   });
+  return out;
+}
+
+int64_t DroppedTraceEvents() {
+  return g_dropped_events.load(std::memory_order_relaxed);
+}
+
+void ClearTraceEvents() {
+  std::lock_guard<std::mutex> lock(g_events_mu);
+  Events().clear();
+  g_dropped_events.store(0, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name)
+    : name_(name),
+      start_us_(TraceNowMicros()),
+      id_(g_next_span_id.fetch_add(1, std::memory_order_relaxed)),
+      parent_id_(SpanStack().empty() ? 0 : SpanStack().back()),
+      recording_(TracingEnabled()) {
+  SpanStack().push_back(id_);
+}
+
+TraceSpan::~TraceSpan() {
+  SpanStack().pop_back();
+  const int64_t dur = TraceNowMicros() - start_us_;
+
+  const SpanCounters counters = LookupSpanCounters(name_);
+  counters.count->Add(1);
+  counters.total_us->Add(dur);
+
+  if (!recording_) return;
+  TraceEvent event;
+  event.name = name_;
+  event.ts_us = start_us_;
+  event.dur_us = dur;
+  event.tid = ThisThreadIndex();
+  event.id = id_;
+  event.parent_id = parent_id_;
+  std::lock_guard<std::mutex> lock(g_events_mu);
+  if (Events().size() >= kMaxTraceEvents) {
+    g_dropped_events.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Events().push_back(event);
+}
+
+}  // namespace gp

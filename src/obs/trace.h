@@ -1,0 +1,83 @@
+// Scoped trace spans.
+//
+//   void SelectPrompts(...) {
+//     GP_TRACE_SPAN("selector/knn");
+//     ...
+//   }
+//
+// Every span — whether or not event recording is enabled — folds its wall
+// time into the telemetry registry as two counters, "span/<name>/count"
+// and "span/<name>/total_us", which power the per-stage timing tables in
+// bench reports and example summaries. When tracing is enabled
+// (SetTracingEnabled, --trace=<path>, or GP_TRACE), each span additionally
+// records a TraceEvent (start, duration, thread, parent span) exportable
+// as Chrome trace_event JSON (chrome://tracing, Perfetto) or flat CSV via
+// obs/export.h.
+//
+// Spans never feed values back into computation, so enabling tracing
+// leaves pipeline results bitwise identical (see DESIGN.md).
+//
+// Span names must be string literals (their addresses key a lookup cache
+// and the recorder stores them unowned).
+
+#ifndef GRAPHPROMPTER_OBS_TRACE_H_
+#define GRAPHPROMPTER_OBS_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gp {
+
+// Microseconds since process start (steady clock).
+int64_t TraceNowMicros();
+
+// Event recording toggle. Span timing aggregation into telemetry counters
+// is always on; this only gates the per-event buffer.
+bool TracingEnabled();
+void SetTracingEnabled(bool enabled);
+
+struct TraceEvent {
+  const char* name = "";     // unowned string literal
+  int64_t ts_us = 0;         // span start, microseconds since process start
+  int64_t dur_us = 0;
+  int tid = 0;               // stable per-thread index (main thread first)
+  uint64_t id = 0;           // unique per span
+  uint64_t parent_id = 0;    // 0 = top-level span on its thread
+};
+
+// Copy of the recorded events, sorted by (ts_us, id). Thread-safe.
+std::vector<TraceEvent> CollectTraceEvents();
+
+// Number of events dropped after the recording buffer filled (bounded so a
+// long traced run cannot exhaust memory).
+int64_t DroppedTraceEvents();
+
+// Discards all recorded events (and the dropped-event count).
+void ClearTraceEvents();
+
+// RAII span. Use through GP_TRACE_SPAN rather than directly.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  int64_t start_us_;
+  uint64_t id_;
+  uint64_t parent_id_;
+  bool recording_;  // tracing was enabled when the span opened
+};
+
+#define GP_TRACE_CONCAT_INNER_(a, b) a##b
+#define GP_TRACE_CONCAT_(a, b) GP_TRACE_CONCAT_INNER_(a, b)
+#define GP_TRACE_SPAN(name) \
+  ::gp::TraceSpan GP_TRACE_CONCAT_(gp_trace_span_, __LINE__)(name)
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_OBS_TRACE_H_

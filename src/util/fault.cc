@@ -7,6 +7,7 @@
 #include <memory>
 #include <thread>
 
+#include "obs/telemetry.h"
 #include "util/logging.h"
 
 namespace gp {
@@ -145,6 +146,10 @@ int FaultInjector::CorruptRows(std::vector<float>* data, int rows, int cols) {
     }
     ++corrupted;
   }
+  if (corrupted > 0) {
+    static Counter* c = Telemetry().GetCounter("fault/embed_rows_corrupted");
+    c->Add(corrupted);
+  }
   return corrupted;
 }
 
@@ -173,12 +178,18 @@ int FaultInjector::MutatePromptSet(std::vector<int>* selected) {
   // lossy transport would also retain at least the last fragment.
   if (mutated.empty()) mutated.push_back(selected->front());
   *selected = std::move(mutated);
+  if (mutations > 0) {
+    static Counter* c = Telemetry().GetCounter("fault/prompt_mutations");
+    c->Add(mutations);
+  }
   return mutations;
 }
 
 int FaultInjector::PickCacheEntryToPoison(int num_entries) {
   if (spec_.cache_poison_prob <= 0.0 || num_entries <= 0) return -1;
   if (!rng_.Bernoulli(spec_.cache_poison_prob)) return -1;
+  static Counter* c = Telemetry().GetCounter("fault/cache_poisonings");
+  c->Add(1);
   return static_cast<int>(rng_.UniformInt(static_cast<uint64_t>(num_entries)));
 }
 
@@ -215,12 +226,16 @@ Status FaultInjector::CorruptFileBytes(const std::string& path) {
   if (!out.is_open()) return InternalError("fault: cannot rewrite " + path);
   out.write(contents.data(), static_cast<std::streamsize>(contents.size()));
   if (!out.good()) return InternalError("fault: rewrite failed " + path);
+  static Counter* c = Telemetry().GetCounter("fault/file_corruptions");
+  c->Add(1);
   return Status::Ok();
 }
 
 bool FaultInjector::MaybeSlowBatch() {
   if (spec_.slow_every <= 0) return false;
   if (++batch_counter_ % spec_.slow_every != 0) return false;
+  static Counter* c = Telemetry().GetCounter("fault/slow_batches");
+  c->Add(1);
   std::this_thread::sleep_for(std::chrono::milliseconds(spec_.slow_ms));
   return true;
 }

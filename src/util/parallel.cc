@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/telemetry.h"
 #include "util/logging.h"
 
 namespace gp {
@@ -166,17 +167,28 @@ void SerialFor(int64_t begin, int64_t end, int64_t grain,
 }  // namespace
 
 int NumThreads() {
-  std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
-  return g_num_threads;
+  int resolved;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (g_num_threads == 0) g_num_threads = DefaultNumThreads();
+    resolved = g_num_threads;
+  }
+  static Gauge* threads = Telemetry().GetGauge("parallel/threads");
+  threads->Set(resolved);
+  return resolved;
 }
 
 void SetNumThreads(int n) {
   n = std::max(1, n);
-  std::lock_guard<std::mutex> lock(g_pool_mu);
-  if (n == g_num_threads) return;
-  g_pool.reset();  // joins old workers; respawned lazily at the new size
-  g_num_threads = n;
+  {
+    std::lock_guard<std::mutex> lock(g_pool_mu);
+    if (n != g_num_threads) {
+      g_pool.reset();  // joins old workers; respawned lazily at the new size
+      g_num_threads = n;
+    }
+  }
+  static Gauge* threads = Telemetry().GetGauge("parallel/threads");
+  threads->Set(n);
 }
 
 int64_t NumChunks(int64_t begin, int64_t end, int64_t grain) {
@@ -191,9 +203,16 @@ void ParallelFor(int64_t begin, int64_t end, int64_t grain,
   CHECK_GT(grain, 0);
   const int64_t chunks = NumChunks(begin, end, grain);
   if (tls_in_parallel || chunks <= 1 || NumThreads() <= 1) {
+    static Counter* serial_regions =
+        Telemetry().GetCounter("parallel/serial_regions");
+    serial_regions->Add(1);
     SerialFor(begin, end, grain, fn);
     return;
   }
+  static Counter* regions = Telemetry().GetCounter("parallel/regions");
+  static Counter* dispatched = Telemetry().GetCounter("parallel/chunks");
+  regions->Add(1);
+  dispatched->Add(chunks);
   ThreadPool* pool = GetPool(NumThreads());
   std::lock_guard<std::mutex> run_lock(g_run_mu);
   tls_in_parallel = true;

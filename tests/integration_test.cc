@@ -10,6 +10,8 @@
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
 #include "nn/serialize.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
 
 namespace gp {
 namespace {
@@ -110,6 +112,34 @@ TEST(IntegrationTest, EvaluationIsDeterministicForSeed) {
     EXPECT_DOUBLE_EQ(a.trial_accuracy_percent[i],
                      b.trial_accuracy_percent[i]);
   }
+}
+
+TEST(IntegrationTest, TelemetryDoesNotPerturbPredictions) {
+  // The observability determinism contract (DESIGN.md): telemetry is
+  // write-only from the pipeline's view, so running with trace recording
+  // on must yield bitwise-identical predictions to running with it off.
+  DatasetBundle ds = MakeArxivSim(0.3, 40);
+  GraphPrompterModel model(TinyFullConfig(ds.graph.feature_dim(), 41));
+
+  SetTracingEnabled(false);
+  Telemetry().Reset();
+  const auto off = EvaluateInContext(model, ds, TinyEval());
+
+  SetTracingEnabled(true);
+  const auto on = EvaluateInContext(model, ds, TinyEval());
+  SetTracingEnabled(false);
+  ClearTraceEvents();
+
+  ASSERT_EQ(off.trial_accuracy_percent.size(),
+            on.trial_accuracy_percent.size());
+  for (size_t i = 0; i < off.trial_accuracy_percent.size(); ++i) {
+    EXPECT_EQ(off.trial_accuracy_percent[i], on.trial_accuracy_percent[i]);
+  }
+
+  // And the instrumentation did actually fire while evaluating.
+  const TelemetrySnapshot snap = Telemetry().Snapshot();
+  EXPECT_GE(snap.CounterValue("eval/trials"), 4);
+  EXPECT_GT(snap.CounterValue("span/eval/predict/count"), 0);
 }
 
 TEST(IntegrationTest, AblationTogglesAllRun) {

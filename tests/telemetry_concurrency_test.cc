@@ -1,0 +1,117 @@
+// Concurrency test for the telemetry registry under the ParallelFor thread
+// pool; carries the `concurrency` ctest label so it runs in the TSan build
+// (see tests/CMakeLists.txt). Counter merges are integer sums, so totals
+// must be exact no matter how iterations land on worker threads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/parallel.h"
+
+namespace gp {
+namespace {
+
+class TelemetryConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Telemetry().Reset();
+    ClearTraceEvents();
+    SetTracingEnabled(false);
+  }
+};
+
+TEST_F(TelemetryConcurrencyTest, CounterSumIsExactUnderParallelFor) {
+  constexpr int64_t kIters = 200000;
+  Counter* c = Telemetry().GetCounter("conc/adds");
+  ParallelFor(0, kIters, 256, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) c->Add(1);
+  });
+  EXPECT_EQ(c->Value(), kIters);
+}
+
+TEST_F(TelemetryConcurrencyTest, RegistrationRacesResolveToOneHandle) {
+  // Many chunks resolving the same names concurrently must all get the
+  // same handles; interleaved registration of fresh names must not lose
+  // increments.
+  constexpr int64_t kIters = 5000;
+  ParallelFor(0, kIters, 64, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      Telemetry().GetCounter("conc/shared")->Add(1);
+      Telemetry().GetCounter("conc/name_" + std::to_string(i % 7))->Add(1);
+    }
+  });
+  const TelemetrySnapshot snap = Telemetry().Snapshot();
+  EXPECT_EQ(snap.CounterValue("conc/shared"), kIters);
+  int64_t spread = 0;
+  for (int k = 0; k < 7; ++k) {
+    spread += snap.CounterValue("conc/name_" + std::to_string(k));
+  }
+  EXPECT_EQ(spread, kIters);
+}
+
+TEST_F(TelemetryConcurrencyTest, HistogramCountsAreExactUnderParallelFor) {
+  constexpr int64_t kIters = 100000;
+  Histogram* h = Telemetry().GetHistogram("conc/hist", {0.25, 0.5, 0.75});
+  ParallelFor(0, kIters, 128, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      h->Observe(static_cast<double>(i % 4) / 4.0);  // 0, .25, .5, .75
+    }
+  });
+  EXPECT_EQ(h->TotalCount(), kIters);
+  const std::vector<int64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0] + counts[1] + counts[2] + counts[3], kIters);
+  EXPECT_EQ(counts[3], 0);  // every value lands within the bounds
+}
+
+TEST_F(TelemetryConcurrencyTest, SpansFromWorkerThreadsAggregate) {
+  SetTracingEnabled(true);
+  constexpr int64_t kIters = 2000;
+  ParallelFor(0, kIters, 50, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      GP_TRACE_SPAN("conc/span");
+    }
+  });
+  SetTracingEnabled(false);
+  EXPECT_EQ(
+      Telemetry().Snapshot().CounterValue("span/conc/span/count"), kIters);
+  // Events recorded from workers are collectible and well-formed (the
+  // buffer is bounded, so some may have been dropped).
+  const std::vector<TraceEvent> events = CollectTraceEvents();
+  EXPECT_LE(static_cast<int64_t>(events.size()), kIters);
+  EXPECT_EQ(static_cast<int64_t>(events.size()) + DroppedTraceEvents(),
+            kIters);
+  for (const TraceEvent& event : events) {
+    EXPECT_STREQ(event.name, "conc/span");
+    EXPECT_GE(event.dur_us, 0);
+  }
+  ClearTraceEvents();
+}
+
+TEST_F(TelemetryConcurrencyTest, SnapshotWhileWritersRun) {
+  // Snapshots race benignly with writers: each observes some partial but
+  // valid count in [0, total], and the post-region snapshot the exact
+  // total.
+  constexpr int64_t kIters = 50000;
+  Counter* c = Telemetry().GetCounter("conc/racing");
+  ParallelFor(0, kIters, 100, [&](int64_t begin, int64_t end) {
+    for (int64_t i = begin; i < end; ++i) {
+      c->Add(1);
+      if (i % 997 == 0) {
+        const int64_t seen =
+            Telemetry().Snapshot().CounterValue("conc/racing");
+        EXPECT_GE(seen, 1);
+        EXPECT_LE(seen, kIters);
+      }
+    }
+  });
+  EXPECT_EQ(Telemetry().Snapshot().CounterValue("conc/racing"), kIters);
+}
+
+}  // namespace
+}  // namespace gp

@@ -1,0 +1,142 @@
+// Unit tests for the telemetry registry: counters, gauges, fixed-bucket
+// histograms, snapshots, and the span-counter stage folding.
+
+#include "obs/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace gp {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  // The registry is process-global; start each test from zeroed values.
+  void SetUp() override { Telemetry().Reset(); }
+};
+
+TEST_F(TelemetryTest, CounterAddAndValue) {
+  Counter* c = Telemetry().GetCounter("test/counter");
+  EXPECT_EQ(c->Value(), 0);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42);
+}
+
+TEST_F(TelemetryTest, SameNameReturnsSameHandle) {
+  Counter* a = Telemetry().GetCounter("test/handle");
+  Counter* b = Telemetry().GetCounter("test/handle");
+  EXPECT_EQ(a, b);
+  a->Add(3);
+  EXPECT_EQ(b->Value(), 3);
+}
+
+TEST_F(TelemetryTest, ResetZeroesButKeepsHandles) {
+  Counter* c = Telemetry().GetCounter("test/reset");
+  Gauge* g = Telemetry().GetGauge("test/reset_gauge");
+  c->Add(5);
+  g->Set(2.5);
+  Telemetry().Reset();
+  EXPECT_EQ(c->Value(), 0);
+  EXPECT_EQ(g->Value(), 0.0);
+  c->Add(1);  // handle still valid after Reset
+  EXPECT_EQ(Telemetry().GetCounter("test/reset")->Value(), 1);
+}
+
+TEST_F(TelemetryTest, GaugeStoresLastValue) {
+  Gauge* g = Telemetry().GetGauge("test/gauge");
+  g->Set(1.0);
+  g->Set(-3.5);
+  EXPECT_EQ(g->Value(), -3.5);
+}
+
+TEST_F(TelemetryTest, HistogramBucketsAndOverflow) {
+  Histogram* h =
+      Telemetry().GetHistogram("test/hist", {1.0, 10.0, 100.0});
+  h->Observe(0.5);    // bucket 0 (v <= 1)
+  h->Observe(1.0);    // bucket 0 (boundary inclusive)
+  h->Observe(7.0);    // bucket 1
+  h->Observe(50.0);   // bucket 2
+  h->Observe(1000.0); // overflow
+  const std::vector<int64_t> counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2);
+  EXPECT_EQ(counts[1], 1);
+  EXPECT_EQ(counts[2], 1);
+  EXPECT_EQ(counts[3], 1);
+  EXPECT_EQ(h->TotalCount(), 5);
+  EXPECT_DOUBLE_EQ(h->Sum(), 0.5 + 1.0 + 7.0 + 50.0 + 1000.0);
+}
+
+TEST_F(TelemetryTest, HistogramReset) {
+  Histogram* h = Telemetry().GetHistogram("test/hist_reset", {1.0});
+  h->Observe(0.5);
+  h->Observe(2.0);
+  h->Reset();
+  EXPECT_EQ(h->TotalCount(), 0);
+  EXPECT_EQ(h->Sum(), 0.0);
+  const std::vector<int64_t> counts = h->BucketCounts();
+  for (int64_t c : counts) EXPECT_EQ(c, 0);
+}
+
+TEST_F(TelemetryTest, SnapshotIsSortedAndDeterministic) {
+  Telemetry().GetCounter("test/zz")->Add(1);
+  Telemetry().GetCounter("test/aa")->Add(2);
+  Telemetry().GetGauge("test/g")->Set(4.0);
+  const TelemetrySnapshot s1 = Telemetry().Snapshot();
+  const TelemetrySnapshot s2 = Telemetry().Snapshot();
+  ASSERT_EQ(s1.counters.size(), s2.counters.size());
+  for (size_t i = 0; i + 1 < s1.counters.size(); ++i) {
+    EXPECT_LT(s1.counters[i].name, s1.counters[i + 1].name);
+  }
+  for (size_t i = 0; i < s1.counters.size(); ++i) {
+    EXPECT_EQ(s1.counters[i].name, s2.counters[i].name);
+    EXPECT_EQ(s1.counters[i].value, s2.counters[i].value);
+  }
+  EXPECT_EQ(s1.CounterValue("test/aa"), 2);
+  EXPECT_EQ(s1.CounterValue("test/zz"), 1);
+  EXPECT_EQ(s1.CounterValue("test/absent"), 0);
+}
+
+TEST_F(TelemetryTest, SnapshotFindHistogram) {
+  Histogram* h = Telemetry().GetHistogram("test/snap_hist", {2.0});
+  h->Observe(1.0);
+  const TelemetrySnapshot snap = Telemetry().Snapshot();
+  const HistogramSample* sample = snap.FindHistogram("test/snap_hist");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->total_count, 1);
+  ASSERT_EQ(sample->counts.size(), 2u);
+  EXPECT_EQ(sample->counts[0], 1);
+  EXPECT_EQ(snap.FindHistogram("test/absent"), nullptr);
+}
+
+TEST_F(TelemetryTest, StagesFoldSpanCounters) {
+  // Spans aggregate into span/<name>/{count,total_us} even with event
+  // recording disabled.
+  SetTracingEnabled(false);
+  { GP_TRACE_SPAN("stagetest/work"); }
+  { GP_TRACE_SPAN("stagetest/work"); }
+  const TelemetrySnapshot snap = Telemetry().Snapshot();
+  EXPECT_EQ(snap.CounterValue("span/stagetest/work/count"), 2);
+
+  const std::vector<StageSample> stages = snap.Stages();
+  bool found = false;
+  for (const StageSample& stage : stages) {
+    if (stage.name == "stagetest/work") {
+      found = true;
+      EXPECT_EQ(stage.count, 2);
+      EXPECT_GE(stage.total_ms, 0.0);
+    }
+  }
+  EXPECT_TRUE(found);
+
+  // PlainCounters excludes the span bookkeeping Stages() represents.
+  for (const CounterSample& counter : snap.PlainCounters()) {
+    EXPECT_EQ(counter.name.rfind("span/", 0), std::string::npos)
+        << counter.name;
+  }
+}
+
+}  // namespace
+}  // namespace gp

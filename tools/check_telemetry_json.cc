@@ -1,0 +1,164 @@
+// Validates the JSON files the observability subsystem emits. Used by
+// scripts/check.sh as a smoke test that the exporters produce well-formed,
+// schema-conforming output.
+//
+//   ./tools/check_telemetry_json <file.json> [<file.json> ...]
+//
+// Accepted kinds (detected per file):
+//   * telemetry snapshot  — {"kind":"telemetry", "counters":{...}, ...}
+//   * bench report        — {"benchmark":"<name>", "metrics":[...], ...}
+//   * chrome trace        — {"traceEvents":[...], ...}
+//
+// Exits 0 when every file parses and conforms, 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace gp {
+namespace {
+
+using json::JsonValue;
+
+bool CheckTelemetrySnapshot(const JsonValue& root, const std::string& path) {
+  const JsonValue* kind = root.Find("kind");
+  if (kind == nullptr || !kind->IsString() ||
+      kind->string_value != "telemetry") {
+    std::fprintf(stderr, "%s: \"kind\" is not \"telemetry\"\n", path.c_str());
+    return false;
+  }
+  bool ok = true;
+  for (const char* key : {"counters", "gauges"}) {
+    const JsonValue* section = root.Find(key);
+    if (section == nullptr || !section->IsObject()) {
+      std::fprintf(stderr, "%s: missing object \"%s\"\n", path.c_str(), key);
+      ok = false;
+    }
+  }
+  for (const char* key : {"histograms", "spans"}) {
+    const JsonValue* section = root.Find(key);
+    if (section == nullptr || !section->IsArray()) {
+      std::fprintf(stderr, "%s: missing array \"%s\"\n", path.c_str(), key);
+      ok = false;
+    }
+  }
+  const JsonValue* version = root.Find("schema_version");
+  if (version == nullptr || !version->IsNumber()) {
+    std::fprintf(stderr, "%s: missing \"schema_version\"\n", path.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+bool CheckBenchReport(const JsonValue& root, const std::string& path) {
+  bool ok = true;
+  const JsonValue* name = root.Find("benchmark");
+  if (name == nullptr || !name->IsString() || name->string_value.empty()) {
+    std::fprintf(stderr, "%s: empty \"benchmark\" name\n", path.c_str());
+    ok = false;
+  }
+  const JsonValue* config = root.Find("config");
+  if (config == nullptr || !config->IsObject()) {
+    std::fprintf(stderr, "%s: missing object \"config\"\n", path.c_str());
+    ok = false;
+  }
+  for (const char* key : {"stages", "results"}) {
+    const JsonValue* section = root.Find(key);
+    if (section == nullptr || !section->IsArray()) {
+      std::fprintf(stderr, "%s: missing array \"%s\"\n", path.c_str(), key);
+      return false;
+    }
+  }
+  for (const JsonValue& metric : root.Find("results")->elements) {
+    const JsonValue* label = metric.Find("label");
+    const JsonValue* value = metric.Find("value");
+    if (label == nullptr || !label->IsString() || value == nullptr ||
+        !value->IsNumber()) {
+      std::fprintf(stderr, "%s: malformed result entry\n", path.c_str());
+      ok = false;
+      break;
+    }
+  }
+  const JsonValue* counters = root.Find("counters");
+  if (counters == nullptr || !counters->IsObject()) {
+    std::fprintf(stderr, "%s: missing object \"counters\"\n", path.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+bool CheckChromeTrace(const JsonValue& root, const std::string& path) {
+  const JsonValue* events = root.Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    std::fprintf(stderr, "%s: missing array \"traceEvents\"\n", path.c_str());
+    return false;
+  }
+  for (const JsonValue& event : events->elements) {
+    const JsonValue* name = event.Find("name");
+    const JsonValue* ts = event.Find("ts");
+    if (name == nullptr || !name->IsString() || ts == nullptr ||
+        !ts->IsNumber()) {
+      std::fprintf(stderr, "%s: malformed trace event\n", path.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  const auto root_or = json::ParseJson(buffer.str());
+  if (!root_or.ok()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                 root_or.status().ToString().c_str());
+    return false;
+  }
+  const JsonValue& root = *root_or;
+  if (!root.IsObject()) {
+    std::fprintf(stderr, "%s: top level is not an object\n", path.c_str());
+    return false;
+  }
+
+  bool ok = false;
+  const char* detected = nullptr;
+  if (root.Find("traceEvents") != nullptr) {
+    detected = "chrome-trace";
+    ok = CheckChromeTrace(root, path);
+  } else if (root.Find("benchmark") != nullptr) {
+    detected = "bench-report";
+    ok = CheckBenchReport(root, path);
+  } else if (root.Find("kind") != nullptr) {
+    detected = "telemetry";
+    ok = CheckTelemetrySnapshot(root, path);
+  } else {
+    std::fprintf(stderr, "%s: unrecognized schema\n", path.c_str());
+    return false;
+  }
+  if (ok) std::printf("%s: ok (%s)\n", path.c_str(), detected);
+  return ok;
+}
+
+}  // namespace
+}  // namespace gp
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <file.json> [<file.json> ...]\n", argv[0]);
+    return 1;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) {
+    if (!gp::CheckFile(argv[i])) all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
