@@ -13,6 +13,9 @@
 //                 extension) at exit; GP_TELEMETRY env is the fallback
 //   --trace=PATH  record trace spans and write Chrome trace JSON (or CSV
 //                 by extension) at exit; GP_TRACE env is the fallback
+//   --index=MODE  retrieval index: exact | ivf | auto (default auto), with
+//                 --nlist/--nprobe/--index-min-points/--index-recall-sample
+//                 refinements; GP_INDEX* env vars are the fallbacks
 // Results are printed as paper-style tables and written as CSV. Every
 // binary additionally writes <outdir>/BENCH_<name>.json (schema in
 // obs/bench_report.h): config, per-stage span timings, telemetry
@@ -29,6 +32,7 @@
 #include "baselines/prodigy.h"
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
+#include "core/prompt_index.h"
 #include "obs/bench_report.h"
 #include "obs/export.h"
 #include "util/flags.h"
@@ -49,6 +53,7 @@ struct Env {
   std::string outdir = "results";
   std::string telemetry_path;  // empty = GP_TELEMETRY env, else disabled
   std::string trace_path;      // empty = GP_TRACE env, else disabled
+  PromptIndexOptions index;    // resolved flag/env index options
 };
 
 inline Env ParseEnv(int argc, char** argv) {
@@ -68,6 +73,7 @@ inline Env ParseEnv(int argc, char** argv) {
   std::filesystem::create_directories(env.outdir);
   env.telemetry_path = flags.GetString("telemetry", env.telemetry_path);
   env.trace_path = flags.GetString("trace", env.trace_path);
+  env.index = ConfigureIndexFromFlags(flags);
   ConfigureObservability(env.telemetry_path, env.trace_path);
   return env;
 }
@@ -85,6 +91,9 @@ inline int BenchMain(const std::string& name, int argc, char** argv,
   report.AddConfig("queries", static_cast<int64_t>(env.queries));
   report.AddConfig("seed", static_cast<int64_t>(env.seed));
   report.AddConfig("threads", static_cast<int64_t>(env.threads));
+  report.AddConfig("index_mode", std::string(IndexModeName(env.index.mode)));
+  report.AddConfig("index_nlist", static_cast<int64_t>(env.index.nlist));
+  report.AddConfig("index_nprobe", static_cast<int64_t>(env.index.nprobe));
   run(env, &report);
   const Status status = report.WriteJson(env.outdir);
   if (!status.ok()) {

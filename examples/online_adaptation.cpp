@@ -17,6 +17,7 @@
 
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
+#include "core/prompt_index.h"
 #include "nn/serialize.h"
 #include "obs/export.h"
 #include "util/fault.h"
@@ -25,6 +26,7 @@
 
 int main(int argc, char** argv) {
   gp::Flags flags(argc, argv);
+  gp::ConfigureIndexFromFlags(flags);
   const uint64_t seed = flags.GetInt("seed", 23);
   const int ways = static_cast<int>(flags.GetInt("ways", 20));
   CHECK_OK(gp::ConfigureGlobalFaultInjection(flags.GetString("fault", "")));

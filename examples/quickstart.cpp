@@ -10,11 +10,13 @@
 #include "baselines/prodigy.h"
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
+#include "core/prompt_index.h"
 #include "obs/export.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
   gp::Flags flags(argc, argv);
+  gp::ConfigureIndexFromFlags(flags);
   const uint64_t seed = flags.GetInt("seed", 1);
   gp::ConfigureObservability(flags.GetString("telemetry", ""),
                              flags.GetString("trace", ""));

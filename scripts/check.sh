@@ -34,7 +34,13 @@ run ./build/examples/quickstart --steps=5 \
 run ./build/tools/check_telemetry_json "$smoke_dir/telemetry.json" \
   "$smoke_dir/trace.json"
 
-label_args=(-L robustness)
+echo "=== index: IVF property tests + golden regressions ==="
+run ctest --test-dir build -L index --output-on-failure
+
+echo "=== fuzz: malformed-input parser tests ==="
+run ctest --test-dir build -L fuzz --output-on-failure
+
+label_args=(-L 'robustness|fuzz')
 if [[ "${CHECK_ALL:-0}" == "1" ]]; then
   label_args=()
 fi

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Line-coverage report for the core library (src/core), driven by the full
+# test suite. Builds an instrumented tree in build-cov/, runs ctest, then
+# summarizes with gcovr when available and falls back to plain gcov (always
+# shipped with gcc) otherwise — no extra dependencies required.
+#
+# Usage: scripts/coverage.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+ROOT="$PWD"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "-j" && -n "${2:-}" ]]; then
+  JOBS="$2"
+fi
+
+BUILD=build-cov
+
+echo "=== building instrumented tree in $BUILD/ ==="
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS=--coverage -DCMAKE_EXE_LINKER_FLAGS=--coverage
+cmake --build "$BUILD" -j "$JOBS"
+
+echo "=== running test suite to collect counters ==="
+# Stale counters from a previous run would mix executions; start clean.
+find "$BUILD" -name '*.gcda' -delete
+ctest --test-dir "$BUILD" --output-on-failure
+
+if command -v gcovr >/dev/null 2>&1; then
+  echo "=== gcovr: line coverage for src/core ==="
+  gcovr --root "$ROOT" --filter 'src/core/' "$BUILD"
+  exit 0
+fi
+
+echo "=== gcov fallback: line coverage for src/core ==="
+# gcov prints, per translation unit, pairs of lines:
+#   File '<path>'
+#   Lines executed:<pct>% of <count>
+# Collect them for every gp_core object and keep the src/core entries.
+# Headers show up once per including TU; keep the max-coverage sighting.
+gcda_list="$(find "$BUILD/src" -name '*.gcda' | sort)"
+if [[ -z "$gcda_list" ]]; then
+  echo "no .gcda files under $BUILD/src — did the tests run?" >&2
+  exit 1
+fi
+
+# shellcheck disable=SC2086
+gcov -n $gcda_list 2>/dev/null | awk -v root="$ROOT/" '
+  /^File / {
+    file = $0
+    sub(/^File .?/, "", file); sub(/.$/, "", file)
+    sub(root, "", file)
+    next
+  }
+  /^Lines executed:/ && file ~ /(^|\/)src\/core\// {
+    pct = $0; sub(/^Lines executed:/, "", pct); sub(/% of.*/, "", pct)
+    n = $0; sub(/.*% of /, "", n)
+    if (pct + 0 > best[file] || !(file in lines)) {
+      best[file] = pct + 0
+      lines[file] = n + 0
+    }
+    file = ""
+  }
+  END {
+    if (length(best) == 0) {
+      print "no src/core coverage records found" > "/dev/stderr"
+      exit 1
+    }
+    printf "%-40s %10s %8s\n", "file", "lines", "cover"
+    total = 0; covered = 0
+    nfiles = 0
+    for (f in best) order[++nfiles] = f
+    for (i = 2; i <= nfiles; ++i) {  # insertion sort: mawk has no asorti
+      f = order[i]
+      for (j = i - 1; j >= 1 && order[j] > f; --j) order[j + 1] = order[j]
+      order[j + 1] = f
+    }
+    for (i = 1; i <= nfiles; ++i) {
+      f = order[i]
+      printf "%-40s %10d %7.1f%%\n", f, lines[f], best[f]
+      total += lines[f]
+      covered += lines[f] * best[f] / 100.0
+    }
+    printf "%-40s %10d %7.1f%%\n", "TOTAL (src/core)", total,
+           (total > 0 ? 100.0 * covered / total : 0.0)
+  }'

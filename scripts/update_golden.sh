@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates the pinned golden files in tests/golden/ from the current
+# pipeline, then re-runs the golden tests to confirm the new files match.
+#
+# Only run this after an INTENTIONAL numeric change to retrieval/scoring;
+# the regenerated files are part of the PR and the diff must be reviewed.
+# An unintentional diff here means the exact path stopped being exact.
+#
+# Usage: scripts/update_golden.sh [-j N]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+if [[ "${1:-}" == "-j" && -n "${2:-}" ]]; then
+  JOBS="$2"
+fi
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS" --target golden_eval_test
+
+echo "=== regenerating tests/golden/ ==="
+GP_UPDATE_GOLDEN=1 ./build/tests/golden_eval_test
+
+echo "=== verifying the regenerated goldens ==="
+./build/tests/golden_eval_test
+
+echo "done — review 'git diff tests/golden/' before committing"

@@ -1,0 +1,40 @@
+#include "core/distance.h"
+
+#include "util/logging.h"
+
+namespace gp {
+
+const char* DistanceMetricName(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return "cosine";
+    case DistanceMetric::kEuclidean:
+      return "euclidean";
+    case DistanceMetric::kManhattan:
+      return "manhattan";
+  }
+  return "?";
+}
+
+float EmbeddingSimilarity(const Tensor& a, int row_a, const Tensor& b,
+                          int row_b, DistanceMetric metric) {
+  CHECK_EQ(a.cols(), b.cols());
+  const int dim = a.cols();
+  const float* ra = a.data().data() + static_cast<size_t>(row_a) * dim;
+  const float* rb = b.data().data() + static_cast<size_t>(row_b) * dim;
+  return SimilarityRaw(ra, rb, dim, metric);
+}
+
+std::vector<double> RowNorms(const Tensor& t) {
+  const int rows = t.rows();
+  const int cols = t.cols();
+  const float* data = t.data().data();
+  std::vector<double> norms(rows);
+  for (int r = 0; r < rows; ++r) {
+    norms[r] =
+        std::sqrt(SquaredNormRaw(data + static_cast<size_t>(r) * cols, cols));
+  }
+  return norms;
+}
+
+}  // namespace gp

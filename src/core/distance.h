@@ -1,0 +1,85 @@
+// Distance metrics and the raw-pointer similarity kernels shared by the
+// Prompt Selector (Eq. 6), the Prompt Augmenter cache scan (Eq. 9), and
+// the IVF prompt index's centroid routing.
+//
+// Determinism contract: every kernel sums its terms in ascending index
+// order with double-precision accumulators — exactly the order the
+// original fused CosineSimilarity/EuclideanDistance kernels used — so a
+// score computed through this header is bitwise identical no matter which
+// call site computed it.
+
+#ifndef GRAPHPROMPTER_CORE_DISTANCE_H_
+#define GRAPHPROMPTER_CORE_DISTANCE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace gp {
+
+enum class DistanceMetric { kCosine, kEuclidean, kManhattan };
+
+const char* DistanceMetricName(DistanceMetric metric);
+
+// Similarity (higher = closer) between two embedding rows under `metric`.
+// Distances are negated so all metrics are "larger is more similar".
+float EmbeddingSimilarity(const Tensor& a, int row_a, const Tensor& b,
+                          int row_b, DistanceMetric metric);
+
+inline double DotRaw(const float* a, const float* b, int n) {
+  double dot = 0.0;
+  for (int i = 0; i < n; ++i) dot += static_cast<double>(a[i]) * b[i];
+  return dot;
+}
+
+inline double SquaredNormRaw(const float* a, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(a[i]) * a[i];
+  return total;
+}
+
+inline float CosineFromParts(double dot, double norm_a, double norm_b) {
+  const double denom = norm_a * norm_b;
+  if (denom < 1e-12) return 0.0f;
+  return static_cast<float>(dot / denom);
+}
+
+inline float NegEuclideanRaw(const float* a, const float* b, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    total += d * d;
+  }
+  return -static_cast<float>(std::sqrt(total));
+}
+
+inline float NegManhattanRaw(const float* a, const float* b, int n) {
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += std::abs(static_cast<double>(a[i]) - b[i]);
+  }
+  return -static_cast<float>(total);
+}
+
+inline float SimilarityRaw(const float* a, const float* b, int n,
+                           DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kCosine:
+      return CosineFromParts(DotRaw(a, b, n), std::sqrt(SquaredNormRaw(a, n)),
+                             std::sqrt(SquaredNormRaw(b, n)));
+    case DistanceMetric::kEuclidean:
+      return NegEuclideanRaw(a, b, n);
+    case DistanceMetric::kManhattan:
+      return NegManhattanRaw(a, b, n);
+  }
+  return 0.0f;
+}
+
+// sqrt of each row's squared L2 norm (for cosine scoring): computed once
+// per retrieval call instead of once per (prompt, query) pair.
+std::vector<double> RowNorms(const Tensor& t);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_DISTANCE_H_

@@ -12,25 +12,22 @@
 
 #include <vector>
 
+#include "core/distance.h"
+#include "core/prompt_index.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
 namespace gp {
-
-enum class DistanceMetric { kCosine, kEuclidean, kManhattan };
-
-const char* DistanceMetricName(DistanceMetric metric);
-
-// Similarity (higher = closer) between two embedding rows under `metric`.
-// Distances are negated so all metrics are "larger is more similar".
-float EmbeddingSimilarity(const Tensor& a, int row_a, const Tensor& b,
-                          int row_b, DistanceMetric metric);
 
 struct KnnConfig {
   int shots = 3;  // k — prompts kept per class
   DistanceMetric metric = DistanceMetric::kCosine;
   bool use_similarity = true;   // Eq. 7 sim term   (ablation "w/o kNN")
   bool use_importance = true;   // Eq. 7 I_p*I_q    (ablation "w/o selection")
+  // IVF retrieval index (core/prompt_index.h). Defaults to the process
+  // globals so --index/--nlist/--nprobe and GP_INDEX* configure every
+  // retrieval call without threading options through call sites.
+  PromptIndexOptions index = GlobalIndexOptions();
 };
 
 struct KnnSelection {

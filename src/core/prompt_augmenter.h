@@ -15,6 +15,7 @@
 #include "core/cache_policy.h"
 #include "core/knn_retrieval.h"
 #include "core/lfu_cache.h"
+#include "core/prompt_index.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -36,6 +37,10 @@ struct PromptAugmenterConfig {
   // raises this to a ways-relative gate (1.5/m) for confident insertion,
   // keeping low-quality pseudo-labels out in hard many-way episodes.
   float min_confidence = 0.0f;
+  // IVF index over the cache (core/prompt_index.h). At the paper's cache
+  // sizes (Fig. 5 peaks at c = 3) the auto mode stays exact; a large
+  // online cache shards itself once it crosses index.min_points entries.
+  PromptIndexOptions index = GlobalIndexOptions();
 };
 
 // Stateful online augmenter. One instance per evaluation episode.
@@ -84,11 +89,23 @@ class PromptAugmenter {
   // Mutable cache access: the fault-injection path poisons entries through
   // this to exercise EvictPoisoned/ValidateCache.
   ReplacementCache& mutable_cache() { return *cache_; }
-  void Reset() { cache_->Clear(); }
+  void Reset() {
+    cache_->Clear();
+    index_.Clear();
+  }
+
+  // The retrieval index mirroring the cache contents (exact below the
+  // sharding threshold). Exposed for tests and telemetry.
+  const PromptIndex& index() const { return index_; }
+  // Re-derives the index from the cache after out-of-band cache mutation
+  // (mutable_cache(), fault injection). ObserveQueries/EvictPoisoned keep
+  // the two in sync on their own.
+  void RebuildIndex();
 
  private:
   PromptAugmenterConfig config_;
   std::unique_ptr<ReplacementCache> cache_;
+  PromptIndex index_;
   Rng rng_;
   Health health_;
 };

@@ -1,0 +1,469 @@
+#include "core/prompt_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <mutex>
+#include <numeric>
+
+#include "core/kmeans.h"
+#include "obs/telemetry.h"
+#include "obs/trace.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace gp {
+
+const char* IndexModeName(IndexMode mode) {
+  switch (mode) {
+    case IndexMode::kExact:
+      return "exact";
+    case IndexMode::kIvf:
+      return "ivf";
+    case IndexMode::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
+StatusOr<IndexMode> ParseIndexMode(const std::string& name) {
+  if (name == "exact") return IndexMode::kExact;
+  if (name == "ivf") return IndexMode::kIvf;
+  if (name == "auto") return IndexMode::kAuto;
+  return InvalidArgumentError("unknown index mode \"" + name +
+                              "\" (expected exact, ivf, or auto)");
+}
+
+Status ValidateIndexOptions(const PromptIndexOptions& options) {
+  if (options.nlist < 0) {
+    return InvalidArgumentError("index: nlist must be >= 0 (0 = auto)");
+  }
+  if (options.nprobe < 0) {
+    return InvalidArgumentError("index: nprobe must be >= 0 (0 = auto)");
+  }
+  if (options.min_points < 1) {
+    return InvalidArgumentError("index: min_points must be >= 1");
+  }
+  if (options.recall_sample < 0) {
+    return InvalidArgumentError("index: recall_sample must be >= 0");
+  }
+  return Status::Ok();
+}
+
+// ------------------------------------------------------- global options
+
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  if (const char* env = std::getenv(name)) {
+    return static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+PromptIndexOptions OptionsFromEnv() {
+  PromptIndexOptions options;
+  if (const char* env = std::getenv("GP_INDEX")) {
+    const StatusOr<IndexMode> mode = ParseIndexMode(env);
+    if (mode.ok()) {
+      options.mode = *mode;
+    } else {
+      LOG(WARNING) << "ignoring GP_INDEX=" << env << ": "
+                   << mode.status().ToString();
+    }
+  }
+  options.nlist = EnvInt("GP_INDEX_NLIST", options.nlist);
+  options.nprobe = EnvInt("GP_INDEX_NPROBE", options.nprobe);
+  options.min_points = EnvInt("GP_INDEX_MIN_POINTS", options.min_points);
+  options.recall_sample =
+      EnvInt("GP_INDEX_RECALL_SAMPLE", options.recall_sample);
+  return options;
+}
+
+std::mutex g_index_options_mu;
+PromptIndexOptions g_index_options;
+bool g_index_options_initialised = false;
+
+}  // namespace
+
+PromptIndexOptions GlobalIndexOptions() {
+  std::lock_guard<std::mutex> lock(g_index_options_mu);
+  if (!g_index_options_initialised) {
+    g_index_options = OptionsFromEnv();
+    g_index_options_initialised = true;
+  }
+  return g_index_options;
+}
+
+void SetGlobalIndexOptions(const PromptIndexOptions& options) {
+  std::lock_guard<std::mutex> lock(g_index_options_mu);
+  g_index_options = options;
+  g_index_options_initialised = true;
+}
+
+PromptIndexOptions ConfigureIndexFromFlags(const Flags& flags) {
+  PromptIndexOptions options = GlobalIndexOptions();
+  if (flags.Has("index")) {
+    const StatusOr<IndexMode> mode =
+        ParseIndexMode(flags.GetString("index", ""));
+    CHECK_OK(mode.status());
+    options.mode = *mode;
+  }
+  if (flags.Has("nlist")) {
+    options.nlist = static_cast<int>(flags.GetInt("nlist", options.nlist));
+  }
+  if (flags.Has("nprobe")) {
+    options.nprobe = static_cast<int>(flags.GetInt("nprobe", options.nprobe));
+  }
+  if (flags.Has("index-min-points")) {
+    options.min_points = static_cast<int>(
+        flags.GetInt("index-min-points", options.min_points));
+  }
+  if (flags.Has("index-recall-sample")) {
+    options.recall_sample = static_cast<int>(
+        flags.GetInt("index-recall-sample", options.recall_sample));
+  }
+  CHECK_OK(ValidateIndexOptions(options));
+  SetGlobalIndexOptions(options);
+  return options;
+}
+
+// ------------------------------------------------------------ the index
+
+PromptIndex::PromptIndex(const PromptIndexOptions& options,
+                         DistanceMetric metric)
+    : options_(options), metric_(metric) {
+  CHECK_OK(ValidateIndexOptions(options));
+}
+
+int PromptIndex::ResolveNlist(int points) const {
+  const int nlist =
+      options_.nlist > 0
+          ? options_.nlist
+          : static_cast<int>(std::lround(std::sqrt(
+                static_cast<double>(std::max(points, 0)))));
+  return std::clamp(nlist, 1, std::max(points, 1));
+}
+
+bool PromptIndex::ShouldShard(int points) const {
+  switch (options_.mode) {
+    case IndexMode::kExact:
+      return false;
+    case IndexMode::kAuto:
+      if (points < options_.min_points) return false;
+      break;
+    case IndexMode::kIvf:
+      break;
+  }
+  // Degrade to exact instead of clustering degenerately: a requested shard
+  // count at or above the population would leave shards empty or singleton
+  // (and RunKMeans CHECKs n >= k), and below 2 vectors per shard the
+  // routing work exceeds the scoring it saves.
+  if (options_.nlist > 0 && points < options_.nlist) return false;
+  const int nlist = ResolveNlist(points);
+  return nlist >= 2 && points >= 2 * nlist;
+}
+
+void PromptIndex::Build(const Tensor& embeddings) {
+  Clear();
+  const int points = embeddings.defined() ? embeddings.rows() : 0;
+  dim_ = embeddings.defined() ? embeddings.cols() : 0;
+  std::vector<int64_t> ids(points);
+  std::iota(ids.begin(), ids.end(), int64_t{0});
+  if (!ShouldShard(points)) {
+    flat_ids_ = ids;
+    for (int64_t id : ids) assignment_[id] = -1;
+    return;
+  }
+  BuildShards(embeddings, ids);
+}
+
+void PromptIndex::BuildShards(const Tensor& rows,
+                              const std::vector<int64_t>& ids) {
+  GP_TRACE_SPAN("index/build");
+  const int points = static_cast<int>(ids.size());
+  const int dim = rows.cols();
+  dim_ = dim;
+
+  // Cosine routes by direction, so cluster an L2-normalised copy; the
+  // Euclidean/Manhattan metrics cluster the raw vectors.
+  Tensor space = rows;
+  if (metric_ == DistanceMetric::kCosine) {
+    space = rows.Clone();
+    float* data = space.mutable_data().data();
+    for (int r = 0; r < points; ++r) {
+      float* row = data + static_cast<size_t>(r) * dim;
+      const double norm = std::sqrt(SquaredNormRaw(row, dim));
+      if (norm > 1e-12) {
+        for (int c = 0; c < dim; ++c) {
+          row[c] = static_cast<float>(row[c] / norm);
+        }
+      }
+    }
+  }
+
+  const int nlist = ResolveNlist(points);
+  nprobe_ = options_.nprobe > 0 ? std::min(options_.nprobe, nlist)
+                                : std::max(1, nlist / 4);
+
+  // Bound the k-means cost: train the centroids on a deterministic sample
+  // and only *assign* the full population. Shard quality needs rough
+  // cluster structure, not Lloyd convergence.
+  Rng rng(options_.seed);
+  // 8 training points per shard keeps the serial Lloyd cost (O(sample *
+  // nlist * d) per iteration) subquadratic in nlist while the parallel
+  // full-population assignment below fixes up the shard memberships.
+  const int sample_size = std::min(points, std::max(8 * nlist, 256));
+  std::vector<int> train_rows;
+  if (sample_size < points) {
+    train_rows = rng.SampleWithoutReplacement(points, sample_size);
+    std::sort(train_rows.begin(), train_rows.end());
+  } else {
+    train_rows.resize(points);
+    std::iota(train_rows.begin(), train_rows.end(), 0);
+  }
+  Tensor train = Tensor::Zeros(static_cast<int>(train_rows.size()), dim);
+  {
+    const float* src = space.data().data();
+    float* dst = train.mutable_data().data();
+    for (size_t i = 0; i < train_rows.size(); ++i) {
+      std::copy_n(src + static_cast<size_t>(train_rows[i]) * dim, dim,
+                  dst + i * dim);
+    }
+  }
+  KMeansConfig kmeans;
+  kmeans.clusters = nlist;
+  kmeans.max_iterations = 5;
+  centroids_ = RunKMeans(train, kmeans, &rng).centroids;
+
+  // Assign every vector to its nearest centroid (disjoint writes; fixed
+  // chunking keeps the assignment deterministic at any thread count).
+  std::vector<int> shard_of(points);
+  const float* data = space.data().data();
+  const float* cdata = centroids_.data().data();
+  const int64_t grain = std::max<int64_t>(
+      1, (int64_t{1} << 16) / std::max<int64_t>(
+                                 static_cast<int64_t>(nlist) * dim, 1));
+  ParallelFor(0, points, grain, [&](int64_t first, int64_t last) {
+    for (int64_t i = first; i < last; ++i) {
+      const float* v = data + static_cast<size_t>(i) * dim;
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < nlist; ++c) {
+        const float* centroid = cdata + static_cast<size_t>(c) * dim;
+        double dist = 0.0;
+        for (int j = 0; j < dim; ++j) {
+          const double d = static_cast<double>(v[j]) - centroid[j];
+          dist += d * d;
+        }
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      shard_of[i] = best;
+    }
+  });
+
+  shards_.assign(nlist, {});
+  for (int i = 0; i < points; ++i) {
+    shards_[shard_of[i]].push_back(ids[i]);
+    assignment_[ids[i]] = shard_of[i];
+  }
+  // `ids` arrive ascending (static: 0..P-1; rebuild: sorted), so every
+  // shard's member list is ascending — a probe's candidate union can be
+  // merged and sorted cheaply, and full probes reproduce brute-force order.
+  flat_ids_.clear();
+  ivf_ = true;
+  built_size_ = points;
+
+  static Counter* builds = Telemetry().GetCounter("index/builds");
+  builds->Add(1);
+  Telemetry().GetGauge("index/nlist")->Set(nlist);
+  Telemetry().GetGauge("index/nprobe")->Set(nprobe_);
+}
+
+int PromptIndex::NearestShard(const float* vec, int dim) const {
+  std::vector<float> normed;
+  const float* v = vec;
+  if (metric_ == DistanceMetric::kCosine) {
+    const double norm = std::sqrt(SquaredNormRaw(vec, dim));
+    normed.assign(vec, vec + dim);
+    if (norm > 1e-12) {
+      for (int c = 0; c < dim; ++c) {
+        normed[c] = static_cast<float>(normed[c] / norm);
+      }
+    }
+    v = normed.data();
+  }
+  const int nlist = centroids_.rows();
+  const float* cdata = centroids_.data().data();
+  int best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (int c = 0; c < nlist; ++c) {
+    const float* centroid = cdata + static_cast<size_t>(c) * dim;
+    double dist = 0.0;
+    for (int j = 0; j < dim; ++j) {
+      const double d = static_cast<double>(v[j]) - centroid[j];
+      dist += d * d;
+    }
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void PromptIndex::Insert(int64_t id, const float* vec, int dim) {
+  CHECK_GE(dim, 1);
+  if (dim_ == 0) dim_ = dim;
+  CHECK_EQ(dim, dim_);
+  EraseNoRebuild(id);  // replace semantics; no-op when absent
+  vectors_[id].assign(vec, vec + dim);
+  if (ivf_) {
+    const int shard = NearestShard(vec, dim);
+    assignment_[id] = shard;
+    auto& members = shards_[shard];
+    members.insert(std::upper_bound(members.begin(), members.end(), id), id);
+  } else {
+    assignment_[id] = -1;
+    flat_ids_.insert(
+        std::upper_bound(flat_ids_.begin(), flat_ids_.end(), id), id);
+  }
+  MaybeRebuildFromStored();
+}
+
+bool PromptIndex::Erase(int64_t id) {
+  if (!EraseNoRebuild(id)) return false;
+  // Shrinking below the sharding threshold degrades back to exact.
+  MaybeRebuildFromStored();
+  return true;
+}
+
+bool PromptIndex::EraseNoRebuild(int64_t id) {
+  const auto it = assignment_.find(id);
+  if (it == assignment_.end()) return false;
+  const int shard = it->second;
+  if (shard >= 0) {
+    auto& members = shards_[shard];
+    const auto pos = std::lower_bound(members.begin(), members.end(), id);
+    if (pos != members.end() && *pos == id) members.erase(pos);
+  } else {
+    const auto pos =
+        std::lower_bound(flat_ids_.begin(), flat_ids_.end(), id);
+    if (pos != flat_ids_.end() && *pos == id) flat_ids_.erase(pos);
+  }
+  assignment_.erase(it);
+  vectors_.erase(id);
+  return true;
+}
+
+std::vector<int64_t> PromptIndex::Ids() const {
+  std::vector<int64_t> ids;
+  ids.reserve(assignment_.size());
+  for (const auto& [id, shard] : assignment_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void PromptIndex::Clear() {
+  ivf_ = false;
+  nprobe_ = 0;
+  built_size_ = 0;
+  dim_ = 0;
+  centroids_ = Tensor();
+  shards_.clear();
+  assignment_.clear();
+  flat_ids_.clear();
+  vectors_.clear();
+}
+
+void PromptIndex::MaybeRebuildFromStored() {
+  const int points = size();
+  // Only the dynamic pattern stores vectors; after a static Build there is
+  // nothing to re-shard from.
+  if (static_cast<int>(vectors_.size()) != points || points == 0) return;
+  const bool want = ShouldShard(points);
+  if (ivf_ == want && (!ivf_ || points < 2 * built_size_)) return;
+
+  if (!want) {
+    // Shrunk below the sharding threshold: fall back to the exact flat set.
+    ivf_ = false;
+    nprobe_ = 0;
+    built_size_ = 0;
+    centroids_ = Tensor();
+    shards_.clear();
+    flat_ids_.clear();
+    flat_ids_.reserve(points);
+    for (auto& [id, shard] : assignment_) {
+      flat_ids_.push_back(id);
+      shard = -1;
+    }
+    std::sort(flat_ids_.begin(), flat_ids_.end());
+    return;
+  }
+
+  std::vector<int64_t> ids;
+  ids.reserve(points);
+  for (const auto& [id, shard] : assignment_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  Tensor rows = Tensor::Zeros(points, dim_);
+  float* dst = rows.mutable_data().data();
+  for (int i = 0; i < points; ++i) {
+    const std::vector<float>& vec = vectors_.at(ids[i]);
+    std::copy_n(vec.data(), dim_, dst + static_cast<size_t>(i) * dim_);
+  }
+  BuildShards(rows, ids);
+}
+
+std::vector<int64_t> PromptIndex::Probe(const float* query, int dim,
+                                        int min_candidates,
+                                        ProbeStats* stats) const {
+  ProbeStats local;
+  ProbeStats* st = stats != nullptr ? stats : &local;
+  if (!ivf_) {
+    st->shards_probed = 0;
+    st->exact = true;
+    return flat_ids_;
+  }
+  CHECK_EQ(dim, dim_);
+
+  // Rank shards by query-to-centroid similarity under the retrieval
+  // metric. A non-finite similarity (sanitised-to-NaN query slipping
+  // through) ranks last instead of corrupting the sort's ordering.
+  const int nlist = centroids_.rows();
+  const float* cdata = centroids_.data().data();
+  std::vector<std::pair<float, int>> ranked(nlist);
+  for (int c = 0; c < nlist; ++c) {
+    float sim = SimilarityRaw(query, cdata + static_cast<size_t>(c) * dim,
+                              dim, metric_);
+    if (!std::isfinite(sim)) sim = -std::numeric_limits<float>::infinity();
+    ranked[c] = {sim, c};
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const std::pair<float, int>& a, const std::pair<float, int>& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+
+  std::vector<int64_t> out;
+  int probed = 0;
+  for (const auto& [sim, c] : ranked) {
+    if (probed >= nprobe_ &&
+        static_cast<int>(out.size()) >= min_candidates) {
+      break;
+    }
+    out.insert(out.end(), shards_[c].begin(), shards_[c].end());
+    ++probed;
+  }
+  std::sort(out.begin(), out.end());
+  st->shards_probed = probed;
+  st->exact = static_cast<int>(out.size()) == size();
+  return out;
+}
+
+}  // namespace gp

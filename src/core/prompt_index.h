@@ -1,0 +1,154 @@
+// Sharded IVF (inverted-file) index for sublinear prompt retrieval.
+//
+// The Prompt Selector (Eqs. 6-8) and the Augmenter cache scan (Eq. 9) are
+// O(P * Q) brute force: every candidate prompt is scored against every
+// query. This index clusters the prompt embeddings into `nlist` centroid
+// shards with core/kmeans.cc and routes each query to its `nprobe` most
+// similar shards, so only the candidates in those shards are scored —
+// sublinear in P once P is large enough to shard.
+//
+// Approximation contract (see DESIGN.md): the index only prunes which
+// candidates are *scored*; every score that is computed uses the exact
+// shared kernels from core/distance.h. With nprobe == nlist every shard is
+// probed, the candidate pool is the full prompt set in ascending id order,
+// and retrieval is bitwise identical to brute force. The index degrades to
+// exact search whenever sharding would be degenerate: fewer points than
+// requested shards, fewer than 2 * nlist points, auto mode below
+// `min_points`, or an explicit --index=exact.
+//
+// Configuration resolution: SetGlobalIndexOptions() (typically via
+// ConfigureIndexFromFlags: --index / --nlist / --nprobe /
+// --index-min-points / --index-recall-sample) > GP_INDEX, GP_INDEX_NLIST,
+// GP_INDEX_NPROBE, GP_INDEX_MIN_POINTS, GP_INDEX_RECALL_SAMPLE env >
+// built-in defaults.
+
+#ifndef GRAPHPROMPTER_CORE_PROMPT_INDEX_H_
+#define GRAPHPROMPTER_CORE_PROMPT_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/distance.h"
+#include "tensor/tensor.h"
+#include "util/status.h"
+
+namespace gp {
+
+class Flags;
+
+enum class IndexMode {
+  kExact,  // always brute force (the pre-index pipeline, bit for bit)
+  kIvf,    // shard whenever sharding is non-degenerate
+  kAuto,   // exact below min_points vectors, IVF at or above (default)
+};
+
+const char* IndexModeName(IndexMode mode);
+StatusOr<IndexMode> ParseIndexMode(const std::string& name);
+
+struct PromptIndexOptions {
+  IndexMode mode = IndexMode::kAuto;
+  int nlist = 0;   // centroid shards; 0 = auto: round(sqrt(P))
+  int nprobe = 0;  // shards probed per query; 0 = auto: max(1, nlist / 4)
+  // Auto mode stays exact below this many vectors: for small pools the
+  // k-means build costs more than it saves and exactness is contractual
+  // for the paper-scale episodes (golden_eval_test).
+  int min_points = 256;
+  // When > 0, every Nth query is additionally scored brute force and the
+  // observed top-k overlap is published to the index/recall_hits and
+  // index/recall_total counters (write-only telemetry; predictions are
+  // unaffected). 0 = off.
+  int recall_sample = 0;
+  uint64_t seed = 0x5eedULL;  // k-means shard seeding (deterministic)
+};
+
+Status ValidateIndexOptions(const PromptIndexOptions& options);
+
+// Process-wide defaults, picked up by KnnConfig / PromptAugmenterConfig at
+// construction. First read initialises from the GP_INDEX* environment.
+PromptIndexOptions GlobalIndexOptions();
+void SetGlobalIndexOptions(const PromptIndexOptions& options);
+
+// Applies --index/--nlist/--nprobe/--index-min-points/--index-recall-sample
+// on top of the current global options (env fallbacks included), installs
+// the result globally, and returns it. Aborts on an unparseable --index.
+PromptIndexOptions ConfigureIndexFromFlags(const Flags& flags);
+
+// The index. Two usage patterns:
+//   * static  — Build(embeddings) over a (P x d) tensor; ids are the row
+//               indices 0..P-1 (the Prompt Selector's candidate pool);
+//   * dynamic — Insert/Erase with caller-chosen ids (the Augmenter's
+//               pseudo-prompt cache, which mutates per query batch). The
+//               index shards itself once it crosses the exact threshold
+//               and re-shards when it doubles past the last build.
+// Probe() is const and safe to call concurrently from ParallelFor workers.
+class PromptIndex {
+ public:
+  PromptIndex(const PromptIndexOptions& options, DistanceMetric metric);
+
+  // Builds over the rows of `embeddings` (ids 0..P-1), replacing any
+  // previous contents. Chooses IVF vs exact per the options; the decision
+  // is readable via ivf().
+  void Build(const Tensor& embeddings);
+
+  // Dynamic maintenance. Insert keeps a copy of the vector so the index
+  // can (re)shard itself; ids must be unique while present.
+  void Insert(int64_t id, const float* vec, int dim);
+  bool Erase(int64_t id);
+  void Clear();
+
+  int size() const { return static_cast<int>(assignment_.size()); }
+  // Every indexed id, ascending (for reconciling against an external
+  // container that evicts without reporting the victim).
+  std::vector<int64_t> Ids() const;
+  bool ivf() const { return ivf_; }
+  // Resolved shard parameters; 0 until an IVF build happened.
+  int nlist() const { return ivf_ ? centroids_.rows() : 0; }
+  int nprobe() const { return nprobe_; }
+
+  struct ProbeStats {
+    int shards_probed = 0;
+    bool exact = false;  // the probe returned the full id set
+  };
+
+  // Candidate ids for `query`, ascending. Exact mode returns every id.
+  // IVF mode walks shards in decreasing centroid similarity and stops once
+  // at least nprobe shards were consumed AND at least `min_candidates` ids
+  // were collected (the small-pool brute-force fallback: a degenerate probe
+  // widens itself instead of starving the caller).
+  std::vector<int64_t> Probe(const float* query, int dim, int min_candidates,
+                             ProbeStats* stats = nullptr) const;
+
+ private:
+  bool ShouldShard(int points) const;
+  int ResolveNlist(int points) const;
+  // Shards `rows` (one id per row) into nlist k-means clusters.
+  void BuildShards(const Tensor& rows, const std::vector<int64_t>& ids);
+  // Nearest centroid by the k-means geometry (L2; cosine metric clusters
+  // on L2-normalised vectors, so the same rule applies to a normalised
+  // copy of `vec`).
+  int NearestShard(const float* vec, int dim) const;
+  // Erase without the shrink-below-threshold rebuild check (Insert's
+  // replace step must not re-shard mid-insert).
+  bool EraseNoRebuild(int64_t id);
+  void MaybeRebuildFromStored();
+
+  PromptIndexOptions options_;
+  DistanceMetric metric_;
+  int dim_ = 0;
+
+  bool ivf_ = false;
+  int nprobe_ = 0;
+  int built_size_ = 0;          // vectors present at the last shard build
+  Tensor centroids_;            // (nlist x d); normalised space for cosine
+  std::vector<std::vector<int64_t>> shards_;  // member ids, ascending
+  std::unordered_map<int64_t, int> assignment_;  // id -> shard (-1 = flat)
+  std::vector<int64_t> flat_ids_;  // ascending; exact mode's id list
+  // Dynamic-mode vector storage (empty after a static Build).
+  std::unordered_map<int64_t, std::vector<float>> vectors_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_PROMPT_INDEX_H_

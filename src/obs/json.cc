@@ -259,6 +259,11 @@ class Parser {
       const char c = text_[pos_++];
       if (c == '"') return Status::Ok();
       if (c != '\\') {
+        // RFC 8259 §7: unescaped control characters (U+0000..U+001F) are
+        // not allowed inside strings; they must use \uXXXX (or \n etc.).
+        if (static_cast<unsigned char>(c) < 0x20) {
+          return Error("unescaped control character in string");
+        }
         *out += c;
         continue;
       }
@@ -305,21 +310,40 @@ class Parser {
   }
 
   Status ParseNumber(JsonValue* out) {
+    // RFC 8259 §6 grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+    // — scanned explicitly rather than delegated to strtod, which also
+    // accepts non-JSON spellings like "+1", "01", "1." and ".5".
     const size_t start = pos_;
-    if (Consume('-')) {}
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-')) {
-      ++pos_;
+    const auto digit = [&] {
+      return pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]));
+    };
+    Consume('-');
+    if (!digit()) {
+      return Error(pos_ == start ? "expected value" : "bad number");
     }
-    if (pos_ == start) return Error("expected value");
-    char* end = nullptr;
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!digit()) return Error("bad number");
+      while (digit()) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() &&
+          (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!digit()) return Error("bad number");
+      while (digit()) ++pos_;
+    }
     const std::string token = text_.substr(start, pos_ - start);
-    const double value = std::strtod(token.c_str(), &end);
-    if (end == nullptr || *end != '\0') return Error("bad number");
     out->type = JsonValue::Type::kNumber;
-    out->number_value = value;
+    out->number_value = std::strtod(token.c_str(), nullptr);
     return Status::Ok();
   }
 

@@ -1,0 +1,185 @@
+// Fuzz-style robustness tests for the RFC-8259 JSON parser (obs/json.cc).
+//
+// The parser feeds on bench reports, telemetry exports, and checkpoint
+// metadata, so a malformed or truncated file must produce a clean error
+// Status — never a crash, hang, or out-of-bounds read. These tests drive
+// it with deterministic pseudo-random garbage, mutated/truncated valid
+// documents, pathological nesting, and a corpus of known-bad inputs.
+// Run them under ASan/UBSan via the `fuzz` ctest label (scripts/check.sh).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace gp {
+namespace {
+
+using json::JsonValue;
+using json::ParseJson;
+
+// A representative valid document exercising every JSON type.
+const char kValidDoc[] =
+    R"({"name":"bench_index_scaling","ok":true,"skip":null,)"
+    R"("metrics":{"recall":0.953,"pairs":-12345,"exp":1.5e-3},)"
+    R"("sizes":[1000,2500,5000,10000],"tags":["a","\u00e9","b\\c","d\"e"]})";
+
+void ExpectParses(const std::string& text) {
+  const StatusOr<JsonValue> parsed = ParseJson(text);
+  EXPECT_TRUE(parsed.ok()) << "rejected valid JSON: " << text.substr(0, 120)
+                           << " — " << parsed.status().ToString();
+}
+
+// Must not crash; ok or error are both acceptable (a mutation can still be
+// valid JSON). Re-serializing whatever parsed must also not crash.
+void ExpectSurvives(const std::string& text) {
+  const StatusOr<JsonValue> parsed = ParseJson(text);
+  if (!parsed.ok()) {
+    EXPECT_FALSE(parsed.status().ToString().empty());
+  }
+}
+
+TEST(JsonFuzzTest, ValidCorpusParses) {
+  ExpectParses(kValidDoc);
+  ExpectParses("null");
+  ExpectParses("true");
+  ExpectParses("-0.5e2");
+  ExpectParses("\"\"");
+  ExpectParses("[]");
+  ExpectParses("{}");
+  ExpectParses("  [ 1 , 2 , 3 ]  ");
+}
+
+TEST(JsonFuzzTest, RandomBytesNeverCrash) {
+  Rng rng(0xF022);
+  for (int round = 0; round < 2000; ++round) {
+    const int len = static_cast<int>(rng.UniformInt(64));
+    std::string text;
+    text.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      text.push_back(static_cast<char>(rng.UniformInt(256)));
+    }
+    ExpectSurvives(text);
+  }
+}
+
+TEST(JsonFuzzTest, StructuralCharacterSoupNeverCrashes) {
+  // Garbage drawn from JSON's own alphabet hits far more parser states
+  // than uniform bytes do.
+  const char alphabet[] = "{}[]\",:.+-eE0123456789truefalsenull\\u \n\t";
+  Rng rng(0xF033);
+  for (int round = 0; round < 2000; ++round) {
+    const int len = static_cast<int>(rng.UniformInt(96));
+    std::string text;
+    text.reserve(len);
+    for (int i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng.UniformInt(sizeof(alphabet) - 1)]);
+    }
+    ExpectSurvives(text);
+  }
+}
+
+TEST(JsonFuzzTest, EveryTruncationOfValidDocErrors) {
+  const std::string doc(kValidDoc);
+  for (size_t cut = 0; cut < doc.size(); ++cut) {
+    const std::string truncated = doc.substr(0, cut);
+    const StatusOr<JsonValue> parsed = ParseJson(truncated);
+    EXPECT_FALSE(parsed.ok())
+        << "truncation at " << cut << " parsed: " << truncated;
+  }
+  ExpectParses(doc);
+}
+
+TEST(JsonFuzzTest, SingleByteMutationsNeverCrash) {
+  const std::string doc(kValidDoc);
+  Rng rng(0xF044);
+  for (size_t pos = 0; pos < doc.size(); ++pos) {
+    for (int m = 0; m < 4; ++m) {
+      std::string mutated = doc;
+      mutated[pos] = static_cast<char>(rng.UniformInt(256));
+      ExpectSurvives(mutated);
+    }
+  }
+}
+
+TEST(JsonFuzzTest, DeepNestingErrorsInsteadOfOverflowing) {
+  // 1000 levels must hit the parser's depth limit with a clean error (a
+  // recursive-descent parser without the limit would smash the stack).
+  for (const char* open_close : {"[]", "{}"}) {
+    std::string deep;
+    for (int i = 0; i < 1000; ++i) {
+      if (open_close[0] == '{') deep += "{\"k\":";
+      else deep += '[';
+    }
+    deep += open_close[0] == '{' ? "null" : "1";
+    for (int i = 0; i < 1000; ++i) deep += open_close[1];
+    const StatusOr<JsonValue> parsed = ParseJson(deep);
+    EXPECT_FALSE(parsed.ok()) << "1000-deep " << open_close;
+  }
+
+  // 10 levels are ordinary and must parse.
+  std::string shallow;
+  for (int i = 0; i < 10; ++i) shallow += '[';
+  shallow += '7';
+  for (int i = 0; i < 10; ++i) shallow += ']';
+  ExpectParses(shallow);
+}
+
+TEST(JsonFuzzTest, KnownMalformedCorpusErrors) {
+  const std::vector<std::string> corpus = {
+      "",
+      "   ",
+      "{",
+      "}",
+      "[",
+      "]",
+      "{]",
+      "[}",
+      "[1,]",
+      "{\"a\":}",
+      "{\"a\" 1}",
+      "{a:1}",
+      "{\"a\":1,}",
+      "{\"a\":1 \"b\":2}",
+      "[1 2]",
+      "tru",
+      "falsee",
+      "nul",
+      "+1",
+      "01",
+      "1.",
+      ".5",
+      "1e",
+      "1e+",
+      "--1",
+      "0x10",
+      "Infinity",
+      "NaN",
+      "\"unterminated",
+      "\"bad escape \\q\"",
+      "\"bad unicode \\u12g4\"",
+      "\"trailing backslash\\",
+      "[1] extra",
+      "{} {}",
+      "\x01",
+      std::string("\"embedded\0nul\"", 14),
+  };
+  for (const std::string& text : corpus) {
+    const StatusOr<JsonValue> parsed = ParseJson(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted malformed: " << text;
+  }
+}
+
+TEST(JsonFuzzTest, LongTokensDoNotOverread) {
+  ExpectSurvives(std::string(1 << 16, '9'));          // giant number
+  ExpectSurvives("\"" + std::string(1 << 16, 'a'));   // unterminated string
+  ExpectParses("\"" + std::string(1 << 16, 'a') + "\"");
+  ExpectSurvives(std::string(1 << 16, ' '));          // all whitespace
+}
+
+}  // namespace
+}  // namespace gp

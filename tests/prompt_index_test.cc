@@ -1,0 +1,290 @@
+// Property tests for the sharded IVF prompt index (core/prompt_index.h).
+//
+// The two contractual properties (DESIGN.md "Approximation contract"):
+//   1. Probing every shard (nprobe == nlist) is bitwise identical to brute
+//      force — same selected ids, same vote totals, same hit counts.
+//   2. At the default nprobe on clusterable data, recall@k stays >= 0.95.
+// Plus the degradation edges: P < nlist, P == 0, and auto mode below
+// min_points must all fall back to exact search instead of building
+// degenerate (empty/singleton) shards.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/knn_retrieval.h"
+#include "core/prompt_index.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+// Mixture-of-Gaussians embeddings: `clusters` centers with intra-cluster
+// noise well below the center separation, so nearest-neighbor structure is
+// real (pure iid-noise embeddings have no structure for IVF to exploit and
+// are not the regime the index is for).
+Tensor MixtureEmbeddings(int rows, int dim, int clusters, uint64_t seed,
+                         std::vector<int>* assignment = nullptr) {
+  Rng rng(seed);
+  Tensor centers = Tensor::Randn(clusters, dim, &rng, 4.0f);
+  Tensor out = Tensor::Zeros(rows, dim);
+  for (int r = 0; r < rows; ++r) {
+    const int c = r % clusters;
+    if (assignment != nullptr) assignment->push_back(c);
+    for (int j = 0; j < dim; ++j) {
+      out.at(r, j) = centers.at(c, j) + rng.Normal(0.0f, 0.5f);
+    }
+  }
+  return out;
+}
+
+PromptIndexOptions IvfOptions(int nlist, int nprobe) {
+  PromptIndexOptions options;
+  options.mode = IndexMode::kIvf;
+  options.nlist = nlist;
+  options.nprobe = nprobe;
+  options.min_points = 1;
+  return options;
+}
+
+// ---- bitwise identity at nprobe == nlist --------------------------------
+
+TEST(PromptIndexTest, FullProbeIsBitwiseIdenticalToBruteForce) {
+  const int num_prompts = 72, num_queries = 24, dim = 16, classes = 4;
+  for (uint64_t seed : {11ULL, 12ULL, 13ULL}) {
+    for (DistanceMetric metric :
+         {DistanceMetric::kCosine, DistanceMetric::kEuclidean,
+          DistanceMetric::kManhattan}) {
+      Rng rng(seed);
+      Tensor prompts = Tensor::Randn(num_prompts, dim, &rng);
+      Tensor pimp = Tensor::Randn(num_prompts, 1, &rng);
+      Tensor queries = Tensor::Randn(num_queries, dim, &rng);
+      Tensor qimp = Tensor::Randn(num_queries, 1, &rng);
+      std::vector<int> labels(num_prompts);
+      for (int p = 0; p < num_prompts; ++p) labels[p] = p % classes;
+
+      KnnConfig exact;
+      exact.metric = metric;
+      exact.index.mode = IndexMode::kExact;
+      KnnConfig full_probe = exact;
+      full_probe.index = IvfOptions(6, 6);  // probe every shard
+
+      const KnnSelection want = SelectPrompts(prompts, pimp, labels, queries,
+                                              qimp, classes, exact);
+      const KnnSelection got = SelectPrompts(prompts, pimp, labels, queries,
+                                             qimp, classes, full_probe);
+      EXPECT_EQ(want.selected, got.selected)
+          << "metric=" << DistanceMetricName(metric) << " seed=" << seed;
+      ASSERT_EQ(want.votes.size(), got.votes.size());
+      for (size_t p = 0; p < want.votes.size(); ++p) {
+        // Bitwise: no tolerance. The IVF path must score the same pairs
+        // with the same kernels in the same order.
+        EXPECT_EQ(want.votes[p], got.votes[p])
+            << "p=" << p << " metric=" << DistanceMetricName(metric);
+      }
+      EXPECT_EQ(want.hit_counts, got.hit_counts);
+    }
+  }
+}
+
+// ---- recall at the default nprobe ---------------------------------------
+
+TEST(PromptIndexTest, RecallAtLeast095AtDefaultNprobe) {
+  const int num_prompts = 2000, dim = 32, clusters = 16;
+  const int num_queries = 64, k = 10;
+  Tensor prompts = MixtureEmbeddings(num_prompts, dim, clusters, 5);
+  Tensor queries = MixtureEmbeddings(num_queries, dim, clusters, 5);
+
+  for (DistanceMetric metric :
+       {DistanceMetric::kCosine, DistanceMetric::kEuclidean}) {
+    PromptIndexOptions options;  // auto nlist = sqrt(P), auto nprobe
+    options.mode = IndexMode::kIvf;
+    options.min_points = 1;
+    PromptIndex index(options, metric);
+    index.Build(prompts);
+    ASSERT_TRUE(index.ivf());
+    ASSERT_GT(index.nlist(), index.nprobe());
+
+    int64_t hits = 0;
+    for (int q = 0; q < num_queries; ++q) {
+      auto top_of = [&](const std::vector<int64_t>& pool) {
+        std::vector<std::pair<float, int64_t>> scored;
+        scored.reserve(pool.size());
+        for (int64_t p : pool) {
+          scored.emplace_back(
+              EmbeddingSimilarity(prompts, static_cast<int>(p), queries, q,
+                                  metric),
+              p);
+        }
+        const int kk = std::min<int>(k, static_cast<int>(scored.size()));
+        std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                          [](const auto& a, const auto& b) {
+                            return a.first > b.first;
+                          });
+        std::set<int64_t> ids;
+        for (int i = 0; i < kk; ++i) ids.insert(scored[i].second);
+        return ids;
+      };
+      std::vector<int64_t> all(num_prompts);
+      for (int p = 0; p < num_prompts; ++p) all[p] = p;
+      const std::set<int64_t> exact_top = top_of(all);
+      const float* qrow =
+          queries.data().data() + static_cast<size_t>(q) * dim;
+      const std::set<int64_t> ivf_top = top_of(index.Probe(qrow, dim, k));
+      for (int64_t id : exact_top) hits += ivf_top.count(id);
+    }
+    const double recall =
+        static_cast<double>(hits) / (static_cast<double>(num_queries) * k);
+    EXPECT_GE(recall, 0.95) << "metric=" << DistanceMetricName(metric)
+                            << " nlist=" << index.nlist()
+                            << " nprobe=" << index.nprobe();
+  }
+}
+
+// ---- degradation edges --------------------------------------------------
+
+TEST(PromptIndexTest, FewerPointsThanNlistDegradesToExact) {
+  Rng rng(3);
+  Tensor prompts = Tensor::Randn(5, 8, &rng);
+  PromptIndex index(IvfOptions(8, 2), DistanceMetric::kCosine);
+  index.Build(prompts);  // P=5 < nlist=8: RunKMeans would CHECK-fail
+  EXPECT_FALSE(index.ivf());
+  EXPECT_EQ(index.size(), 5);
+  PromptIndex::ProbeStats stats;
+  const std::vector<int64_t> got =
+      index.Probe(prompts.data().data(), 8, 1, &stats);
+  EXPECT_EQ(got, (std::vector<int64_t>{0, 1, 2, 3, 4}));
+  EXPECT_TRUE(stats.exact);
+  EXPECT_EQ(stats.shards_probed, 0);
+}
+
+TEST(PromptIndexTest, EmptyIndexProbesEmpty) {
+  PromptIndex index(IvfOptions(4, 2), DistanceMetric::kEuclidean);
+  index.Build(Tensor::Zeros(0, 8));
+  EXPECT_FALSE(index.ivf());
+  EXPECT_EQ(index.size(), 0);
+  const float query[8] = {0};
+  EXPECT_TRUE(index.Probe(query, 8, 3).empty());
+
+  // An undefined tensor behaves the same as a 0-row one.
+  PromptIndex undef(IvfOptions(4, 2), DistanceMetric::kEuclidean);
+  undef.Build(Tensor());
+  EXPECT_EQ(undef.size(), 0);
+  EXPECT_TRUE(undef.Probe(query, 8, 3).empty());
+}
+
+TEST(PromptIndexTest, AutoModeStaysExactBelowMinPoints) {
+  Rng rng(4);
+  Tensor prompts = Tensor::Randn(100, 8, &rng);
+  PromptIndexOptions options;  // defaults: kAuto, min_points = 256
+  PromptIndex index(options, DistanceMetric::kCosine);
+  index.Build(prompts);
+  EXPECT_FALSE(index.ivf());
+
+  Tensor big = MixtureEmbeddings(400, 8, 8, 9);
+  index.Build(big);
+  EXPECT_TRUE(index.ivf()) << "auto mode should shard at 400 >= 256 points";
+}
+
+TEST(PromptIndexTest, ProbeWidensUntilMinCandidates) {
+  const int num_prompts = 512, dim = 16;
+  Tensor prompts = MixtureEmbeddings(num_prompts, dim, 8, 17);
+  PromptIndex index(IvfOptions(8, 1), DistanceMetric::kEuclidean);
+  index.Build(prompts);
+  ASSERT_TRUE(index.ivf());
+  const float* q = prompts.data().data();
+  // Asking for more candidates than one shard holds forces extra probes.
+  PromptIndex::ProbeStats stats;
+  const std::vector<int64_t> got =
+      index.Probe(q, dim, num_prompts, &stats);
+  EXPECT_EQ(static_cast<int>(got.size()), num_prompts);
+  EXPECT_EQ(stats.shards_probed, index.nlist());
+  EXPECT_TRUE(stats.exact);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+}
+
+// ---- dynamic maintenance ------------------------------------------------
+
+TEST(PromptIndexTest, DynamicInsertShardsAfterThreshold) {
+  const int dim = 8;
+  PromptIndexOptions options;
+  options.mode = IndexMode::kAuto;
+  options.min_points = 64;
+  options.nlist = 4;
+  PromptIndex index(options, DistanceMetric::kEuclidean);
+
+  Tensor vecs = MixtureEmbeddings(200, dim, 4, 23);
+  const float* data = vecs.data().data();
+  for (int i = 0; i < 63; ++i) {
+    index.Insert(i, data + static_cast<size_t>(i) * dim, dim);
+  }
+  EXPECT_FALSE(index.ivf()) << "below min_points the index stays flat";
+  for (int i = 63; i < 200; ++i) {
+    index.Insert(i, data + static_cast<size_t>(i) * dim, dim);
+  }
+  EXPECT_TRUE(index.ivf()) << "crossing min_points shards the index";
+  EXPECT_EQ(index.size(), 200);
+
+  // Every id is findable: a full-coverage probe returns all of them.
+  const std::vector<int64_t> everything =
+      index.Probe(data, dim, /*min_candidates=*/200);
+  EXPECT_EQ(static_cast<int>(everything.size()), 200);
+
+  // Erasing below the threshold degrades back to the exact flat set.
+  for (int i = 0; i < 150; ++i) EXPECT_TRUE(index.Erase(i));
+  EXPECT_FALSE(index.Erase(0)) << "double erase reports absence";
+  EXPECT_EQ(index.size(), 50);
+  EXPECT_FALSE(index.ivf());
+  PromptIndex::ProbeStats stats;
+  const std::vector<int64_t> rest = index.Probe(data, dim, 1, &stats);
+  EXPECT_TRUE(stats.exact);
+  EXPECT_EQ(static_cast<int>(rest.size()), 50);
+  EXPECT_EQ(rest.front(), 150);
+  EXPECT_EQ(rest.back(), 199);
+  EXPECT_EQ(index.Ids(), rest);
+}
+
+TEST(PromptIndexTest, InsertReplacesExistingId) {
+  const int dim = 4;
+  PromptIndex index(IvfOptions(2, 2), DistanceMetric::kEuclidean);
+  const std::vector<float> a = {1, 0, 0, 0}, b = {0, 1, 0, 0};
+  index.Insert(7, a.data(), dim);
+  index.Insert(7, b.data(), dim);
+  EXPECT_EQ(index.size(), 1);
+  EXPECT_EQ(index.Ids(), (std::vector<int64_t>{7}));
+}
+
+// ---- option validation and parsing --------------------------------------
+
+TEST(PromptIndexTest, ValidateRejectsBadOptions) {
+  PromptIndexOptions options;
+  options.nlist = -1;
+  EXPECT_FALSE(ValidateIndexOptions(options).ok());
+  options = {};
+  options.nprobe = -2;
+  EXPECT_FALSE(ValidateIndexOptions(options).ok());
+  options = {};
+  options.min_points = 0;
+  EXPECT_FALSE(ValidateIndexOptions(options).ok());
+  options = {};
+  options.recall_sample = -1;
+  EXPECT_FALSE(ValidateIndexOptions(options).ok());
+  EXPECT_TRUE(ValidateIndexOptions(PromptIndexOptions()).ok());
+}
+
+TEST(PromptIndexTest, ParseIndexModeRoundTrips) {
+  for (IndexMode mode :
+       {IndexMode::kExact, IndexMode::kIvf, IndexMode::kAuto}) {
+    const StatusOr<IndexMode> parsed = ParseIndexMode(IndexModeName(mode));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, mode);
+  }
+  EXPECT_FALSE(ParseIndexMode("annoy").ok());
+}
+
+}  // namespace
+}  // namespace gp
