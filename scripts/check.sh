@@ -29,10 +29,16 @@ echo "=== observability: labeled tests + telemetry smoke ==="
 run ctest --test-dir build -L observability --output-on-failure
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-run ./build/examples/quickstart --steps=5 \
+run ./build/examples/quickstart --steps=10 \
   --telemetry="$smoke_dir/telemetry.json" --trace="$smoke_dir/trace.json"
 run ./build/tools/check_telemetry_json "$smoke_dir/telemetry.json" \
   "$smoke_dir/trace.json"
+
+echo "=== alloc: buffer-pool hit-rate gate ==="
+run ./build/tools/check_pool_stats "$smoke_dir/telemetry.json" 0.90
+
+echo "=== perf: bench smoke tests ==="
+run ctest --test-dir build -L perf --output-on-failure
 
 echo "=== index: IVF property tests + golden regressions ==="
 run ctest --test-dir build -L index --output-on-failure
@@ -54,5 +60,10 @@ echo "=== UBSan: undefined-behavior-sanitized robustness tests ==="
 run cmake -B build-ubsan -S . -DGP_SANITIZE=undefined
 run cmake --build build-ubsan -j "$JOBS"
 run ctest --test-dir build-ubsan "${label_args[@]}" --output-on-failure
+
+echo "=== TSan: thread-sanitized concurrency tests ==="
+run cmake -B build-tsan -S . -DGP_SANITIZE=thread
+run cmake --build build-tsan -j "$JOBS"
+run ctest --test-dir build-tsan -L concurrency --output-on-failure
 
 echo "all checks passed"

@@ -8,6 +8,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/autograd.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 #include "util/fault.h"
 #include "util/logging.h"
@@ -166,6 +167,10 @@ std::vector<int> RandomSelection(const std::vector<int>& candidate_labels,
 EvalResult EvaluateInContext(const GraphPrompterModel& model,
                              const DatasetBundle& dataset,
                              const EvalConfig& eval_config) {
+  // Bound the buffer pool to this evaluation: trial-to-trial tensor churn
+  // recycles through the pool, and everything is drained (and the alloc/
+  // gauges published) when the outermost scope exits.
+  PoolScope pool_scope;
   const GraphPrompterConfig& mc = model.config();
   CHECK_EQ(mc.feature_dim, dataset.graph.feature_dim());
 

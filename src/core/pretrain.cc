@@ -6,6 +6,7 @@
 #include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "tensor/autograd.h"
+#include "tensor/buffer_pool.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
 
@@ -156,6 +157,9 @@ PretrainCurves Pretrain(GraphPrompterModel* model,
                         const PretrainConfig& config) {
   CHECK(model != nullptr);
   CHECK(config.neighbor_matching || config.multi_task);
+  // Step-to-step forward/backward tensors recycle through the buffer pool
+  // for the duration of the run; drained on exit.
+  PoolScope pool_scope;
   Rng rng(config.seed);
   AdamW optimizer(model->Parameters(), config.learning_rate,
                   config.weight_decay);

@@ -94,7 +94,8 @@ Tensor PromptGenerator::ReconstructEdgeWeights(const Graph& graph,
   if (sg.edge_src.empty()) return Tensor::Zeros(0, 1);
   Tensor features = GatherRows(graph.node_features(), sg.nodes);
   if (!config_.use_reconstruction) {
-    return Tensor::Full(sg.num_edges(), 1, 1.0f);
+    // Shared read-only ones column; avoids a fresh allocation per subgraph.
+    return CachedOnesColumn(sg.num_edges());
   }
   GP_TRACE_SPAN("generator/reconstruct");
   return EdgeWeightsFor(features, sg.edge_src, sg.edge_dst);

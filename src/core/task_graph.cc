@@ -100,7 +100,7 @@ TaskGraphOutput TaskGraphNet::Forward(const Tensor& prompt_embeddings,
         config_.leaky_slope);
     Tensor alpha = SegmentSoftmax(logits, dst, total_nodes);
     Tensor aggregated =
-        ScatterAddRows(RowScale(messages, alpha), dst, total_nodes);
+        RowScaleScatterAdd(messages, alpha, dst, total_nodes);
     // Residual update: the initial metric structure (queries vs class
     // means) is preserved and the attention learns a correction.
     Tensor update = Add(layer.self->Forward(h), aggregated);

@@ -32,8 +32,7 @@ Tensor GatConv::Forward(const Tensor& x, const std::vector<int>& src,
     CHECK_EQ(edge_weight.rows(), static_cast<int>(src.size()));
     alpha = Mul(alpha, edge_weight);
   }
-  Tensor messages = RowScale(GatherRows(h, src), alpha);
-  return Add(h, ScatterAddRows(messages, dst, num_nodes));
+  return Add(h, GatherScaleScatterSum(h, src, dst, num_nodes, alpha));
 }
 
 }  // namespace gp

@@ -37,8 +37,7 @@ Tensor GcnConv::Forward(const Tensor& x, const std::vector<int>& src,
       CHECK_EQ(edge_weight.rows(), num_edges);
       coeff = Mul(edge_weight, coeff);
     }
-    Tensor messages = RowScale(GatherRows(x, src), coeff);
-    agg = Add(agg, ScatterAddRows(messages, dst, num_nodes));
+    agg = Add(agg, GatherScaleScatterSum(x, src, dst, num_nodes, coeff));
   }
   return linear_->Forward(agg);
 }

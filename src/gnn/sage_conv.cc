@@ -20,20 +20,15 @@ Tensor SageConv::Forward(const Tensor& x, const std::vector<int>& src,
   Tensor out = self_->Forward(x);
   if (src.empty()) return out;
 
-  Tensor messages = GatherRows(x, src);
-  Tensor weight_sums;
   if (edge_weight.defined()) {
     CHECK_EQ(edge_weight.rows(), static_cast<int>(src.size()));
     CHECK_EQ(edge_weight.cols(), 1);
-    messages = RowScale(messages, edge_weight);
-    weight_sums = ScatterAddRows(edge_weight, dst, num_nodes);
-  } else {
-    Tensor ones = Tensor::Full(static_cast<int>(src.size()), 1, 1.0f);
-    weight_sums = ScatterAddRows(ones, dst, num_nodes);
   }
-  Tensor sums = ScatterAddRows(messages, dst, num_nodes);
-  // Weighted mean; epsilon guards isolated nodes / all-zero weights.
-  Tensor mean = Div(sums, AddScalar(weight_sums, 1e-6f));
+  // Weighted mean over incoming messages, in one fused kernel (no
+  // per-edge message matrix or ones column is materialised); epsilon
+  // guards isolated nodes / all-zero weights.
+  Tensor mean =
+      GatherScaleScatterMean(x, src, dst, num_nodes, edge_weight, 1e-6f);
   return Add(out, neighbor_->Forward(mean));
 }
 

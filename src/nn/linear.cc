@@ -24,4 +24,9 @@ Tensor Linear::Forward(const Tensor& x) const {
   return out;
 }
 
+Tensor Linear::ForwardRelu(const Tensor& x) const {
+  CHECK_EQ(x.cols(), in_features_);
+  return LinearRelu(x, weight_, use_bias_ ? bias_ : Tensor());
+}
+
 }  // namespace gp

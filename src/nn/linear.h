@@ -17,6 +17,10 @@ class Linear : public Module {
   // x: (N x in) -> (N x out).
   Tensor Forward(const Tensor& x) const;
 
+  // relu(x W + b) in one fused kernel (see LinearRelu in tensor/ops.h);
+  // bitwise identical to Relu(Forward(x)).
+  Tensor ForwardRelu(const Tensor& x) const;
+
   int in_features() const { return in_features_; }
   int out_features() const { return out_features_; }
 

@@ -32,8 +32,15 @@ Mlp::Mlp(const std::vector<int>& dims, Rng* rng, Activation activation)
 Tensor Mlp::Forward(const Tensor& x) const {
   Tensor h = x;
   for (size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i]->Forward(h);
-    if (i + 1 < layers_.size()) h = ApplyActivation(h, activation_);
+    const bool hidden = i + 1 < layers_.size();
+    if (hidden && activation_ == Activation::kRelu) {
+      // Hot path: hidden relu layers skip the intermediate pre-activation
+      // tensor entirely.
+      h = layers_[i]->ForwardRelu(h);
+    } else {
+      h = layers_[i]->Forward(h);
+      if (hidden) h = ApplyActivation(h, activation_);
+    }
   }
   return h;
 }

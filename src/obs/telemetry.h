@@ -81,6 +81,16 @@ class Gauge {
   explicit Gauge(std::string name) : name_(std::move(name)) {}
 
   void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  // Monotonic set: keeps the larger of the current and given value even
+  // under concurrent publishers (used for high-water marks like
+  // alloc/live_peak).
+  void SetMax(double value) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (value > current &&
+           !value_.compare_exchange_weak(current, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
   double Value() const { return value_.load(std::memory_order_relaxed); }
 
   const std::string& name() const { return name_; }

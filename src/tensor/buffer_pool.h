@@ -1,0 +1,101 @@
+// Size-bucketed, thread-aware buffer pool behind Tensor's storage.
+//
+// Every tensor op output (and gradient buffer) is a std::vector<float>.
+// The episodic inference loop runs thousands of small ops per episode, so
+// without recycling each op pays a heap round-trip. The pool keeps freed
+// buffers in power-of-two size buckets and hands them back to subsequent
+// acquisitions of the same class: a hit costs a couple of pointer moves
+// instead of malloc/free.
+//
+// Structure:
+//   * Buckets: capacity class 2^b floats, b in [kMinBucketLog2,
+//     kNumBuckets). A request for n floats is served from the smallest
+//     class with 2^b >= n; the returned vector has size() == n exactly.
+//   * Thread caches: each thread owns a lock-free (thread_local) free list
+//     per bucket, capped at kThreadCacheSlots buffers. Acquire and release
+//     touch only the calling thread's cache in the common case.
+//   * Global overflow: a mutex-protected shared list per bucket (capped at
+//     kGlobalSlots) catches thread-cache overflow and serves cross-thread
+//     reuse. Buffers released by exiting threads are flushed here, so
+//     memory a ParallelFor worker freed is not stranded.
+//
+// Determinism contract (DESIGN.md §9): a recycled buffer's contents are
+// unspecified, and every op fully initialises (writes or zero-fills) each
+// element of an acquired buffer before reading it; AcquireZeroedBuffer
+// exists for accumulation kernels. Pooling therefore never changes a
+// single computed bit — the quickstart golden files pass with the pool on
+// or off.
+//
+// Telemetry: alloc/pool_hits, alloc/pool_misses, alloc/bytes_reused
+// counters are bumped inline; the alloc/live_peak gauge (peak bytes held
+// by live tensors) is published by PoolScope exits and by
+// PoolStatsSnapshot().
+
+#ifndef GRAPHPROMPTER_TENSOR_BUFFER_POOL_H_
+#define GRAPHPROMPTER_TENSOR_BUFFER_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gp {
+
+// Aggregate pool statistics (process-wide, monotonic except live/free).
+struct BufferPoolStats {
+  int64_t hits = 0;          // acquisitions served from a free list
+  int64_t misses = 0;        // acquisitions that hit the heap
+  int64_t bytes_reused = 0;  // requested bytes served from recycled buffers
+  int64_t live_bytes = 0;    // bytes currently owned by live tensors
+  int64_t live_peak_bytes = 0;  // high-water mark of live_bytes
+  int64_t free_bytes = 0;       // bytes parked in free lists right now
+};
+
+// Returns a vector with size() == n whose contents are UNSPECIFIED (stale
+// values from a recycled buffer are possible). Callers must write every
+// element before reading it.
+std::vector<float> AcquireBuffer(size_t n);
+
+// Returns a vector with size() == n and every element == 0.0f.
+std::vector<float> AcquireZeroedBuffer(size_t n);
+
+// Returns a buffer to the pool (or frees it when the pool is full or
+// disabled). Safe to call with vectors that were never acquired from the
+// pool — they are adopted into the matching capacity class. Safe on any
+// thread, including threads other than the acquiring one.
+void ReleaseBuffer(std::vector<float>&& buf);
+
+// Frees every buffer parked in the calling thread's cache and in the
+// global overflow lists. Other threads' caches are left alone (they are
+// bounded and flushed to the global lists on thread exit).
+void DrainBufferPool();
+
+// Copies alloc/live_peak (and alloc/live_bytes, alloc/free_bytes) into the
+// telemetry gauges. Counters are maintained inline and need no publishing.
+void PublishPoolTelemetry();
+
+// Point-in-time statistics; also publishes the gauges.
+BufferPoolStats PoolStatsSnapshot();
+
+// Testing hook: disables recycling (Acquire always mallocs, Release always
+// frees, counters freeze). The default is enabled. Not thread-safe; call
+// between parallel regions.
+void SetBufferPoolEnabled(bool enabled);
+bool BufferPoolEnabled();
+
+// RAII region marker for allocation-heavy phases (eval runs, pretraining).
+// Pooling is always active; what the scope adds is a bound on retained
+// memory: when the outermost PoolScope on a thread exits, the pool is
+// drained (DrainBufferPool) and the alloc/* gauges are published. Scopes
+// may nest; only the outermost exit drains.
+class PoolScope {
+ public:
+  PoolScope();
+  ~PoolScope();
+
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_TENSOR_BUFFER_POOL_H_

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "tensor/autograd.h"
+#include "tensor/buffer_pool.h"
 #include "util/parallel.h"
 
 namespace gp {
@@ -59,6 +60,49 @@ inline size_t BIndex(Broadcast mode, int r, int c, int cols) {
   return 0;
 }
 
+// ------------------------------------------------------------ blocked GEMM
+//
+// Cache-blocked micro-kernel behind MatMul and LinearRelu: computes
+// out[i,:] += A[i,:] * B for rows [row_begin, row_end), tiling the k
+// dimension into L2-sized blocks of B rows and the j dimension into a
+// small stack-resident accumulator panel that stays in L1/registers.
+//
+// FP contract (DESIGN.md §9): each out[i][j] accumulates strictly in
+// ascending k — kk blocks ascend and k ascends within a block — so the
+// result is bitwise identical to the naive i-k-j loop at any tile size.
+//
+// The `av == 0.0f` skip is deliberate: one-hot/label matrices are a
+// first-class workload here (prompt label encodings), and the skip elides
+// the whole panel update for zero operands. bench_micro_ops pins its cost
+// on dense inputs against its win on one-hot inputs; see README
+// "Memory & kernels" for the measured justification.
+constexpr int kGemmPanel = 128;    // j-panel width in floats (512 B)
+constexpr int kGemmKBlock = 256;   // B rows per k block (panel*block ~ L2)
+
+template <bool kSkipZeros>
+void GemmRows(const float* a, const float* b, float* out, int64_t row_begin,
+              int64_t row_end, int inner, int cols) {
+  float panel[kGemmPanel];
+  for (int kk = 0; kk < inner; kk += kGemmKBlock) {
+    const int kend = std::min(inner, kk + kGemmKBlock);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + static_cast<size_t>(i) * inner;
+      float* orow = out + static_cast<size_t>(i) * cols;
+      for (int jj = 0; jj < cols; jj += kGemmPanel) {
+        const int width = std::min<int>(kGemmPanel, cols - jj);
+        std::copy_n(orow + jj, width, panel);
+        for (int k = kk; k < kend; ++k) {
+          const float av = arow[k];
+          if (kSkipZeros && av == 0.0f) continue;
+          const float* brow = b + static_cast<size_t>(k) * cols + jj;
+          for (int j = 0; j < width; ++j) panel[j] += av * brow[j];
+        }
+        std::copy_n(panel, width, orow + jj);
+      }
+    }
+  }
+}
+
 // Builds the result tensor; records the backward function only when autograd
 // is enabled and some parent needs a gradient.
 Tensor FinishOp(int rows, int cols, std::vector<float> data,
@@ -83,41 +127,48 @@ inline bool WantsGrad(const TensorImplPtr& p) {
   return p && p->requires_grad;
 }
 
-// Adds `g` into the gradient of the broadcast operand `b`, reducing over the
-// broadcast dimension(s).
-void ReduceIntoBroadcast(const std::vector<float>& g, int rows, int cols,
-                         Broadcast mode, TensorImpl* b) {
-  b->EnsureGrad();
+// Accumulates `g` (rows x cols) into `out`, which has the broadcast
+// operand's shape, reducing over the broadcast dimension(s). Element order
+// is fixed (row-major, rows outer) so the reduction is deterministic.
+void ReduceBroadcastInto(const std::vector<float>& g, int rows, int cols,
+                         Broadcast mode, float* out) {
   switch (mode) {
     case Broadcast::kSame:
       ParallelRange(static_cast<int64_t>(g.size()), 1,
                     [&](int64_t first, int64_t last) {
                       for (int64_t i = first; i < last; ++i) {
-                        b->grad[i] += g[i];
+                        out[i] += g[i];
                       }
                     });
       break;
     case Broadcast::kRow:
       for (int r = 0; r < rows; ++r) {
         for (int c = 0; c < cols; ++c) {
-          b->grad[c] += g[static_cast<size_t>(r) * cols + c];
+          out[c] += g[static_cast<size_t>(r) * cols + c];
         }
       }
       break;
     case Broadcast::kCol:
       for (int r = 0; r < rows; ++r) {
         for (int c = 0; c < cols; ++c) {
-          b->grad[r] += g[static_cast<size_t>(r) * cols + c];
+          out[r] += g[static_cast<size_t>(r) * cols + c];
         }
       }
       break;
     case Broadcast::kScalar: {
       float total = 0.0f;
       for (float v : g) total += v;
-      b->grad[0] += total;
+      out[0] += total;
       break;
     }
   }
+}
+
+// Adds `g` into the gradient of the broadcast operand `b`.
+void ReduceIntoBroadcast(const std::vector<float>& g, int rows, int cols,
+                         Broadcast mode, TensorImpl* b) {
+  b->EnsureGrad();
+  ReduceBroadcastInto(g, rows, cols, mode, b->grad.data());
 }
 
 // Generic elementwise unary op: value(v) and derivative expressed with the
@@ -126,7 +177,7 @@ template <typename ValueFn, typename GradFn>
 Tensor UnaryOp(const Tensor& a, ValueFn value_fn, GradFn grad_fn) {
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   const float* in = a.data().data();
   ParallelRange(static_cast<int64_t>(out.size()), 1,
                 [&](int64_t first, int64_t last) {
@@ -156,7 +207,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   const Broadcast mode = BroadcastModeOf(a, b);
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   const float* adata = a.data().data();
   const float* bdata = b.data().data();
   ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
@@ -191,7 +242,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   const Broadcast mode = BroadcastModeOf(a, b);
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   const float* adata = a.data().data();
   const float* bdata = b.data().data();
   ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
@@ -216,11 +267,12 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
                                     });
                     }
                     if (WantsGrad(pb)) {
-                      std::vector<float> neg(node.grad.size());
+                      std::vector<float> neg = AcquireBuffer(node.grad.size());
                       for (size_t i = 0; i < neg.size(); ++i) {
                         neg[i] = -node.grad[i];
                       }
                       ReduceIntoBroadcast(neg, rows, cols, mode, pb.get());
+                      ReleaseBuffer(std::move(neg));
                     }
                   });
 }
@@ -229,7 +281,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   const Broadcast mode = BroadcastModeOf(a, b);
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   const float* adata = a.data().data();
   const float* bdata = b.data().data();
   ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
@@ -258,7 +310,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
           });
         }
         if (WantsGrad(pb)) {
-          std::vector<float> scaled(node.grad.size());
+          std::vector<float> scaled = AcquireBuffer(node.grad.size());
           ParallelRange(static_cast<int64_t>(scaled.size()), 1,
                         [&](int64_t first, int64_t last) {
                           for (int64_t i = first; i < last; ++i) {
@@ -266,6 +318,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
                           }
                         });
           ReduceIntoBroadcast(scaled, rows, cols, mode, pb.get());
+          ReleaseBuffer(std::move(scaled));
         }
       });
 }
@@ -274,7 +327,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
   const Broadcast mode = BroadcastModeOf(a, b);
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   const float* adata = a.data().data();
   const float* bdata = b.data().data();
   ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
@@ -303,7 +356,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
           });
         }
         if (WantsGrad(pb)) {
-          std::vector<float> scaled(node.grad.size());
+          std::vector<float> scaled = AcquireBuffer(node.grad.size());
           ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
             for (int r = static_cast<int>(first); r < last; ++r) {
               for (int c = 0; c < cols; ++c) {
@@ -314,6 +367,7 @@ Tensor Div(const Tensor& a, const Tensor& b) {
             }
           });
           ReduceIntoBroadcast(scaled, rows, cols, mode, pb.get());
+          ReleaseBuffer(std::move(scaled));
         }
       });
 }
@@ -338,25 +392,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int rows = a.rows();
   const int inner = a.cols();
   const int cols = b.cols();
-  std::vector<float> out(static_cast<size_t>(rows) * cols, 0.0f);
-  // i-k-j loop order for cache-friendly row-major access; output rows are
-  // disjoint, so row chunks parallelise without changing any result.
+  std::vector<float> out = AcquireZeroedBuffer(static_cast<size_t>(rows) * cols);
+  // Output rows are disjoint, so row chunks parallelise without changing
+  // any result; within a chunk the blocked kernel keeps ascending-k
+  // accumulation per element (see GemmRows above).
   const float* adata = a.data().data();
   const float* bdata = b.data().data();
   ParallelRange(rows, static_cast<int64_t>(inner) * cols,
                 [&](int64_t first, int64_t last) {
-                  for (int i = static_cast<int>(first); i < last; ++i) {
-                    const float* arow =
-                        adata + static_cast<size_t>(i) * inner;
-                    float* orow = out.data() + static_cast<size_t>(i) * cols;
-                    for (int k = 0; k < inner; ++k) {
-                      const float av = arow[k];
-                      if (av == 0.0f) continue;
-                      const float* brow =
-                          bdata + static_cast<size_t>(k) * cols;
-                      for (int j = 0; j < cols; ++j) orow[j] += av * brow[j];
-                    }
-                  }
+                  GemmRows<true>(adata, bdata, out.data(), first, last, inner,
+                                 cols);
                 });
   auto pa = a.impl();
   auto pb = b.impl();
@@ -412,7 +457,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor Transpose(const Tensor& a) {
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   for (int r = 0; r < rows; ++r) {
     for (int c = 0; c < cols; ++c) {
       out[static_cast<size_t>(c) * rows + r] =
@@ -491,7 +536,7 @@ Tensor Square(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
     for (int r = static_cast<int>(first); r < last; ++r) {
       const float* in = a.data().data() + static_cast<size_t>(r) * cols;
@@ -527,7 +572,7 @@ Tensor Softmax(const Tensor& a) {
 Tensor LogSoftmax(const Tensor& a) {
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
     for (int r = static_cast<int>(first); r < last; ++r) {
       const float* in = a.data().data() + static_cast<size_t>(r) * cols;
@@ -568,8 +613,11 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   // Forward: mean of -log softmax(logits)[i, labels[i]]. Per-row terms are
   // computed in parallel; the mean reduces them serially in row order so
   // the result matches the serial build exactly.
+  // `probs` is stashed for the backward pass behind a shared_ptr, so it
+  // stays a plain vector (pooled buffers must end life in a TensorImpl or
+  // an explicit ReleaseBuffer to keep the live-byte accounting exact).
   std::vector<float> probs(logits.data().size());
-  std::vector<float> row_loss(rows);
+  std::vector<float> row_loss = AcquireBuffer(rows);
   ParallelRange(rows, 4 * cols, [&](int64_t first, int64_t last) {
     for (int r = static_cast<int>(first); r < last; ++r) {
       const float* in = logits.data().data() + static_cast<size_t>(r) * cols;
@@ -590,6 +638,7 @@ Tensor CrossEntropyWithLogits(const Tensor& logits,
   double loss = 0.0;
   for (int r = 0; r < rows; ++r) loss -= row_loss[r];
   loss /= std::max(rows, 1);
+  ReleaseBuffer(std::move(row_loss));
   auto pl = logits.impl();
   auto labels_copy = labels;
   auto probs_ptr = std::make_shared<std::vector<float>>(std::move(probs));
@@ -617,7 +666,8 @@ Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   const int rows = a.rows();
   const int ca = a.cols();
   const int cb = b.cols();
-  std::vector<float> out(static_cast<size_t>(rows) * (ca + cb));
+  std::vector<float> out =
+      AcquireBuffer(static_cast<size_t>(rows) * (ca + cb));
   for (int r = 0; r < rows; ++r) {
     std::copy_n(a.data().data() + static_cast<size_t>(r) * ca, ca,
                 out.data() + static_cast<size_t>(r) * (ca + cb));
@@ -658,13 +708,13 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     CHECK_EQ(p.cols(), cols);
     rows += p.rows();
   }
-  std::vector<float> out;
-  out.reserve(static_cast<size_t>(rows) * cols);
+  std::vector<float> out = AcquireBuffer(static_cast<size_t>(rows) * cols);
   std::vector<TensorImplPtr> parents;
   std::vector<int> offsets;
   int offset = 0;
   for (const auto& p : parts) {
-    out.insert(out.end(), p.data().begin(), p.data().end());
+    std::copy(p.data().begin(), p.data().end(),
+              out.begin() + static_cast<size_t>(offset) * cols);
     parents.push_back(p.impl());
     offsets.push_back(offset);
     offset += p.rows();
@@ -687,7 +737,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
 Tensor GatherRows(const Tensor& a, const std::vector<int>& index) {
   const int cols = a.cols();
   const int rows = static_cast<int>(index.size());
-  std::vector<float> out(static_cast<size_t>(rows) * cols);
+  std::vector<float> out = AcquireBuffer(static_cast<size_t>(rows) * cols);
   ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
     for (int r = static_cast<int>(first); r < last; ++r) {
       DCHECK_GE(index[r], 0);
@@ -715,7 +765,8 @@ Tensor ScatterAddRows(const Tensor& src, const std::vector<int>& index,
                       int num_rows) {
   CHECK_EQ(static_cast<size_t>(src.rows()), index.size());
   const int cols = src.cols();
-  std::vector<float> out(static_cast<size_t>(num_rows) * cols, 0.0f);
+  std::vector<float> out =
+      AcquireZeroedBuffer(static_cast<size_t>(num_rows) * cols);
   for (int r = 0; r < src.rows(); ++r) {
     DCHECK_GE(index[r], 0);
     DCHECK_LT(index[r], num_rows);
@@ -743,9 +794,11 @@ Tensor SliceRows(const Tensor& a, int start, int count) {
   CHECK_GE(count, 0);
   CHECK_LE(start + count, a.rows());
   const int cols = a.cols();
-  std::vector<float> out(
-      a.data().begin() + static_cast<size_t>(start) * cols,
-      a.data().begin() + static_cast<size_t>(start + count) * cols);
+  std::vector<float> out =
+      AcquireBuffer(static_cast<size_t>(count) * cols);
+  std::copy(a.data().begin() + static_cast<size_t>(start) * cols,
+            a.data().begin() + static_cast<size_t>(start + count) * cols,
+            out.begin());
   auto pa = a.impl();
   return FinishOp(count, cols, std::move(out), {pa},
                   [pa, start, cols](TensorImpl& node) {
@@ -763,7 +816,7 @@ Tensor RowScale(const Tensor& a, const Tensor& weights) {
   CHECK_EQ(weights.cols(), 1);
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
     for (int r = static_cast<int>(first); r < last; ++r) {
       const float w = weights.data()[r];
@@ -803,6 +856,426 @@ Tensor RowScale(const Tensor& a, const Tensor& weights) {
       });
 }
 
+// ---------------------------------------------------------------- fused ops
+//
+// See ops.h and DESIGN.md §9 for the fusion contract. The helpers below
+// perform the same per-element FP operations in the same order as the
+// unfused GatherRows → RowScale → ScatterAddRows chains: the intermediate
+// per-edge values in those chains are single products (or copies)
+// accumulated from zero-initialised buffers, so eliding the intermediates
+// changes nothing bit for bit.
+
+namespace {
+
+// out[dst[e]] += x[src[e]] * w[e], edges in ascending order. `src` may be
+// null (edge e reads row e of x directly); `w` may be null (unit weights —
+// no multiply is performed, matching the unfused chain without its
+// RowScale node).
+void FusedScatterForward(const float* x, int x_rows, const int* src,
+                         const float* w, const int* dst, int num_edges,
+                         int num_rows, int cols, float* out) {
+  for (int e = 0; e < num_edges; ++e) {
+    const int srow = src ? src[e] : e;
+    DCHECK_GE(srow, 0);
+    DCHECK_LT(srow, x_rows);
+    DCHECK_GE(dst[e], 0);
+    DCHECK_LT(dst[e], num_rows);
+    const float* s = x + static_cast<size_t>(srow) * cols;
+    float* o = out + static_cast<size_t>(dst[e]) * cols;
+    if (w != nullptr) {
+      const float we = w[e];
+      for (int c = 0; c < cols; ++c) o[c] += s[c] * we;
+    } else {
+      for (int c = 0; c < cols; ++c) o[c] += s[c];
+    }
+  }
+}
+
+// Backward core: d_x[src[e]] += g[dst[e]] * w[e] and
+// d_w[e] += <g[dst[e]], x[src[e]]>. d_x and d_w are disjoint, and each
+// element of either receives its additions in ascending edge order, so the
+// per-edge interleaving here matches the two-pass unfused backward
+// element for element.
+void FusedScatterBackward(const float* g, const float* x, const int* src,
+                          const float* w, const int* dst, int num_edges,
+                          int cols, float* d_x, float* d_w) {
+  for (int e = 0; e < num_edges; ++e) {
+    const size_t srow = static_cast<size_t>(src ? src[e] : e) * cols;
+    const float* grow = g + static_cast<size_t>(dst[e]) * cols;
+    if (d_x != nullptr) {
+      float* d = d_x + srow;
+      if (w != nullptr) {
+        const float we = w[e];
+        for (int c = 0; c < cols; ++c) d[c] += grow[c] * we;
+      } else {
+        for (int c = 0; c < cols; ++c) d[c] += grow[c];
+      }
+    }
+    if (d_w != nullptr) {
+      const float* xs = x + srow;
+      float acc = 0.0f;
+      for (int c = 0; c < cols; ++c) acc += grow[c] * xs[c];
+      d_w[e] += acc;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor GatherScaleScatterSum(const Tensor& x, const std::vector<int>& src,
+                             const std::vector<int>& dst, int num_rows,
+                             const Tensor& edge_weight) {
+  CHECK_EQ(src.size(), dst.size());
+  const int cols = x.cols();
+  const int num_edges = static_cast<int>(src.size());
+  const bool weighted = edge_weight.defined();
+  if (weighted) {
+    CHECK_EQ(edge_weight.rows(), num_edges);
+    CHECK_EQ(edge_weight.cols(), 1);
+  }
+  std::vector<float> out =
+      AcquireZeroedBuffer(static_cast<size_t>(num_rows) * cols);
+  FusedScatterForward(x.data().data(), x.rows(), src.data(),
+                      weighted ? edge_weight.data().data() : nullptr,
+                      dst.data(), num_edges, num_rows, cols, out.data());
+  auto px = x.impl();
+  auto pw = weighted ? edge_weight.impl() : TensorImplPtr();
+  auto src_copy = std::make_shared<std::vector<int>>(src);
+  auto dst_copy = std::make_shared<std::vector<int>>(dst);
+  return FinishOp(
+      num_rows, cols, std::move(out), {px, pw},
+      [px, pw, src_copy, dst_copy, cols](TensorImpl& node) {
+        const bool want_x = WantsGrad(px);
+        const bool want_w = WantsGrad(pw);
+        if (!want_x && !want_w) return;
+        if (want_x) px->EnsureGrad();
+        if (want_w) pw->EnsureGrad();
+        FusedScatterBackward(node.grad.data(), px->data.data(),
+                             src_copy->data(),
+                             pw ? pw->data.data() : nullptr, dst_copy->data(),
+                             static_cast<int>(src_copy->size()), cols,
+                             want_x ? px->grad.data() : nullptr,
+                             want_w ? pw->grad.data() : nullptr);
+      });
+}
+
+Tensor GatherScaleScatterMean(const Tensor& x, const std::vector<int>& src,
+                              const std::vector<int>& dst, int num_rows,
+                              const Tensor& edge_weight, float eps) {
+  CHECK_EQ(src.size(), dst.size());
+  const int cols = x.cols();
+  const int num_edges = static_cast<int>(src.size());
+  const bool weighted = edge_weight.defined();
+  if (weighted) {
+    CHECK_EQ(edge_weight.rows(), num_edges);
+    CHECK_EQ(edge_weight.cols(), 1);
+  }
+  std::vector<float> out =
+      AcquireZeroedBuffer(static_cast<size_t>(num_rows) * cols);
+  const float* wd = weighted ? edge_weight.data().data() : nullptr;
+  FusedScatterForward(x.data().data(), x.rows(), src.data(), wd, dst.data(),
+                      num_edges, num_rows, cols, out.data());
+  // Denominator: per-destination weight totals accumulated from zero in
+  // edge order, then + eps last — the same order as the unfused
+  // AddScalar(ScatterAddRows(w_or_ones, dst, n), eps). Plain vector: it is
+  // stashed for backward.
+  std::vector<float> denom(static_cast<size_t>(num_rows), 0.0f);
+  for (int e = 0; e < num_edges; ++e) {
+    denom[dst[e]] += weighted ? wd[e] : 1.0f;
+  }
+  for (int r = 0; r < num_rows; ++r) denom[r] += eps;
+  const bool build_graph =
+      GradEnabled() && (x.requires_grad() ||
+                        (weighted && edge_weight.requires_grad()));
+  // The un-divided sums are the Div numerator; backward needs them, so
+  // copy before dividing in place (graph builds only — inference pays
+  // nothing).
+  std::shared_ptr<std::vector<float>> sums_ptr;
+  if (build_graph) {
+    sums_ptr = std::make_shared<std::vector<float>>(out.begin(), out.end());
+  }
+  ParallelRange(num_rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      const float d = denom[r];
+      float* o = out.data() + static_cast<size_t>(r) * cols;
+      for (int c = 0; c < cols; ++c) o[c] = o[c] / d;
+    }
+  });
+  auto px = x.impl();
+  auto pw = weighted ? edge_weight.impl() : TensorImplPtr();
+  auto src_copy = std::make_shared<std::vector<int>>(src);
+  auto dst_copy = std::make_shared<std::vector<int>>(dst);
+  auto denom_ptr = std::make_shared<std::vector<float>>(std::move(denom));
+  return FinishOp(
+      num_rows, cols, std::move(out), {px, pw},
+      [px, pw, src_copy, dst_copy, sums_ptr, denom_ptr, num_rows,
+       cols](TensorImpl& node) {
+        const bool want_x = WantsGrad(px);
+        const bool want_w = WantsGrad(pw);
+        if (!want_x && !want_w) return;
+        const std::vector<float>& denom = *denom_ptr;
+        // Div backward, numerator side: d_sums = g / denom (kCol
+        // broadcast), landing in the scatter-sum node's (zero-initialised)
+        // grad in the unfused graph.
+        std::vector<float> d_sums = AcquireBuffer(node.grad.size());
+        ParallelRange(num_rows, cols, [&](int64_t first, int64_t last) {
+          for (int r = static_cast<int>(first); r < last; ++r) {
+            const float d = denom[r];
+            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+            float* o = d_sums.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) o[c] = g[c] / d;
+          }
+        });
+        if (want_w) {
+          // Div backward, denominator side, reduced over columns (kCol),
+          // then through AddScalar (identity) and the weight-sum scatter.
+          // The unfused graph applies this contribution to the edge
+          // weights BEFORE the RowScale dot term (reverse-topo order), so
+          // it runs first here too.
+          const std::vector<float>& sums = *sums_ptr;
+          std::vector<float> d_wsum = AcquireZeroedBuffer(num_rows);
+          for (int r = 0; r < num_rows; ++r) {
+            const float d = denom[r];
+            const float* g = node.grad.data() + static_cast<size_t>(r) * cols;
+            const float* s = sums.data() + static_cast<size_t>(r) * cols;
+            for (int c = 0; c < cols; ++c) {
+              d_wsum[r] += -g[c] * s[c] / (d * d);
+            }
+          }
+          pw->EnsureGrad();
+          for (size_t e = 0; e < dst_copy->size(); ++e) {
+            pw->grad[e] += d_wsum[(*dst_copy)[e]];
+          }
+          ReleaseBuffer(std::move(d_wsum));
+        }
+        if (want_x) px->EnsureGrad();
+        FusedScatterBackward(d_sums.data(), px->data.data(),
+                             src_copy->data(),
+                             pw ? pw->data.data() : nullptr, dst_copy->data(),
+                             static_cast<int>(src_copy->size()), cols,
+                             want_x ? px->grad.data() : nullptr,
+                             want_w ? pw->grad.data() : nullptr);
+        ReleaseBuffer(std::move(d_sums));
+      });
+}
+
+Tensor RowScaleScatterAdd(const Tensor& src_rows, const Tensor& weights,
+                          const std::vector<int>& dst, int num_rows) {
+  CHECK_EQ(static_cast<size_t>(src_rows.rows()), dst.size());
+  CHECK_EQ(weights.rows(), src_rows.rows());
+  CHECK_EQ(weights.cols(), 1);
+  const int cols = src_rows.cols();
+  const int num_edges = static_cast<int>(dst.size());
+  std::vector<float> out =
+      AcquireZeroedBuffer(static_cast<size_t>(num_rows) * cols);
+  FusedScatterForward(src_rows.data().data(), src_rows.rows(),
+                      /*src=*/nullptr, weights.data().data(), dst.data(),
+                      num_edges, num_rows, cols, out.data());
+  auto ps = src_rows.impl();
+  auto pw = weights.impl();
+  auto dst_copy = std::make_shared<std::vector<int>>(dst);
+  return FinishOp(
+      num_rows, cols, std::move(out), {ps, pw},
+      [ps, pw, dst_copy, cols](TensorImpl& node) {
+        const bool want_s = WantsGrad(ps);
+        const bool want_w = WantsGrad(pw);
+        if (!want_s && !want_w) return;
+        if (want_s) ps->EnsureGrad();
+        if (want_w) pw->EnsureGrad();
+        FusedScatterBackward(node.grad.data(), ps->data.data(),
+                             /*src=*/nullptr, pw->data.data(),
+                             dst_copy->data(),
+                             static_cast<int>(dst_copy->size()), cols,
+                             want_s ? ps->grad.data() : nullptr,
+                             want_w ? pw->grad.data() : nullptr);
+      });
+}
+
+Tensor LinearRelu(const Tensor& x, const Tensor& weight, const Tensor& bias) {
+  CHECK_EQ(x.cols(), weight.rows());
+  const int rows = x.rows();
+  const int inner = x.cols();
+  const int cols = weight.cols();
+  const bool use_bias = bias.defined();
+  if (use_bias) {
+    CHECK_EQ(bias.rows(), 1);
+    CHECK_EQ(bias.cols(), cols);
+  }
+  std::vector<float> out =
+      AcquireZeroedBuffer(static_cast<size_t>(rows) * cols);
+  const float* xd = x.data().data();
+  const float* wd = weight.data().data();
+  const float* bd = use_bias ? bias.data().data() : nullptr;
+  ParallelRange(rows, static_cast<int64_t>(inner) * cols,
+                [&](int64_t first, int64_t last) {
+                  GemmRows<true>(xd, wd, out.data(), first, last, inner,
+                                 cols);
+                  // Bias branch hoisted out of the element loop so both
+                  // epilogues stay straight-line vectorisable code.
+                  for (int64_t i = first; i < last; ++i) {
+                    float* o = out.data() + static_cast<size_t>(i) * cols;
+                    if (use_bias) {
+                      for (int j = 0; j < cols; ++j) {
+                        const float z = o[j] + bd[j];
+                        o[j] = z > 0.0f ? z : 0.0f;
+                      }
+                    } else {
+                      for (int j = 0; j < cols; ++j) {
+                        o[j] = o[j] > 0.0f ? o[j] : 0.0f;
+                      }
+                    }
+                  }
+                });
+  auto px = x.impl();
+  auto pw = weight.impl();
+  auto pb = use_bias ? bias.impl() : TensorImplPtr();
+  return FinishOp(
+      rows, cols, std::move(out), {px, pw, pb},
+      [px, pw, pb, rows, inner, cols](TensorImpl& node) {
+        const bool want_x = WantsGrad(px);
+        const bool want_w = WantsGrad(pw);
+        const bool want_b = WantsGrad(pb);
+        if (!want_x && !want_w && !want_b) return;
+        // Relu mask applied to the incoming grad. y > 0 iff the
+        // pre-activation was > 0, and the multiply-by-mask form (not a
+        // select) reproduces the unfused Relu backward bit for bit,
+        // including NaN/Inf gradient propagation.
+        std::vector<float> gm = AcquireBuffer(node.grad.size());
+        ParallelRange(static_cast<int64_t>(gm.size()), 1,
+                      [&](int64_t first, int64_t last) {
+                        for (int64_t i = first; i < last; ++i) {
+                          gm[i] = node.grad[i] *
+                                  (node.data[i] > 0.0f ? 1.0f : 0.0f);
+                        }
+                      });
+        if (want_b) {
+          // Bias reduce runs before the GEMM grads, as in the unfused
+          // graph (Add backward precedes MatMul backward).
+          pb->EnsureGrad();
+          for (int r = 0; r < rows; ++r) {
+            for (int c = 0; c < cols; ++c) {
+              pb->grad[c] += gm[static_cast<size_t>(r) * cols + c];
+            }
+          }
+        }
+        if (want_x) {
+          // dX = Gm * W^T — same loops as MatMul backward.
+          px->EnsureGrad();
+          ParallelRange(
+              rows, static_cast<int64_t>(inner) * cols,
+              [&](int64_t first, int64_t last) {
+                for (int i = static_cast<int>(first); i < last; ++i) {
+                  const float* grow =
+                      gm.data() + static_cast<size_t>(i) * cols;
+                  float* darow =
+                      px->grad.data() + static_cast<size_t>(i) * inner;
+                  for (int k = 0; k < inner; ++k) {
+                    const float* brow =
+                        pw->data.data() + static_cast<size_t>(k) * cols;
+                    float acc = 0.0f;
+                    for (int j = 0; j < cols; ++j) acc += grow[j] * brow[j];
+                    darow[k] += acc;
+                  }
+                }
+              });
+        }
+        if (want_w) {
+          // dW = X^T * Gm, k-outer with the zero-operand skip — same loops
+          // as MatMul backward.
+          pw->EnsureGrad();
+          ParallelRange(
+              inner, static_cast<int64_t>(rows) * cols,
+              [&](int64_t first, int64_t last) {
+                for (int k = static_cast<int>(first); k < last; ++k) {
+                  float* dwrow =
+                      pw->grad.data() + static_cast<size_t>(k) * cols;
+                  for (int i = 0; i < rows; ++i) {
+                    const float av =
+                        px->data[static_cast<size_t>(i) * inner + k];
+                    if (av == 0.0f) continue;
+                    const float* grow =
+                        gm.data() + static_cast<size_t>(i) * cols;
+                    for (int j = 0; j < cols; ++j) dwrow[j] += av * grow[j];
+                  }
+                }
+              });
+        }
+        ReleaseBuffer(std::move(gm));
+      });
+}
+
+Tensor AddScalarDiv(const Tensor& a, const Tensor& b, float s) {
+  const Broadcast mode = BroadcastModeOf(a, b);
+  const int rows = a.rows();
+  const int cols = a.cols();
+  std::vector<float> out = AcquireBuffer(a.data().size());
+  const float* adata = a.data().data();
+  const float* bdata = b.data().data();
+  ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+    for (int r = static_cast<int>(first); r < last; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        const size_t i = static_cast<size_t>(r) * cols + c;
+        out[i] = adata[i] / (bdata[BIndex(mode, r, c, cols)] + s);
+      }
+    }
+  });
+  auto pa = a.impl();
+  auto pb = b.impl();
+  return FinishOp(
+      rows, cols, std::move(out), {pa, pb},
+      [pa, pb, mode, rows, cols, s](TensorImpl& node) {
+        if (WantsGrad(pa)) {
+          pa->EnsureGrad();
+          ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+            for (int r = static_cast<int>(first); r < last; ++r) {
+              for (int c = 0; c < cols; ++c) {
+                const size_t i = static_cast<size_t>(r) * cols + c;
+                pa->grad[i] += node.grad[i] /
+                               (pb->data[BIndex(mode, r, c, cols)] + s);
+              }
+            }
+          });
+        }
+        if (WantsGrad(pb)) {
+          std::vector<float> scaled = AcquireBuffer(node.grad.size());
+          ParallelRange(rows, cols, [&](int64_t first, int64_t last) {
+            for (int r = static_cast<int>(first); r < last; ++r) {
+              for (int c = 0; c < cols; ++c) {
+                const size_t i = static_cast<size_t>(r) * cols + c;
+                const float bv =
+                    pb->data[BIndex(mode, r, c, cols)] + s;
+                scaled[i] = -node.grad[i] * pa->data[i] / (bv * bv);
+              }
+            }
+          });
+          // In the unfused graph the reduce lands in AddScalar's node grad
+          // (zero-initialised) and only the reduced totals flow on into b,
+          // so reduce into scratch first to keep per-element add order
+          // identical.
+          std::vector<float> t_grad = AcquireZeroedBuffer(pb->data.size());
+          ReduceBroadcastInto(scaled, rows, cols, mode, t_grad.data());
+          ReleaseBuffer(std::move(scaled));
+          pb->EnsureGrad();
+          for (size_t i = 0; i < pb->grad.size(); ++i) {
+            pb->grad[i] += t_grad[i];
+          }
+          ReleaseBuffer(std::move(t_grad));
+        }
+      });
+}
+
+Tensor CachedOnesColumn(int rows) {
+  CHECK_GE(rows, 0);
+  // Thread-local so concurrent eval trials never share a mutable impl.
+  // Callers treat the tensor as read-only; the cache is replaced only when
+  // a different row count is requested.
+  thread_local Tensor cache;
+  if (!cache.defined() || cache.rows() != rows) {
+    cache = Tensor::Full(rows, 1, 1.0f);
+  }
+  return cache;
+}
+
 Tensor SumAll(const Tensor& a) {
   double total = 0.0;
   for (float v : a.data()) total += v;
@@ -823,7 +1296,7 @@ Tensor MeanAll(const Tensor& a) {
 Tensor SumRows(const Tensor& a) {
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(cols, 0.0f);
+  std::vector<float> out = AcquireZeroedBuffer(cols);
   for (int r = 0; r < rows; ++r) {
     const float* in = a.data().data() + static_cast<size_t>(r) * cols;
     for (int c = 0; c < cols; ++c) out[c] += in[c];
@@ -847,7 +1320,7 @@ Tensor MeanRows(const Tensor& a) {
 Tensor SumCols(const Tensor& a) {
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(rows, 0.0f);
+  std::vector<float> out = AcquireZeroedBuffer(rows);
   for (int r = 0; r < rows; ++r) {
     const float* in = a.data().data() + static_cast<size_t>(r) * cols;
     for (int c = 0; c < cols; ++c) out[r] += in[c];
@@ -867,7 +1340,7 @@ Tensor SumCols(const Tensor& a) {
 Tensor RowL2Normalize(const Tensor& a, float eps) {
   const int rows = a.rows();
   const int cols = a.cols();
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   std::vector<float> norms(rows);
   ParallelRange(rows, 2 * cols, [&](int64_t first, int64_t last) {
     for (int r = static_cast<int>(first); r < last; ++r) {
@@ -910,7 +1383,7 @@ Tensor Dropout(const Tensor& a, float p, Rng* rng, bool training) {
   const float keep = 1.0f - p;
   const float inv_keep = 1.0f / keep;
   std::vector<float> mask(a.data().size());
-  std::vector<float> out(a.data().size());
+  std::vector<float> out = AcquireBuffer(a.data().size());
   for (size_t i = 0; i < out.size(); ++i) {
     mask[i] = rng->Bernoulli(keep) ? inv_keep : 0.0f;
     out[i] = a.data()[i] * mask[i];
@@ -939,7 +1412,7 @@ Tensor SegmentSoftmax(const Tensor& a, const std::vector<int>& segment,
     DCHECK_LT(segment[r], num_segments);
     seg_max[segment[r]] = std::max(seg_max[segment[r]], a.data()[r]);
   }
-  std::vector<float> out(rows);
+  std::vector<float> out = AcquireBuffer(rows);
   std::vector<float> seg_sum(num_segments, 0.0f);
   for (int r = 0; r < rows; ++r) {
     out[r] = std::exp(a.data()[r] - seg_max[segment[r]]);
@@ -976,7 +1449,8 @@ Tensor SegmentMeanRows(const Tensor& src, const std::vector<int>& segment,
     DCHECK_LT(s, num_segments);
     counts[s] += 1.0f;
   }
-  std::vector<float> out(static_cast<size_t>(num_segments) * cols, 0.0f);
+  std::vector<float> out =
+      AcquireZeroedBuffer(static_cast<size_t>(num_segments) * cols);
   for (int r = 0; r < src.rows(); ++r) {
     const float inv = 1.0f / std::max(counts[segment[r]], 1.0f);
     const float* s = src.data().data() + static_cast<size_t>(r) * cols;
@@ -1058,5 +1532,18 @@ float ManhattanDistance(const std::vector<float>& a,
   }
   return static_cast<float>(total);
 }
+
+namespace internal {
+
+void GemmAccumulate(const float* a, const float* b, float* out, int rows,
+                    int inner, int cols, bool skip_zeros) {
+  if (skip_zeros) {
+    GemmRows<true>(a, b, out, 0, rows, inner, cols);
+  } else {
+    GemmRows<false>(a, b, out, 0, rows, inner, cols);
+  }
+}
+
+}  // namespace internal
 
 }  // namespace gp

@@ -70,6 +70,51 @@ Tensor SliceRows(const Tensor& a, int start, int count);
 // Scales row i of `a` by scalar weights[i]; `weights` is R x 1.
 Tensor RowScale(const Tensor& a, const Tensor& weights);
 
+// ---------------------------------------------------------------- fused ops
+//
+// Each fused op computes exactly what the equivalent chain of primitive
+// ops computes — same per-element floating-point operations in the same
+// order — without materialising the intermediate tensors. DESIGN.md §9
+// states the contract: fusion may never change FP summation order, so a
+// fused pipeline is bitwise identical to the unfused one.
+
+// Fuses ScatterAddRows(RowScale(GatherRows(x, src), w), dst, num_rows):
+// result[dst[e]] += x[src[e]] * w[e], edges in order. `edge_weight` may be
+// undefined, meaning unit weights (no multiply is performed, matching the
+// unfused chain without the RowScale).
+Tensor GatherScaleScatterSum(const Tensor& x, const std::vector<int>& src,
+                             const std::vector<int>& dst, int num_rows,
+                             const Tensor& edge_weight);
+
+// Fuses the whole weighted-mean message-passing readout
+//   Div(ScatterAddRows(RowScale(GatherRows(x, src), w), dst, n),
+//       AddScalar(ScatterAddRows(w_or_ones, dst, n), eps))
+// used by the GNN convolutions. Undefined `edge_weight` = unit weights
+// (and no per-message multiply).
+Tensor GatherScaleScatterMean(const Tensor& x, const std::vector<int>& src,
+                              const std::vector<int>& dst, int num_rows,
+                              const Tensor& edge_weight, float eps);
+
+// Fuses ScatterAddRows(RowScale(src_rows, weights), dst, num_rows) where
+// src_rows is already per-edge (no gather): result[dst[e]] += src_rows[e]
+// * weights[e].
+Tensor RowScaleScatterAdd(const Tensor& src_rows, const Tensor& weights,
+                          const std::vector<int>& dst, int num_rows);
+
+// Fuses Relu(Add(MatMul(x, weight), bias)); `bias` (1 x C) may be
+// undefined for bias-free layers. Uses the same blocked GEMM kernel as
+// MatMul, so the result is bitwise identical to the unfused chain.
+Tensor LinearRelu(const Tensor& x, const Tensor& weight, const Tensor& bias);
+
+// Fuses Div(a, AddScalar(b, s)): out = a / (b + s), same broadcast rules
+// as Div.
+Tensor AddScalarDiv(const Tensor& a, const Tensor& b, float s);
+
+// Thread-cached all-ones column (rows x 1). Callers must treat the result
+// as read-only: the same impl is shared until a different row count is
+// requested. Replaces per-call Tensor::Full(rows, 1, 1.0f) in hot loops.
+Tensor CachedOnesColumn(int rows);
+
 // ---------------------------------------------------------------- reductions
 
 Tensor SumAll(const Tensor& a);   // 1 x 1
@@ -110,6 +155,18 @@ float EuclideanDistance(const std::vector<float>& a,
                         const std::vector<float>& b);
 float ManhattanDistance(const std::vector<float>& a,
                         const std::vector<float>& b);
+
+namespace internal {
+
+// Bench/test hook for the cache-blocked GEMM micro-kernel behind MatMul
+// and LinearRelu: out += a (rows x inner) * b (inner x cols), accumulating
+// each out element in ascending-k order. `skip_zeros` toggles the
+// zero-operand skip so bench_micro_ops can quantify its cost on dense
+// inputs against its win on one-hot inputs (see README "Memory & kernels").
+void GemmAccumulate(const float* a, const float* b, float* out, int rows,
+                    int inner, int cols, bool skip_zeros = true);
+
+}  // namespace internal
 
 }  // namespace gp
 

@@ -1,9 +1,24 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
+#include "tensor/buffer_pool.h"
+
 namespace gp {
+
+TensorImpl::~TensorImpl() {
+  ReleaseBuffer(std::move(data));
+  ReleaseBuffer(std::move(grad));
+}
+
+void TensorImpl::EnsureGrad() {
+  if (grad.size() != data.size()) {
+    ReleaseBuffer(std::move(grad));
+    grad = AcquireZeroedBuffer(data.size());
+  }
+}
 
 Tensor Tensor::Zeros(int rows, int cols, bool requires_grad) {
   return Full(rows, cols, 0.0f, requires_grad);
@@ -15,7 +30,8 @@ Tensor Tensor::Full(int rows, int cols, float value, bool requires_grad) {
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<size_t>(rows) * cols, value);
+  impl->data = AcquireBuffer(static_cast<size_t>(rows) * cols);
+  std::fill(impl->data.begin(), impl->data.end(), value);
   impl->requires_grad = requires_grad;
   return Wrap(std::move(impl));
 }
@@ -70,7 +86,8 @@ Tensor Tensor::Detach() const {
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows();
   impl->cols = cols();
-  impl->data = impl_->data;
+  impl->data = AcquireBuffer(impl_->data.size());
+  std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
   impl->requires_grad = false;
   return Wrap(std::move(impl));
 }
@@ -131,7 +148,8 @@ TensorImplPtr MakeResultImpl(int rows, int cols,
   auto impl = std::make_shared<TensorImpl>();
   impl->rows = rows;
   impl->cols = cols;
-  impl->data.assign(static_cast<size_t>(rows) * cols, 0.0f);
+  // `data` is left empty: the only caller (FinishOp in tensor/ops.cc)
+  // installs the already-computed, pool-acquired output buffer.
   impl->requires_grad = false;
   for (const auto& parent : parents) {
     if (parent && parent->requires_grad) {

@@ -24,7 +24,9 @@ struct TensorImpl;
 using TensorImplPtr = std::shared_ptr<TensorImpl>;
 
 // The shared node: data, (lazily allocated) gradient, and the autograd edge
-// back to its parents.
+// back to its parents. Storage lives behind the buffer pool
+// (tensor/buffer_pool.h): the destructor recycles both vectors so op
+// outputs freed mid-episode are reused instead of hitting the heap.
 struct TensorImpl {
   int rows = 0;
   int cols = 0;
@@ -37,10 +39,13 @@ struct TensorImpl {
   std::vector<TensorImplPtr> parents;
   std::function<void(TensorImpl&)> backward_fn;
 
+  TensorImpl() = default;
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+  ~TensorImpl();  // returns data and grad to the buffer pool
+
   int64_t Size() const { return static_cast<int64_t>(rows) * cols; }
-  void EnsureGrad() {
-    if (grad.size() != data.size()) grad.assign(data.size(), 0.0f);
-  }
+  void EnsureGrad();  // zeroed, pool-backed allocation on first use
 };
 
 // Value-semantic handle to a TensorImpl.
@@ -142,7 +147,8 @@ class Tensor {
 };
 
 // Creates a result impl for an op with the given parents; requires_grad is
-// inherited (true if any parent requires grad).
+// inherited (true if any parent requires grad). The data buffer is left
+// empty — the caller moves the computed output in.
 TensorImplPtr MakeResultImpl(int rows, int cols,
                              std::vector<TensorImplPtr> parents);
 

@@ -1,0 +1,273 @@
+// The fused kernels promise bitwise equality with the unfused op chains
+// they replace (DESIGN.md §9): identical per-element FP operations in an
+// identical order, for both the forward values and the gradients. These
+// tests hold them to exactly that — EXPECT_EQ on floats, no tolerances.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+void ExpectBitwiseEqual(const std::vector<float>& a,
+                        const std::vector<float>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i], b[i]) << "index " << i;
+  }
+}
+
+struct EdgeFixture {
+  Tensor x;       // (5 x 3) node features, requires_grad
+  Tensor w;       // (7 x 1) edge weights, requires_grad
+  std::vector<int> src{0, 1, 2, 3, 4, 0, 2};
+  std::vector<int> dst{1, 0, 1, 4, 3, 2, 2};
+
+  EdgeFixture() {
+    Rng rng(99);
+    x = Tensor::Randn(5, 3, &rng, 1.0f, /*requires_grad=*/true);
+    w = Tensor::Randn(7, 1, &rng, 1.0f, /*requires_grad=*/true);
+  }
+};
+
+TEST(FusedOpsTest, GatherScaleScatterSumMatchesUnfusedForward) {
+  EdgeFixture f;
+  NoGradGuard no_grad;
+  Tensor unfused =
+      ScatterAddRows(RowScale(GatherRows(f.x, f.src), f.w), f.dst, 5);
+  Tensor fused = GatherScaleScatterSum(f.x, f.src, f.dst, 5, f.w);
+  ExpectBitwiseEqual(fused.data(), unfused.data());
+}
+
+TEST(FusedOpsTest, GatherScaleScatterSumUnweightedMatchesForward) {
+  EdgeFixture f;
+  NoGradGuard no_grad;
+  Tensor unfused = ScatterAddRows(GatherRows(f.x, f.src), f.dst, 5);
+  Tensor fused = GatherScaleScatterSum(f.x, f.src, f.dst, 5, Tensor());
+  ExpectBitwiseEqual(fused.data(), unfused.data());
+}
+
+TEST(FusedOpsTest, GatherScaleScatterSumMatchesUnfusedGradients) {
+  EdgeFixture f;
+  {
+    Tensor out =
+        ScatterAddRows(RowScale(GatherRows(f.x, f.src), f.w), f.dst, 5);
+    Backward(SumAll(Mul(out, out)));
+  }
+  const std::vector<float> dx_ref = f.x.grad();
+  const std::vector<float> dw_ref = f.w.grad();
+
+  EdgeFixture g;
+  {
+    Tensor out = GatherScaleScatterSum(g.x, g.src, g.dst, 5, g.w);
+    Backward(SumAll(Mul(out, out)));
+  }
+  ExpectBitwiseEqual(g.x.grad(), dx_ref);
+  ExpectBitwiseEqual(g.w.grad(), dw_ref);
+}
+
+TEST(FusedOpsTest, GatherScaleScatterMeanMatchesUnfusedForward) {
+  EdgeFixture f;
+  NoGradGuard no_grad;
+  Tensor sums =
+      ScatterAddRows(RowScale(GatherRows(f.x, f.src), f.w), f.dst, 5);
+  Tensor wsum = ScatterAddRows(f.w, f.dst, 5);
+  Tensor unfused = Div(sums, AddScalar(wsum, 1e-6f));
+  Tensor fused = GatherScaleScatterMean(f.x, f.src, f.dst, 5, f.w, 1e-6f);
+  ExpectBitwiseEqual(fused.data(), unfused.data());
+}
+
+TEST(FusedOpsTest, GatherScaleScatterMeanUnweightedMatchesForward) {
+  EdgeFixture f;
+  NoGradGuard no_grad;
+  Tensor sums = ScatterAddRows(GatherRows(f.x, f.src), f.dst, 5);
+  Tensor ones = Tensor::Full(static_cast<int>(f.src.size()), 1, 1.0f);
+  Tensor wsum = ScatterAddRows(ones, f.dst, 5);
+  Tensor unfused = Div(sums, AddScalar(wsum, 1e-6f));
+  Tensor fused =
+      GatherScaleScatterMean(f.x, f.src, f.dst, 5, Tensor(), 1e-6f);
+  ExpectBitwiseEqual(fused.data(), unfused.data());
+}
+
+TEST(FusedOpsTest, GatherScaleScatterMeanMatchesUnfusedGradients) {
+  EdgeFixture f;
+  {
+    Tensor sums =
+        ScatterAddRows(RowScale(GatherRows(f.x, f.src), f.w), f.dst, 5);
+    Tensor wsum = ScatterAddRows(f.w, f.dst, 5);
+    Tensor out = Div(sums, AddScalar(wsum, 1e-6f));
+    Backward(SumAll(Mul(out, out)));
+  }
+  const std::vector<float> dx_ref = f.x.grad();
+  const std::vector<float> dw_ref = f.w.grad();
+
+  EdgeFixture g;
+  {
+    Tensor out = GatherScaleScatterMean(g.x, g.src, g.dst, 5, g.w, 1e-6f);
+    Backward(SumAll(Mul(out, out)));
+  }
+  ExpectBitwiseEqual(g.x.grad(), dx_ref);
+  ExpectBitwiseEqual(g.w.grad(), dw_ref);
+}
+
+TEST(FusedOpsTest, RowScaleScatterAddMatchesUnfused) {
+  Rng rng(5);
+  std::vector<int> dst{2, 0, 1, 1, 3, 2};
+  Tensor rows_a = Tensor::Randn(6, 4, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor w_a = Tensor::Randn(6, 1, &rng, 1.0f, /*requires_grad=*/true);
+  {
+    Tensor out = ScatterAddRows(RowScale(rows_a, w_a), dst, 4);
+    Backward(SumAll(Mul(out, out)));
+  }
+
+  Tensor rows_b = rows_a.Clone();
+  Tensor w_b = w_a.Clone();
+  Tensor fused_fwd;
+  {
+    Tensor out = RowScaleScatterAdd(rows_b, w_b, dst, 4);
+    fused_fwd = out.Detach();
+    Backward(SumAll(Mul(out, out)));
+  }
+  {
+    NoGradGuard no_grad;
+    Tensor unfused_fwd = ScatterAddRows(RowScale(rows_a, w_a), dst, 4);
+    ExpectBitwiseEqual(fused_fwd.data(), unfused_fwd.data());
+  }
+  ExpectBitwiseEqual(rows_b.grad(), rows_a.grad());
+  ExpectBitwiseEqual(w_b.grad(), w_a.grad());
+}
+
+TEST(FusedOpsTest, LinearReluMatchesUnfusedForwardAndGradients) {
+  Rng rng(11);
+  Tensor x_a = Tensor::Randn(9, 6, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor w_a = Tensor::Randn(6, 5, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor b_a = Tensor::Randn(1, 5, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor x_b = x_a.Clone();
+  Tensor w_b = w_a.Clone();
+  Tensor b_b = b_a.Clone();
+
+  Tensor ref_fwd;
+  {
+    Tensor out = Relu(Add(MatMul(x_a, w_a), b_a));
+    ref_fwd = out.Detach();
+    Backward(SumAll(Mul(out, out)));
+  }
+  {
+    Tensor out = LinearRelu(x_b, w_b, b_b);
+    ExpectBitwiseEqual(out.data(), ref_fwd.data());
+    Backward(SumAll(Mul(out, out)));
+  }
+  ExpectBitwiseEqual(x_b.grad(), x_a.grad());
+  ExpectBitwiseEqual(w_b.grad(), w_a.grad());
+  ExpectBitwiseEqual(b_b.grad(), b_a.grad());
+}
+
+TEST(FusedOpsTest, LinearReluWithoutBiasMatches) {
+  Rng rng(13);
+  Tensor x_a = Tensor::Randn(4, 3, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor w_a = Tensor::Randn(3, 2, &rng, 1.0f, /*requires_grad=*/true);
+  Tensor x_b = x_a.Clone();
+  Tensor w_b = w_a.Clone();
+
+  Tensor ref_fwd;
+  {
+    Tensor out = Relu(MatMul(x_a, w_a));
+    ref_fwd = out.Detach();
+    Backward(SumAll(out));
+  }
+  {
+    Tensor out = LinearRelu(x_b, w_b, Tensor());
+    ExpectBitwiseEqual(out.data(), ref_fwd.data());
+    Backward(SumAll(out));
+  }
+  ExpectBitwiseEqual(x_b.grad(), x_a.grad());
+  ExpectBitwiseEqual(w_b.grad(), w_a.grad());
+}
+
+TEST(FusedOpsTest, AddScalarDivMatchesUnfusedAllBroadcastModes) {
+  Rng rng(17);
+  struct Case {
+    int brows, bcols;
+  };
+  for (const Case& c : {Case{6, 4}, Case{1, 4}, Case{6, 1}, Case{1, 1}}) {
+    Tensor a_a = Tensor::Randn(6, 4, &rng, 1.0f, /*requires_grad=*/true);
+    Tensor b_a = Tensor::Full(c.brows, c.bcols, 0.0f, /*requires_grad=*/true);
+    for (auto& v : b_a.mutable_data()) v = rng.UniformFloat() + 0.5f;
+    Tensor a_b = a_a.Clone();
+    Tensor b_b = b_a.Clone();
+
+    Tensor ref_fwd;
+    {
+      Tensor out = Div(a_a, AddScalar(b_a, 0.75f));
+      ref_fwd = out.Detach();
+      Backward(SumAll(Mul(out, out)));
+    }
+    {
+      Tensor out = AddScalarDiv(a_b, b_b, 0.75f);
+      ExpectBitwiseEqual(out.data(), ref_fwd.data());
+      Backward(SumAll(Mul(out, out)));
+    }
+    ExpectBitwiseEqual(a_b.grad(), a_a.grad());
+    ExpectBitwiseEqual(b_b.grad(), b_a.grad());
+  }
+}
+
+TEST(FusedOpsTest, GemmAccumulateSkipTogglesAgreeOnDenseInputs) {
+  Rng rng(23);
+  const int rows = 12, inner = 17, cols = 33;
+  Tensor a = Tensor::Randn(rows, inner, &rng);
+  Tensor b = Tensor::Randn(inner, cols, &rng);
+  std::vector<float> with_skip(static_cast<size_t>(rows) * cols, 0.0f);
+  std::vector<float> without(static_cast<size_t>(rows) * cols, 0.0f);
+  internal::GemmAccumulate(a.data().data(), b.data().data(), with_skip.data(),
+                           rows, inner, cols, /*skip_zeros=*/true);
+  internal::GemmAccumulate(a.data().data(), b.data().data(), without.data(),
+                           rows, inner, cols, /*skip_zeros=*/false);
+  // Dense (no exact zeros with probability 1): both paths perform the same
+  // additions, so the results are bitwise equal — and match MatMul.
+  ExpectBitwiseEqual(with_skip, without);
+  NoGradGuard no_grad;
+  ExpectBitwiseEqual(with_skip, MatMul(a, b).data());
+}
+
+TEST(FusedOpsTest, GemmAccumulateHandlesOneHotRows) {
+  // One-hot lhs selects rows of b exactly; the skip path must produce the
+  // identical selection.
+  const int classes = 7, cols = 5;
+  Rng rng(29);
+  Tensor b = Tensor::Randn(classes, cols, &rng);
+  std::vector<int> labels{3, 0, 6, 3};
+  Tensor onehot = Tensor::OneHot(labels, classes);
+  std::vector<float> out(labels.size() * cols, 0.0f);
+  internal::GemmAccumulate(onehot.data().data(), b.data().data(), out.data(),
+                           static_cast<int>(labels.size()), classes, cols,
+                           /*skip_zeros=*/true);
+  for (size_t r = 0; r < labels.size(); ++r) {
+    for (int c = 0; c < cols; ++c) {
+      EXPECT_EQ(out[r * cols + c], b.at(labels[r], c));
+    }
+  }
+}
+
+TEST(FusedOpsTest, CachedOnesColumnSharesStorageAndIsAllOnes) {
+  Tensor a = CachedOnesColumn(40);
+  EXPECT_EQ(a.rows(), 40);
+  EXPECT_EQ(a.cols(), 1);
+  for (float v : a.data()) EXPECT_EQ(v, 1.0f);
+  Tensor b = CachedOnesColumn(40);
+  EXPECT_EQ(a.raw(), b.raw());  // same cached impl, no new allocation
+  Tensor c = CachedOnesColumn(8);
+  EXPECT_EQ(c.rows(), 8);
+  EXPECT_NE(c.raw(), a.raw());
+  for (float v : c.data()) EXPECT_EQ(v, 1.0f);
+}
+
+}  // namespace
+}  // namespace gp

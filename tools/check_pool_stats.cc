@@ -1,0 +1,92 @@
+// Allocation-regression gate for scripts/check.sh: reads a telemetry
+// snapshot (obs/export JSON) and fails unless the tensor buffer pool
+// served at least a minimum fraction of hot-path allocations.
+//
+//   ./tools/check_pool_stats <telemetry.json> [min_hit_rate]
+//
+// The default threshold of 0.90 pins the pipeline's steady state: after
+// the first evaluation episode warms the pool, nearly every forward /
+// backward tensor should come from recycled storage. A drop below the
+// threshold means someone added an allocation pattern the pool cannot
+// serve (odd lifetime, unpooled op, or a PoolScope drain in a hot loop).
+//
+// Exits 0 when the gate passes, 1 otherwise.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+namespace gp {
+namespace {
+
+using json::JsonValue;
+
+// Counter values live under {"counters": {"alloc/pool_hits": N, ...}}.
+bool ReadCounter(const JsonValue& root, const std::string& name,
+                 double* out) {
+  const JsonValue* counters = root.Find("counters");
+  if (counters == nullptr || !counters->IsObject()) return false;
+  const JsonValue* value = counters->Find(name);
+  if (value == nullptr || !value->IsNumber()) return false;
+  *out = value->number_value;
+  return true;
+}
+
+int Run(const std::string& path, double min_hit_rate) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto root_or = json::ParseJson(buffer.str());
+  if (!root_or.ok()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path.c_str(),
+                 root_or.status().ToString().c_str());
+    return 1;
+  }
+
+  double hits = 0.0, misses = 0.0;
+  if (!ReadCounter(*root_or, "alloc/pool_hits", &hits) ||
+      !ReadCounter(*root_or, "alloc/pool_misses", &misses)) {
+    std::fprintf(stderr,
+                 "%s: missing alloc/pool_hits or alloc/pool_misses counter "
+                 "(was the run built with the buffer pool?)\n",
+                 path.c_str());
+    return 1;
+  }
+  const double total = hits + misses;
+  if (total <= 0.0) {
+    std::fprintf(stderr, "%s: pool saw no allocations\n", path.c_str());
+    return 1;
+  }
+  const double hit_rate = hits / total;
+  std::printf("%s: pool hit rate %.4f (%.0f hits / %.0f allocations)\n",
+              path.c_str(), hit_rate, hits, total);
+  if (hit_rate < min_hit_rate) {
+    std::fprintf(stderr,
+                 "allocation regression: hit rate %.4f below threshold "
+                 "%.2f\n",
+                 hit_rate, min_hit_rate);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace gp
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 3) {
+    std::fprintf(stderr, "usage: %s <telemetry.json> [min_hit_rate]\n",
+                 argv[0]);
+    return 1;
+  }
+  const double threshold = argc == 3 ? std::atof(argv[2]) : 0.90;
+  return gp::Run(argv[1], threshold);
+}
