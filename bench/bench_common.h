@@ -14,8 +14,11 @@
 //   --trace=PATH  record trace spans and write Chrome trace JSON (or CSV
 //                 by extension) at exit; GP_TRACE env is the fallback
 //   --index=MODE  retrieval index: exact | ivf | auto (default auto), with
-//                 --nlist/--nprobe/--index-min-points/--index-recall-sample
-//                 refinements; GP_INDEX* env vars are the fallbacks
+//                 --nlist/--nprobe/--index-min-points/--index-recall-sample/
+//                 --quantize/--rerank refinements; GP_INDEX* env vars are
+//                 the fallbacks
+//   --simd=LEVEL  distance/GEMM kernels: auto | avx2 | off (default auto;
+//                 GP_SIMD env is the fallback — see DESIGN.md §10)
 // Results are printed as paper-style tables and written as CSV. Every
 // binary additionally writes <outdir>/BENCH_<name>.json (schema in
 // obs/bench_report.h): config, per-stage span timings, telemetry
@@ -35,6 +38,7 @@
 #include "core/prompt_index.h"
 #include "obs/bench_report.h"
 #include "obs/export.h"
+#include "util/cpuid.h"
 #include "util/flags.h"
 #include "util/parallel.h"
 #include "util/stopwatch.h"
@@ -54,6 +58,7 @@ struct Env {
   std::string telemetry_path;  // empty = GP_TELEMETRY env, else disabled
   std::string trace_path;      // empty = GP_TRACE env, else disabled
   PromptIndexOptions index;    // resolved flag/env index options
+  SimdLevel simd = SimdLevel::kScalar;  // resolved --simd/GP_SIMD level
 };
 
 inline Env ParseEnv(int argc, char** argv) {
@@ -74,6 +79,7 @@ inline Env ParseEnv(int argc, char** argv) {
   env.telemetry_path = flags.GetString("telemetry", env.telemetry_path);
   env.trace_path = flags.GetString("trace", env.trace_path);
   env.index = ConfigureIndexFromFlags(flags);
+  env.simd = ConfigureSimdFromFlags(flags);
   ConfigureObservability(env.telemetry_path, env.trace_path);
   return env;
 }
@@ -94,6 +100,8 @@ inline int BenchMain(const std::string& name, int argc, char** argv,
   report.AddConfig("index_mode", std::string(IndexModeName(env.index.mode)));
   report.AddConfig("index_nlist", static_cast<int64_t>(env.index.nlist));
   report.AddConfig("index_nprobe", static_cast<int64_t>(env.index.nprobe));
+  report.AddConfig("index_quantize", static_cast<int64_t>(env.index.quantize));
+  report.AddConfig("simd", std::string(SimdLevelName(env.simd)));
   run(env, &report);
   const Status status = report.WriteJson(env.outdir);
   if (!status.ok()) {

@@ -5,15 +5,26 @@
 // the index/recall_* sampling counters), and the overlap of the final
 // per-class selections against brute force.
 //
-// Acceptance gate printed as the verdict line: at P = 10000 the IVF path
-// must score < 50% of the brute-force pairs while keeping recall@k >= 0.95.
+// A second, steady-state study compares exact-IVF against the int8
+// quantized candidate pass (--quantize) on a long-lived index: build once,
+// then probe + exact re-rank per query. For P in {1k, 10k, 100k} (up to
+// 1M with GP_BENCH_MAX_PROMPTS=1000000) it reports QPS, recall@k against
+// brute force, and candidate-pass bytes per prompt.
 //
-//   ./bench_index_scaling [--queries=N] [--seed=N] [--outdir=DIR]
-// Writes <outdir>/index_scaling.csv and <outdir>/BENCH_index_scaling.json.
+// Acceptance gates printed as verdict lines:
+//   * at P = 10000 the IVF path must score < 50% of the brute-force pairs
+//     while keeping recall@k >= 0.95;
+//   * at P = 100000 quantized-IVF must reach >= 2x the QPS of exact-IVF
+//     at recall@k >= 0.95 and <= 0.3x the candidate bytes per prompt.
+//
+//   ./bench_index_scaling [--queries=N] [--seed=N] [--outdir=DIR] [--simd=L]
+// Writes <outdir>/index_scaling.csv, <outdir>/index_scaling_quantized.csv,
+// and <outdir>/BENCH_index_scaling.json.
 
 #include "bench_common.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <set>
 #include <vector>
 
@@ -41,6 +52,68 @@ Tensor MixtureEmbeddings(int rows, int dim, int clusters, uint64_t seed) {
 
 int64_t CounterValue(const char* name) {
   return Telemetry().GetCounter(name)->Value();
+}
+
+// Exact top-k (score desc, id asc) over a candidate subset: the caller's
+// re-rank step, and (over all ids) the brute-force recall reference.
+std::vector<int64_t> ExactTopK(const Tensor& prompts, const float* query,
+                               const std::vector<int64_t>& candidates, int k,
+                               DistanceMetric metric) {
+  const int dim = prompts.cols();
+  std::vector<std::pair<float, int64_t>> scored;
+  scored.reserve(candidates.size());
+  for (const int64_t id : candidates) {
+    const float* row = prompts.data().data() + static_cast<size_t>(id) * dim;
+    scored.emplace_back(SimilarityRaw(query, row, dim, metric), id);
+  }
+  const int kk = std::min<int>(k, static_cast<int>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int64_t> out;
+  out.reserve(kk);
+  for (int i = 0; i < kk; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+struct SteadyStateResult {
+  double build_ms = 0.0;
+  double qps = 0.0;
+  double recall = 0.0;
+  size_t bytes_per_prompt = 0;
+};
+
+// Long-lived-index regime: build once, then per query probe + exact
+// re-rank of the returned candidates. `want` is the brute-force top-k per
+// query for the recall measurement (scored outside the timed loop).
+SteadyStateResult SteadyState(const PromptIndexOptions& options,
+                              DistanceMetric metric, const Tensor& prompts,
+                              const Tensor& queries, int k,
+                              const std::vector<std::vector<int64_t>>& want) {
+  SteadyStateResult result;
+  const int dim = prompts.cols();
+  PromptIndex index(options, metric);
+  Stopwatch build_timer;
+  index.Build(prompts);
+  result.build_ms = build_timer.ElapsedSeconds() * 1e3;
+  result.bytes_per_prompt = index.CandidateBytesPerVector();
+
+  int hit = 0, total = 0;
+  Stopwatch timer;
+  for (int q = 0; q < queries.rows(); ++q) {
+    const float* qrow = queries.data().data() + static_cast<size_t>(q) * dim;
+    const std::vector<int64_t> cands = index.Probe(qrow, dim, k);
+    const std::vector<int64_t> got = ExactTopK(prompts, qrow, cands, k, metric);
+    const std::set<int64_t> got_set(got.begin(), got.end());
+    for (const int64_t id : want[q]) hit += static_cast<int>(got_set.count(id));
+    total += static_cast<int>(want[q].size());
+  }
+  const double seconds = timer.ElapsedSeconds();
+  result.qps = seconds > 0.0 ? queries.rows() / seconds : 0.0;
+  result.recall = total > 0 ? static_cast<double>(hit) / total : 1.0;
+  return result;
 }
 
 }  // namespace
@@ -185,6 +258,109 @@ void Run(const Env& env, BenchReporter* report) {
       "\nverdict (P=10000): %s — IVF must score < 50%% of brute-force "
       "pairs at recall@k >= 0.95\n",
       verdict_pass ? "PASS" : "FAIL");
+
+  // ---- steady-state: exact-IVF vs int8-quantized candidate pass ----------
+  std::printf("\n=== steady state: exact-IVF vs quantized-IVF ===\n");
+  const int k = shots;
+  int64_t max_prompts = 100000;
+  if (const char* env_max = std::getenv("GP_BENCH_MAX_PROMPTS")) {
+    max_prompts = std::max<int64_t>(1000, std::atoll(env_max));
+  }
+  std::vector<int> steady_sizes;
+  for (int64_t p = 1000; p <= max_prompts; p *= 10) {
+    steady_sizes.push_back(static_cast<int>(p));
+  }
+
+  TablePrinter qtable({"prompts", "build ms (e/q)", "qps exact", "qps quant",
+                       "qps ratio", "recall exact", "recall quant",
+                       "bytes/prompt (e/q)", "bytes ratio"});
+  SeriesWriter qseries("prompts",
+                       {"qps_exact_ivf", "qps_quantized", "qps_ratio",
+                        "recall_exact_ivf", "recall_quantized", "bytes_ratio"});
+  bool quantized_verdict_pass = false;
+  bool quantized_verdict_seen = false;
+  for (const int num_prompts : steady_sizes) {
+    Tensor prompts =
+        MixtureEmbeddings(num_prompts, dim, clusters, env.seed + 11);
+    Tensor queries =
+        MixtureEmbeddings(num_queries, dim, clusters, env.seed + 12);
+    const DistanceMetric metric = DistanceMetric::kCosine;
+
+    // Brute-force top-k per query: the shared recall reference.
+    std::vector<int64_t> all_ids(num_prompts);
+    for (int i = 0; i < num_prompts; ++i) all_ids[i] = i;
+    std::vector<std::vector<int64_t>> want(num_queries);
+    for (int q = 0; q < num_queries; ++q) {
+      const float* qrow =
+          queries.data().data() + static_cast<size_t>(q) * dim;
+      want[q] = ExactTopK(prompts, qrow, all_ids, k, metric);
+    }
+
+    PromptIndexOptions exact_ivf;
+    exact_ivf.mode = IndexMode::kIvf;
+    exact_ivf.min_points = 1;
+    PromptIndexOptions quant_ivf = exact_ivf;
+    quant_ivf.quantize = true;
+
+    const SteadyStateResult e =
+        SteadyState(exact_ivf, metric, prompts, queries, k, want);
+    const SteadyStateResult z =
+        SteadyState(quant_ivf, metric, prompts, queries, k, want);
+    const double qps_ratio = e.qps > 0.0 ? z.qps / e.qps : 0.0;
+    const double bytes_ratio =
+        e.bytes_per_prompt > 0
+            ? static_cast<double>(z.bytes_per_prompt) / e.bytes_per_prompt
+            : 0.0;
+
+    qtable.AddRow(
+        {std::to_string(num_prompts),
+         TablePrinter::Num(e.build_ms, 1) + "/" +
+             TablePrinter::Num(z.build_ms, 1),
+         TablePrinter::Num(e.qps, 0), TablePrinter::Num(z.qps, 0),
+         TablePrinter::Num(qps_ratio, 2), TablePrinter::Num(e.recall, 3),
+         TablePrinter::Num(z.recall, 3),
+         std::to_string(e.bytes_per_prompt) + "/" +
+             std::to_string(z.bytes_per_prompt),
+         TablePrinter::Num(bytes_ratio, 3)});
+    qseries.AddPoint(num_prompts, {e.qps, z.qps, qps_ratio, e.recall,
+                                   z.recall, bytes_ratio});
+    const std::string label = "P=" + std::to_string(num_prompts);
+    report->AddMetric(label + "/qps_exact_ivf", e.qps, "qps");
+    report->AddMetric(label + "/qps_quantized", z.qps, "qps");
+    report->AddMetric(label + "/qps_ratio", qps_ratio, "ratio");
+    report->AddMetric(label + "/recall_exact_ivf", e.recall, "ratio");
+    report->AddMetric(label + "/recall_quantized", z.recall, "ratio");
+    report->AddMetric(label + "/bytes_per_prompt_exact",
+                      static_cast<double>(e.bytes_per_prompt), "bytes");
+    report->AddMetric(label + "/bytes_per_prompt_quantized",
+                      static_cast<double>(z.bytes_per_prompt), "bytes");
+    report->AddMetric(label + "/bytes_ratio", bytes_ratio, "ratio");
+    std::printf("  P=%-7d qps %.0f -> %.0f (%.2fx)  recall %.3f -> %.3f  "
+                "bytes/prompt %zu -> %zu (%.3fx)\n",
+                num_prompts, e.qps, z.qps, qps_ratio, e.recall, z.recall,
+                e.bytes_per_prompt, z.bytes_per_prompt, bytes_ratio);
+    if (num_prompts == 100000) {
+      quantized_verdict_seen = true;
+      quantized_verdict_pass =
+          qps_ratio >= 2.0 && z.recall >= 0.95 && bytes_ratio <= 0.3;
+      report->AddMetric("quantized_verdict_pass",
+                        quantized_verdict_pass ? 1.0 : 0.0, "bool");
+    }
+  }
+
+  std::printf("\nMeasured (steady state, this reproduction):\n");
+  qtable.Print();
+  WriteCsvOrWarn(qseries, env.outdir + "/index_scaling_quantized.csv");
+  if (quantized_verdict_seen) {
+    std::printf(
+        "\nverdict (P=100000): %s — quantized-IVF must reach >= 2x exact-IVF "
+        "QPS at recall@k >= 0.95 and <= 0.3x candidate bytes per prompt\n",
+        quantized_verdict_pass ? "PASS" : "FAIL");
+  } else {
+    std::printf(
+        "\nverdict (P=100000): SKIPPED — raise GP_BENCH_MAX_PROMPTS to "
+        ">= 100000 to evaluate the quantized gate\n");
+  }
 }
 
 }  // namespace gp::bench

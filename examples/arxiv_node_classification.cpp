@@ -9,12 +9,14 @@
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
 #include "core/prompt_index.h"
+#include "util/cpuid.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   gp::Flags flags(argc, argv);
   gp::ConfigureIndexFromFlags(flags);
+  gp::ConfigureSimdFromFlags(flags);
   const uint64_t seed = flags.GetInt("seed", 7);
 
   gp::DatasetBundle mag = gp::MakeMagSim(0.7, seed);

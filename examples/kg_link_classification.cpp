@@ -9,12 +9,14 @@
 #include "core/graph_prompter.h"
 #include "core/pretrain.h"
 #include "core/prompt_index.h"
+#include "util/cpuid.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   gp::Flags flags(argc, argv);
   gp::ConfigureIndexFromFlags(flags);
+  gp::ConfigureSimdFromFlags(flags);
   const uint64_t seed = flags.GetInt("seed", 17);
 
   gp::DatasetBundle wiki = gp::MakeWikiSim(0.6, seed);

@@ -21,12 +21,14 @@
 #include "nn/serialize.h"
 #include "obs/export.h"
 #include "util/fault.h"
+#include "util/cpuid.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
   gp::Flags flags(argc, argv);
   gp::ConfigureIndexFromFlags(flags);
+  gp::ConfigureSimdFromFlags(flags);
   const uint64_t seed = flags.GetInt("seed", 23);
   const int ways = static_cast<int>(flags.GetInt("ways", 20));
   CHECK_OK(gp::ConfigureGlobalFaultInjection(flags.GetString("fault", "")));

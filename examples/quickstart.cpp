@@ -12,11 +12,13 @@
 #include "core/pretrain.h"
 #include "core/prompt_index.h"
 #include "obs/export.h"
+#include "util/cpuid.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
   gp::Flags flags(argc, argv);
   gp::ConfigureIndexFromFlags(flags);
+  gp::ConfigureSimdFromFlags(flags);
   const uint64_t seed = flags.GetInt("seed", 1);
   gp::ConfigureObservability(flags.GetString("telemetry", ""),
                              flags.GetString("trace", ""));

@@ -20,10 +20,13 @@ run() {
   "$@"
 }
 
-echo "=== tier-1: default build + full test suite ==="
+echo "=== tier-1: default build + full test suite (scalar + simd) ==="
 run cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 run cmake --build build -j "$JOBS"
-run ctest --test-dir build --output-on-failure
+# Twice: GP_SIMD=off pins the bitwise scalar reference, GP_SIMD=auto runs
+# the dispatched AVX2 kernels (a no-op second run on CPUs without AVX2).
+run env GP_SIMD=off ctest --test-dir build --output-on-failure
+run env GP_SIMD=auto ctest --test-dir build --output-on-failure
 
 echo "=== observability: labeled tests + telemetry smoke ==="
 run ctest --test-dir build -L observability --output-on-failure
@@ -43,10 +46,17 @@ run ctest --test-dir build -L perf --output-on-failure
 echo "=== index: IVF property tests + golden regressions ==="
 run ctest --test-dir build -L index --output-on-failure
 
+echo "=== index: quantized-candidate recall gate ==="
+# Quickstart-scale index, quantized mode, default (auto) nprobe; fails
+# below 0.95 recall@10 against brute force.
+run ./build/tools/check_recall --threshold=0.95
+
 echo "=== fuzz: malformed-input parser tests ==="
 run ctest --test-dir build -L fuzz --output-on-failure
 
-label_args=(-L 'robustness|fuzz')
+# `index` rides along so the sanitizers cover the quantized candidate
+# pass (uint8 code arithmetic, sidecar insert/erase bookkeeping).
+label_args=(-L 'robustness|fuzz|index')
 if [[ "${CHECK_ALL:-0}" == "1" ]]; then
   label_args=()
 fi

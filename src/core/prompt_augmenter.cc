@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "core/distance.h"
 #include "obs/telemetry.h"
 #include "tensor/ops.h"
 #include "util/logging.h"
@@ -15,37 +16,21 @@ namespace gp {
 namespace {
 
 // Raw-pointer similarity between a query row and a cache entry, with the
-// query's cosine norm hoisted out of the per-entry loop. Accumulation
-// order matches the fused CosineSimilarity/... kernels exactly.
+// query's cosine norm hoisted out of the per-entry loop. Delegates to the
+// shared core/distance.h kernels (SIMD-dispatched) so the cache scan and
+// the retrieval pipeline share one accumulation order and one degenerate-
+// norm rule (CosineFromParts' relative guard).
 float EntrySimilarity(const float* qe, double query_norm,
                       const std::vector<float>& entry, DistanceMetric metric) {
   const int n = static_cast<int>(entry.size());
   switch (metric) {
-    case DistanceMetric::kCosine: {
-      double dot = 0.0, nb = 0.0;
-      for (int i = 0; i < n; ++i) {
-        dot += static_cast<double>(qe[i]) * entry[i];
-        nb += static_cast<double>(entry[i]) * entry[i];
-      }
-      const double denom = query_norm * std::sqrt(nb);
-      if (denom < 1e-12) return 0.0f;
-      return static_cast<float>(dot / denom);
-    }
-    case DistanceMetric::kEuclidean: {
-      double total = 0.0;
-      for (int i = 0; i < n; ++i) {
-        const double d = static_cast<double>(qe[i]) - entry[i];
-        total += d * d;
-      }
-      return -static_cast<float>(std::sqrt(total));
-    }
-    case DistanceMetric::kManhattan: {
-      double total = 0.0;
-      for (int i = 0; i < n; ++i) {
-        total += std::abs(static_cast<double>(qe[i]) - entry[i]);
-      }
-      return -static_cast<float>(total);
-    }
+    case DistanceMetric::kCosine:
+      return CosineFromParts(DotRaw(qe, entry.data(), n), query_norm,
+                             std::sqrt(SquaredNormRaw(entry.data(), n)));
+    case DistanceMetric::kEuclidean:
+      return NegEuclideanRaw(qe, entry.data(), n);
+    case DistanceMetric::kManhattan:
+      return NegManhattanRaw(qe, entry.data(), n);
   }
   return 0.0f;
 }
@@ -138,11 +123,7 @@ void PromptAugmenter::ObserveQueries(const Tensor& query_embeddings,
       sims.resize(pool_size);
       double query_norm = 0.0;
       if (config_.metric == DistanceMetric::kCosine) {
-        double nq = 0.0;
-        for (int i = 0; i < dim; ++i) {
-          nq += static_cast<double>(qe[i]) * qe[i];
-        }
-        query_norm = std::sqrt(nq);
+        query_norm = std::sqrt(SquaredNormRaw(qe, dim));
       }
       const int64_t grain =
           std::max<int64_t>(1, (int64_t{1} << 14) / std::max(dim, 1));

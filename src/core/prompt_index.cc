@@ -50,6 +50,9 @@ Status ValidateIndexOptions(const PromptIndexOptions& options) {
   if (options.recall_sample < 0) {
     return InvalidArgumentError("index: recall_sample must be >= 0");
   }
+  if (options.rerank < 1) {
+    return InvalidArgumentError("index: rerank must be >= 1");
+  }
   return Status::Ok();
 }
 
@@ -80,6 +83,9 @@ PromptIndexOptions OptionsFromEnv() {
   options.min_points = EnvInt("GP_INDEX_MIN_POINTS", options.min_points);
   options.recall_sample =
       EnvInt("GP_INDEX_RECALL_SAMPLE", options.recall_sample);
+  options.quantize =
+      EnvInt("GP_INDEX_QUANTIZE", options.quantize ? 1 : 0) != 0;
+  options.rerank = EnvInt("GP_INDEX_RERANK", options.rerank);
   return options;
 }
 
@@ -125,6 +131,12 @@ PromptIndexOptions ConfigureIndexFromFlags(const Flags& flags) {
   if (flags.Has("index-recall-sample")) {
     options.recall_sample = static_cast<int>(
         flags.GetInt("index-recall-sample", options.recall_sample));
+  }
+  if (flags.Has("quantize")) {
+    options.quantize = flags.GetBool("quantize", options.quantize);
+  }
+  if (flags.Has("rerank")) {
+    options.rerank = static_cast<int>(flags.GetInt("rerank", options.rerank));
   }
   CHECK_OK(ValidateIndexOptions(options));
   SetGlobalIndexOptions(options);
@@ -253,12 +265,8 @@ void PromptIndex::BuildShards(const Tensor& rows,
       int best = 0;
       double best_dist = std::numeric_limits<double>::infinity();
       for (int c = 0; c < nlist; ++c) {
-        const float* centroid = cdata + static_cast<size_t>(c) * dim;
-        double dist = 0.0;
-        for (int j = 0; j < dim; ++j) {
-          const double d = static_cast<double>(v[j]) - centroid[j];
-          dist += d * d;
-        }
+        const double dist = SquaredEuclideanRaw(
+            v, cdata + static_cast<size_t>(c) * dim, dim);
         if (dist < best_dist) {
           best_dist = dist;
           best = c;
@@ -268,10 +276,32 @@ void PromptIndex::BuildShards(const Tensor& rows,
     }
   });
 
+  // Quantized candidate pass: (re)fit the per-dimension affine range over
+  // the RAW vectors (cosine's normalised `space` is for clustering only —
+  // the candidate pass scores against the raw geometry, like the exact
+  // kernels) and encode every member alongside its shard, together with
+  // its exact float norm for the approximate-cosine denominator.
+  quantizer_ = QuantizerParams();
+  shard_codes_.assign(nlist, {});
+  shard_norms_.assign(nlist, {});
+  const float* raw = rows.data().data();
+  if (options_.quantize) {
+    quantizer_ = FitQuantizer(raw, points, dim);
+  }
+
   shards_.assign(nlist, {});
   for (int i = 0; i < points; ++i) {
-    shards_[shard_of[i]].push_back(ids[i]);
-    assignment_[ids[i]] = shard_of[i];
+    const int shard = shard_of[i];
+    shards_[shard].push_back(ids[i]);
+    assignment_[ids[i]] = shard;
+    if (options_.quantize) {
+      const float* row = raw + static_cast<size_t>(i) * dim;
+      std::vector<uint8_t>& codes = shard_codes_[shard];
+      codes.resize(codes.size() + dim);
+      QuantizeRow(quantizer_, row, codes.data() + codes.size() - dim);
+      shard_norms_[shard].push_back(
+          static_cast<float>(std::sqrt(SquaredNormRaw(row, dim))));
+    }
   }
   // `ids` arrive ascending (static: 0..P-1; rebuild: sorted), so every
   // shard's member list is ascending — a probe's candidate union can be
@@ -284,6 +314,21 @@ void PromptIndex::BuildShards(const Tensor& rows,
   builds->Add(1);
   Telemetry().GetGauge("index/nlist")->Set(nlist);
   Telemetry().GetGauge("index/nprobe")->Set(nprobe_);
+  if (options_.quantize) {
+    static Counter* qbuilds = Telemetry().GetCounter("index/quantized_builds");
+    qbuilds->Add(1);
+    Telemetry()
+        .GetGauge("index/quantized_bytes_per_vector")
+        ->Set(static_cast<int64_t>(CandidateBytesPerVector()));
+  }
+}
+
+size_t PromptIndex::CandidateBytesPerVector() const {
+  // id + (codes + stored norm | full float row).
+  if (quantized()) {
+    return sizeof(int64_t) + static_cast<size_t>(dim_) + sizeof(float);
+  }
+  return sizeof(int64_t) + static_cast<size_t>(dim_) * sizeof(float);
 }
 
 int PromptIndex::NearestShard(const float* vec, int dim) const {
@@ -304,12 +349,8 @@ int PromptIndex::NearestShard(const float* vec, int dim) const {
   int best = 0;
   double best_dist = std::numeric_limits<double>::infinity();
   for (int c = 0; c < nlist; ++c) {
-    const float* centroid = cdata + static_cast<size_t>(c) * dim;
-    double dist = 0.0;
-    for (int j = 0; j < dim; ++j) {
-      const double d = static_cast<double>(v[j]) - centroid[j];
-      dist += d * d;
-    }
+    const double dist =
+        SquaredEuclideanRaw(v, cdata + static_cast<size_t>(c) * dim, dim);
     if (dist < best_dist) {
       best_dist = dist;
       best = c;
@@ -328,7 +369,21 @@ void PromptIndex::Insert(int64_t id, const float* vec, int dim) {
     const int shard = NearestShard(vec, dim);
     assignment_[id] = shard;
     auto& members = shards_[shard];
-    members.insert(std::upper_bound(members.begin(), members.end(), id), id);
+    const auto pos = std::upper_bound(members.begin(), members.end(), id);
+    const size_t offset = static_cast<size_t>(pos - members.begin());
+    members.insert(pos, id);
+    if (quantizer_.defined()) {
+      // Encode with the range fitted at the last rebuild (saturating —
+      // the next rebuild requantizes); keep the sidecar position-aligned
+      // with the member list.
+      std::vector<uint8_t> code(dim);
+      QuantizeRow(quantizer_, vec, code.data());
+      std::vector<uint8_t>& codes = shard_codes_[shard];
+      codes.insert(codes.begin() + offset * dim, code.begin(), code.end());
+      std::vector<float>& norms = shard_norms_[shard];
+      norms.insert(norms.begin() + offset,
+                   static_cast<float>(std::sqrt(SquaredNormRaw(vec, dim))));
+    }
   } else {
     assignment_[id] = -1;
     flat_ids_.insert(
@@ -351,7 +406,17 @@ bool PromptIndex::EraseNoRebuild(int64_t id) {
   if (shard >= 0) {
     auto& members = shards_[shard];
     const auto pos = std::lower_bound(members.begin(), members.end(), id);
-    if (pos != members.end() && *pos == id) members.erase(pos);
+    if (pos != members.end() && *pos == id) {
+      const size_t offset = static_cast<size_t>(pos - members.begin());
+      members.erase(pos);
+      if (quantizer_.defined()) {
+        std::vector<uint8_t>& codes = shard_codes_[shard];
+        codes.erase(codes.begin() + offset * dim_,
+                    codes.begin() + (offset + 1) * dim_);
+        std::vector<float>& norms = shard_norms_[shard];
+        norms.erase(norms.begin() + offset);
+      }
+    }
   } else {
     const auto pos =
         std::lower_bound(flat_ids_.begin(), flat_ids_.end(), id);
@@ -380,6 +445,9 @@ void PromptIndex::Clear() {
   assignment_.clear();
   flat_ids_.clear();
   vectors_.clear();
+  quantizer_ = QuantizerParams();
+  shard_codes_.clear();
+  shard_norms_.clear();
 }
 
 void PromptIndex::MaybeRebuildFromStored() {
@@ -397,6 +465,9 @@ void PromptIndex::MaybeRebuildFromStored() {
     built_size_ = 0;
     centroids_ = Tensor();
     shards_.clear();
+    quantizer_ = QuantizerParams();
+    shard_codes_.clear();
+    shard_norms_.clear();
     flat_ids_.clear();
     flat_ids_.reserve(points);
     for (auto& [id, shard] : assignment_) {
@@ -449,6 +520,61 @@ std::vector<int64_t> PromptIndex::Probe(const float* query, int dim,
               if (a.first != b.first) return a.first > b.first;
               return a.second < b.second;
             });
+
+  if (quantized()) {
+    // Int8 candidate pass: rank the probed shards' members by quantized
+    // similarity and keep only the best `rerank * min_candidates` for the
+    // caller's exact re-rank. Deterministic: (score desc, id asc).
+    QuantizedQueryScratch scratch;
+    scratch.Prepare(quantizer_, query, metric_);
+    std::vector<std::pair<float, int64_t>> scored;
+    int probed = 0;
+    for (const auto& [sim, c] : ranked) {
+      if (probed >= nprobe_ &&
+          static_cast<int>(scored.size()) >= min_candidates) {
+        break;
+      }
+      const std::vector<int64_t>& members = shards_[c];
+      const uint8_t* codes = shard_codes_[c].data();
+      const float* norms = shard_norms_[c].data();
+      for (size_t m = 0; m < members.size(); ++m) {
+        float score = scratch.Score(codes + m * static_cast<size_t>(dim_),
+                                    norms[m]);
+        // A non-finite quantized score (NaN-poisoned stored row) must rank
+        // last deterministically, like the centroid ranking above.
+        if (!std::isfinite(score)) {
+          score = -std::numeric_limits<float>::infinity();
+        }
+        scored.emplace_back(score, members[m]);
+      }
+      ++probed;
+    }
+    const int keep = options_.rerank * std::max(1, min_candidates);
+    st->shards_probed = probed;
+    st->quantized_scored = static_cast<int>(scored.size());
+    if (static_cast<int>(scored.size()) > keep) {
+      std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                        [](const std::pair<float, int64_t>& a,
+                           const std::pair<float, int64_t>& b) {
+                          if (a.first != b.first) return a.first > b.first;
+                          return a.second < b.second;
+                        });
+      scored.resize(keep);
+    }
+    st->quantized_kept = static_cast<int>(scored.size());
+    std::vector<int64_t> out;
+    out.reserve(scored.size());
+    for (const auto& [score, id] : scored) out.push_back(id);
+    std::sort(out.begin(), out.end());
+    // Even a full probe prunes when quantization dropped candidates; the
+    // probe is only "exact" if nothing was cut.
+    st->exact = static_cast<int>(out.size()) == size();
+    static Counter* qpairs = Telemetry().GetCounter("index/quantized_pairs");
+    static Counter* qkept = Telemetry().GetCounter("index/quantized_kept");
+    qpairs->Add(st->quantized_scored);
+    qkept->Add(st->quantized_kept);
+    return out;
+  }
 
   std::vector<int64_t> out;
   int probed = 0;

@@ -16,10 +16,23 @@
 // requested shards, fewer than 2 * nlist points, auto mode below
 // `min_points`, or an explicit --index=exact.
 //
+// Quantized candidate pass (options.quantize): each IVF shard additionally
+// stores int8 per-dimension min/max affine codes of its members
+// (core/quantizer.h; requantized on every shard rebuild) plus each
+// member's exact float norm. A probe then ranks the probed shards'
+// members by the quantized approximate similarity and returns only the
+// top `rerank * min_candidates` — the caller's exact float scoring of the
+// survivors IS the exact re-rank, so every returned score is still
+// computed by the exact kernels; quantization is one more candidate-
+// generation filter under the same contract. The trade: with quantize on,
+// even a full probe (nprobe == nlist) prunes, so the full-probe bitwise
+// guarantee applies only to quantize == false (the default).
+//
 // Configuration resolution: SetGlobalIndexOptions() (typically via
 // ConfigureIndexFromFlags: --index / --nlist / --nprobe /
-// --index-min-points / --index-recall-sample) > GP_INDEX, GP_INDEX_NLIST,
-// GP_INDEX_NPROBE, GP_INDEX_MIN_POINTS, GP_INDEX_RECALL_SAMPLE env >
+// --index-min-points / --index-recall-sample / --quantize / --rerank) >
+// GP_INDEX, GP_INDEX_NLIST, GP_INDEX_NPROBE, GP_INDEX_MIN_POINTS,
+// GP_INDEX_RECALL_SAMPLE, GP_INDEX_QUANTIZE, GP_INDEX_RERANK env >
 // built-in defaults.
 
 #ifndef GRAPHPROMPTER_CORE_PROMPT_INDEX_H_
@@ -31,6 +44,7 @@
 #include <vector>
 
 #include "core/distance.h"
+#include "core/quantizer.h"
 #include "tensor/tensor.h"
 #include "util/status.h"
 
@@ -60,6 +74,14 @@ struct PromptIndexOptions {
   // index/recall_total counters (write-only telemetry; predictions are
   // unaffected). 0 = off.
   int recall_sample = 0;
+  // Int8 candidate pass: rank probed-shard members by quantized
+  // similarity and return only the best rerank * min_candidates for exact
+  // re-ranking by the caller. Off by default — exactness stays opt-out
+  // only, like IVF itself.
+  bool quantize = false;
+  // Quantized-pass survivors per requested candidate (>= 1). Higher =
+  // better recall, more exact re-rank work.
+  int rerank = 8;
   uint64_t seed = 0x5eedULL;  // k-means shard seeding (deterministic)
 };
 
@@ -103,13 +125,25 @@ class PromptIndex {
   // container that evicts without reporting the victim).
   std::vector<int64_t> Ids() const;
   bool ivf() const { return ivf_; }
+  // True when the int8 candidate pass is active (IVF built with
+  // options.quantize and the codes exist).
+  bool quantized() const { return ivf_ && quantizer_.defined(); }
   // Resolved shard parameters; 0 until an IVF build happened.
   int nlist() const { return ivf_ ? centroids_.rows() : 0; }
   int nprobe() const { return nprobe_; }
 
+  // Bytes the candidate pass reads/stores per indexed vector: codes + the
+  // stored float norm + the id when quantized, the full float row + id
+  // otherwise. The bench's bytes-per-prompt metric.
+  size_t CandidateBytesPerVector() const;
+
   struct ProbeStats {
     int shards_probed = 0;
     bool exact = false;  // the probe returned the full id set
+    // Quantized candidate pass accounting (0 when quantize is off or the
+    // probe returned every collected candidate unpruned).
+    int quantized_scored = 0;
+    int quantized_kept = 0;
   };
 
   // Candidate ids for `query`, ascending. Exact mode returns every id.
@@ -147,6 +181,13 @@ class PromptIndex {
   std::vector<int64_t> flat_ids_;  // ascending; exact mode's id list
   // Dynamic-mode vector storage (empty after a static Build).
   std::unordered_map<int64_t, std::vector<float>> vectors_;
+  // Int8 candidate-pass sidecar, parallel to shards_: per-member codes
+  // (member i occupies bytes [i*dim, (i+1)*dim)) and exact float norms.
+  // Fitted in BuildShards (so every rebuild requantizes); dynamic inserts
+  // quantize against the fitted range, saturating until the next rebuild.
+  QuantizerParams quantizer_;
+  std::vector<std::vector<uint8_t>> shard_codes_;
+  std::vector<std::vector<float>> shard_norms_;
 };
 
 }  // namespace gp

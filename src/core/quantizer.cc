@@ -1,0 +1,104 @@
+#include "core/quantizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+
+namespace gp {
+
+QuantizerParams FitQuantizer(const float* data, int rows, int dim) {
+  QuantizerParams params;
+  params.dim = dim;
+  params.min.assign(dim, 0.0f);
+  params.step.assign(dim, 0.0f);
+  if (rows == 0 || dim == 0) return params;
+
+  std::vector<float> lo(dim, std::numeric_limits<float>::infinity());
+  std::vector<float> hi(dim, -std::numeric_limits<float>::infinity());
+  for (int r = 0; r < rows; ++r) {
+    const float* row = data + static_cast<size_t>(r) * dim;
+    for (int j = 0; j < dim; ++j) {
+      const float v = row[j];
+      if (!std::isfinite(v)) continue;
+      lo[j] = std::min(lo[j], v);
+      hi[j] = std::max(hi[j], v);
+    }
+  }
+  for (int j = 0; j < dim; ++j) {
+    if (!(lo[j] <= hi[j])) continue;  // no finite value seen: constant 0
+    params.min[j] = lo[j];
+    params.step[j] = (hi[j] - lo[j]) / 255.0f;
+  }
+  return params;
+}
+
+void QuantizeRow(const QuantizerParams& params, const float* row,
+                 uint8_t* code) {
+  const int dim = params.dim;
+  for (int j = 0; j < dim; ++j) {
+    const float step = params.step[j];
+    if (step <= 0.0f || !std::isfinite(row[j])) {
+      // Constant dimension (dequantizes to min) or a non-finite value the
+      // fit ignored: pin to the low code.
+      code[j] = 0;
+      continue;
+    }
+    const float scaled = (row[j] - params.min[j]) / step;
+    code[j] = static_cast<uint8_t>(
+        std::clamp(std::lround(scaled), 0L, 255L));
+  }
+}
+
+void DequantizeRow(const QuantizerParams& params, const uint8_t* code,
+                   float* out) {
+  for (int j = 0; j < params.dim; ++j) {
+    out[j] = params.min[j] + params.step[j] * static_cast<float>(code[j]);
+  }
+}
+
+void QuantizedQueryScratch::Prepare(const QuantizerParams& params,
+                                    const float* query, DistanceMetric m) {
+  CHECK(params.defined());
+  metric = m;
+  dim = params.dim;
+  scaled.resize(dim);
+  switch (m) {
+    case DistanceMetric::kCosine: {
+      double b = 0.0;
+      for (int j = 0; j < dim; ++j) {
+        b += static_cast<double>(query[j]) * params.min[j];
+        scaled[j] = query[j] * params.step[j];
+      }
+      bias = static_cast<float>(b);
+      query_norm = std::sqrt(SquaredNormRaw(query, dim));
+      step = nullptr;
+      break;
+    }
+    case DistanceMetric::kEuclidean:
+    case DistanceMetric::kManhattan: {
+      for (int j = 0; j < dim; ++j) scaled[j] = query[j] - params.min[j];
+      bias = 0.0f;
+      query_norm = 0.0;
+      step = params.step.data();
+      break;
+    }
+  }
+}
+
+float QuantizedQueryScratch::Score(const uint8_t* code, float row_norm) const {
+  switch (metric) {
+    case DistanceMetric::kCosine: {
+      const float dot = bias + QuantizedDotRaw(code, scaled.data(), dim);
+      return CosineFromParts(dot, query_norm, row_norm);
+    }
+    case DistanceMetric::kEuclidean:
+      return QuantizedNegL2Raw(code, scaled.data(), step, dim);
+    case DistanceMetric::kManhattan:
+      return QuantizedNegL1Raw(code, scaled.data(), step, dim);
+  }
+  return 0.0f;
+}
+
+}  // namespace gp

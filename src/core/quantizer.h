@@ -1,0 +1,131 @@
+// Int8 scalar quantization for the IVF candidate pass (DESIGN.md §8).
+//
+// Per-dimension min/max affine quantization: dimension j of a row x is
+// stored as the uint8 code c = round((x[j] - min[j]) / step[j]) with
+// step[j] = (max[j] - min[j]) / 255, reconstructing as min[j] + step[j]*c
+// with error <= step[j]/2. The quantized codes are used ONLY to rank
+// candidates inside PromptIndex::Probe before an exact float re-rank —
+// never to produce a returned score — so their float-precision arithmetic
+// is an approximation-contract-safe pruning device, exactly like the IVF
+// shard routing it composes with.
+//
+// Asymmetric scoring (float query x uint8 codes) is algebraic, not
+// dequantize-then-score: for the dot/cosine family,
+//     q . dequant(c) = sum_j q[j]*min[j]  +  sum_j (q[j]*step[j]) * c[j]
+// so QuantizedQueryScratch precomputes the bias term and the scaled query
+// once per query, leaving a pure int8-to-float dot per candidate (SIMD'd
+// in core/distance_avx2.cc). L2/L1 use the residual form
+//     r[j] = q[j] - min[j],   d_j = r[j] - step[j]*c[j].
+
+#ifndef GRAPHPROMPTER_CORE_QUANTIZER_H_
+#define GRAPHPROMPTER_CORE_QUANTIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance.h"
+#include "util/cpuid.h"
+
+namespace gp {
+
+// Per-dimension affine quantization parameters (min/step per dimension).
+struct QuantizerParams {
+  int dim = 0;
+  std::vector<float> min;   // lower bound per dimension
+  std::vector<float> step;  // (max - min) / 255 per dimension; 0 = constant
+
+  bool defined() const { return dim > 0; }
+};
+
+// Fits params over `rows` vectors (row-major, rows x dim): per-dimension
+// min/max over the population. Non-finite values are ignored when fitting
+// (a poisoned row must not stretch every other row's range); a dimension
+// with no finite values quantizes to a constant 0.
+QuantizerParams FitQuantizer(const float* data, int rows, int dim);
+
+// Encodes one row into `code` (dim bytes), clamping to the fitted range —
+// vectors inserted after the fit (dynamic index growth) stay valid, just
+// saturated until the next rebuild requantizes them.
+void QuantizeRow(const QuantizerParams& params, const float* row,
+                 uint8_t* code);
+
+// Reconstructs one row (tests and error-bound checks).
+void DequantizeRow(const QuantizerParams& params, const uint8_t* code,
+                   float* out);
+
+namespace simd {
+float QuantizedDotRawAvx2(const uint8_t* code, const float* qs, int n);
+float QuantizedNegL2RawAvx2(const uint8_t* code, const float* r,
+                            const float* step, int n);
+float QuantizedNegL1RawAvx2(const uint8_t* code, const float* r,
+                            const float* step, int n);
+}  // namespace simd
+
+inline float QuantizedDotRawScalar(const uint8_t* code, const float* qs,
+                                   int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) total += static_cast<float>(code[i]) * qs[i];
+  return total;
+}
+
+inline float QuantizedNegL2RawScalar(const uint8_t* code, const float* r,
+                                     const float* step, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    const float d = r[i] - step[i] * static_cast<float>(code[i]);
+    total += d * d;
+  }
+  return -total;
+}
+
+inline float QuantizedNegL1RawScalar(const uint8_t* code, const float* r,
+                                     const float* step, int n) {
+  float total = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    total += std::abs(r[i] - step[i] * static_cast<float>(code[i]));
+  }
+  return -total;
+}
+
+// sum_j qs[j] * code[j] — the candidate-dependent half of the asymmetric
+// dot product.
+inline float QuantizedDotRaw(const uint8_t* code, const float* qs, int n) {
+  if (Avx2Enabled()) return simd::QuantizedDotRawAvx2(code, qs, n);
+  return QuantizedDotRawScalar(code, qs, n);
+}
+
+// -sum_j (r[j] - step[j]*code[j])^2 — negated squared L2 (monotone with
+// -sqrt, so fine for ranking).
+inline float QuantizedNegL2Raw(const uint8_t* code, const float* r,
+                               const float* step, int n) {
+  if (Avx2Enabled()) return simd::QuantizedNegL2RawAvx2(code, r, step, n);
+  return QuantizedNegL2RawScalar(code, r, step, n);
+}
+
+inline float QuantizedNegL1Raw(const uint8_t* code, const float* r,
+                               const float* step, int n) {
+  if (Avx2Enabled()) return simd::QuantizedNegL1RawAvx2(code, r, step, n);
+  return QuantizedNegL1RawScalar(code, r, step, n);
+}
+
+// Per-query scratch for scoring many candidates: computed once per
+// (query, metric), then Score() is one int8 kernel call per candidate.
+struct QuantizedQueryScratch {
+  DistanceMetric metric = DistanceMetric::kCosine;
+  int dim = 0;
+  float bias = 0.0f;           // sum_j q[j]*min[j]        (cosine)
+  double query_norm = 0.0;     // ||q||                    (cosine)
+  std::vector<float> scaled;   // q[j]*step[j] (cosine) or q[j]-min[j] (L2/L1)
+  const float* step = nullptr; // borrowed from the params  (L2/L1)
+
+  void Prepare(const QuantizerParams& params, const float* query,
+               DistanceMetric m);
+
+  // Approximate similarity (higher = closer) of one quantized candidate;
+  // `row_norm` is the candidate's stored exact float norm (cosine only).
+  float Score(const uint8_t* code, float row_norm) const;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_CORE_QUANTIZER_H_

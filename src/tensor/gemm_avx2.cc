@@ -1,0 +1,104 @@
+// AVX2 blocked-GEMM row kernel (declared in tensor/ops.h, dispatched from
+// tensor/ops.cc when Avx2Enabled()).
+//
+// Bitwise-identity contract: this mirrors GemmRows in ops.cc exactly —
+// same k-blocking, same ascending-k accumulation per output element. The
+// only change is that the innermost panel update
+//     panel[j] += av * brow[j]
+// runs 8 j-lanes at a time. That axis is elementwise (each panel[j] is an
+// independent accumulator), and the update is an explicit mul THEN add —
+// compiled without FMA (target("avx2") only), so the intermediate product
+// is rounded to float exactly like the scalar expression. Every output
+// element therefore sees the identical sequence of IEEE operations and the
+// result matches the scalar micro-kernel (and the naive i-k-j loop) bit
+// for bit. DESIGN.md §9/§10.
+
+#include <algorithm>
+#include <cstdint>
+
+#include "tensor/ops.h"
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define GP_HAVE_AVX2_TARGET 1
+#include <immintrin.h>
+#else
+#define GP_HAVE_AVX2_TARGET 0
+#endif
+
+namespace gp {
+namespace internal {
+
+namespace {
+// Must match ops.cc's blocking so the two paths share cache behavior; the
+// bitwise contract holds at any tile size regardless.
+constexpr int kGemmPanel = 128;
+constexpr int kGemmKBlock = 256;
+}  // namespace
+
+#if GP_HAVE_AVX2_TARGET
+
+__attribute__((target("avx2")))
+void GemmRowsAvx2(const float* a, const float* b, float* out,
+                  int64_t row_begin, int64_t row_end, int inner, int cols,
+                  bool skip_zeros) {
+  alignas(32) float panel[kGemmPanel];
+  for (int kk = 0; kk < inner; kk += kGemmKBlock) {
+    const int kend = std::min(inner, kk + kGemmKBlock);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + static_cast<size_t>(i) * inner;
+      float* orow = out + static_cast<size_t>(i) * cols;
+      for (int jj = 0; jj < cols; jj += kGemmPanel) {
+        const int width = std::min<int>(kGemmPanel, cols - jj);
+        std::copy_n(orow + jj, width, panel);
+        for (int k = kk; k < kend; ++k) {
+          const float av = arow[k];
+          if (skip_zeros && av == 0.0f) continue;
+          const float* brow = b + static_cast<size_t>(k) * cols + jj;
+          const __m256 vav = _mm256_set1_ps(av);
+          int j = 0;
+          for (; j + 8 <= width; j += 8) {
+            const __m256 prod = _mm256_mul_ps(vav, _mm256_loadu_ps(brow + j));
+            _mm256_store_ps(panel + j,
+                            _mm256_add_ps(_mm256_load_ps(panel + j), prod));
+          }
+          for (; j < width; ++j) panel[j] += av * brow[j];
+        }
+        std::copy_n(panel, width, orow + jj);
+      }
+    }
+  }
+}
+
+#else  // !GP_HAVE_AVX2_TARGET
+
+// Unreachable on non-x86 (Avx2Enabled() is always false there), but the
+// symbol must exist: plain scalar mirror of GemmRows.
+void GemmRowsAvx2(const float* a, const float* b, float* out,
+                  int64_t row_begin, int64_t row_end, int inner, int cols,
+                  bool skip_zeros) {
+  float panel[kGemmPanel];
+  for (int kk = 0; kk < inner; kk += kGemmKBlock) {
+    const int kend = std::min(inner, kk + kGemmKBlock);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a + static_cast<size_t>(i) * inner;
+      float* orow = out + static_cast<size_t>(i) * cols;
+      for (int jj = 0; jj < cols; jj += kGemmPanel) {
+        const int width = std::min<int>(kGemmPanel, cols - jj);
+        std::copy_n(orow + jj, width, panel);
+        for (int k = kk; k < kend; ++k) {
+          const float av = arow[k];
+          if (skip_zeros && av == 0.0f) continue;
+          const float* brow = b + static_cast<size_t>(k) * cols + jj;
+          for (int j = 0; j < width; ++j) panel[j] += av * brow[j];
+        }
+        std::copy_n(panel, width, orow + jj);
+      }
+    }
+  }
+}
+
+#endif  // GP_HAVE_AVX2_TARGET
+
+}  // namespace internal
+}  // namespace gp

@@ -6,6 +6,7 @@
 
 #include "tensor/autograd.h"
 #include "tensor/buffer_pool.h"
+#include "util/cpuid.h"
 #include "util/parallel.h"
 
 namespace gp {
@@ -101,6 +102,21 @@ void GemmRows(const float* a, const float* b, float* out, int64_t row_begin,
       }
     }
   }
+}
+
+// Routes to the AVX2 panel kernel (tensor/gemm_avx2.cc) when dispatch says
+// so; both paths are bitwise identical (see ops.h), so the choice is pure
+// throughput.
+template <bool kSkipZeros>
+inline void GemmRowsDispatch(const float* a, const float* b, float* out,
+                             int64_t row_begin, int64_t row_end, int inner,
+                             int cols) {
+  if (Avx2Enabled()) {
+    internal::GemmRowsAvx2(a, b, out, row_begin, row_end, inner, cols,
+                           kSkipZeros);
+    return;
+  }
+  GemmRows<kSkipZeros>(a, b, out, row_begin, row_end, inner, cols);
 }
 
 // Builds the result tensor; records the backward function only when autograd
@@ -400,8 +416,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* bdata = b.data().data();
   ParallelRange(rows, static_cast<int64_t>(inner) * cols,
                 [&](int64_t first, int64_t last) {
-                  GemmRows<true>(adata, bdata, out.data(), first, last, inner,
-                                 cols);
+                  GemmRowsDispatch<true>(adata, bdata, out.data(), first,
+                                         last, inner, cols);
                 });
   auto pa = a.impl();
   auto pb = b.impl();
@@ -1108,8 +1124,8 @@ Tensor LinearRelu(const Tensor& x, const Tensor& weight, const Tensor& bias) {
   const float* bd = use_bias ? bias.data().data() : nullptr;
   ParallelRange(rows, static_cast<int64_t>(inner) * cols,
                 [&](int64_t first, int64_t last) {
-                  GemmRows<true>(xd, wd, out.data(), first, last, inner,
-                                 cols);
+                  GemmRowsDispatch<true>(xd, wd, out.data(), first, last,
+                                         inner, cols);
                   // Bias branch hoisted out of the element loop so both
                   // epilogues stay straight-line vectorisable code.
                   for (int64_t i = first; i < last; ++i) {
@@ -1538,9 +1554,9 @@ namespace internal {
 void GemmAccumulate(const float* a, const float* b, float* out, int rows,
                     int inner, int cols, bool skip_zeros) {
   if (skip_zeros) {
-    GemmRows<true>(a, b, out, 0, rows, inner, cols);
+    GemmRowsDispatch<true>(a, b, out, 0, rows, inner, cols);
   } else {
-    GemmRows<false>(a, b, out, 0, rows, inner, cols);
+    GemmRowsDispatch<false>(a, b, out, 0, rows, inner, cols);
   }
 }
 

@@ -166,6 +166,19 @@ namespace internal {
 void GemmAccumulate(const float* a, const float* b, float* out, int rows,
                     int inner, int cols, bool skip_zeros = true);
 
+// AVX2 variant of the blocked GEMM row kernel (tensor/gemm_avx2.cc),
+// dispatched behind MatMul/LinearRelu when Avx2Enabled(). The panel update
+// vectorizes over the j (output-column) axis only — an elementwise
+// mul-then-add per lane, never a cross-lane reduction — and deliberately
+// avoids FMA contraction, so each out element still accumulates its
+// ascending-k products with scalar-identical rounding: this kernel is
+// bitwise identical to the scalar micro-kernel (pinned by
+// tests/simd_kernels_test.cc and, transitively, tests/fused_ops_test.cc
+// and the golden pins, which hold at any simd level).
+void GemmRowsAvx2(const float* a, const float* b, float* out,
+                  int64_t row_begin, int64_t row_end, int inner, int cols,
+                  bool skip_zeros);
+
 }  // namespace internal
 
 }  // namespace gp

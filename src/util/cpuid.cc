@@ -1,0 +1,131 @@
+#include "util/cpuid.h"
+
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/telemetry.h"
+#include "util/flags.h"
+#include "util/logging.h"
+
+namespace gp {
+
+const char* SimdLevelName(SimdLevel level) {
+  switch (level) {
+    case SimdLevel::kScalar:
+      return "scalar";
+    case SimdLevel::kAvx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+StatusOr<SimdLevel> ParseSimdLevel(const std::string& name) {
+  if (name == "off" || name == "scalar") return SimdLevel::kScalar;
+  if (name == "avx2") return SimdLevel::kAvx2;
+  if (name == "auto") return DetectedSimdLevel();
+  return InvalidArgumentError("unknown simd level \"" + name +
+                              "\" (expected off, scalar, avx2, or auto)");
+}
+
+SimdLevel DetectedSimdLevel() {
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  static const SimdLevel detected = [] {
+    __builtin_cpu_init();
+    return (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma"))
+               ? SimdLevel::kAvx2
+               : SimdLevel::kScalar;
+  }();
+  return detected;
+#else
+  return SimdLevel::kScalar;
+#endif
+}
+
+namespace simd_internal {
+std::atomic<bool> g_avx2_active{false};
+}  // namespace simd_internal
+
+namespace {
+
+std::mutex g_simd_mu;
+SimdLevel g_simd_level = SimdLevel::kScalar;
+bool g_simd_resolved = false;
+
+// Resolves GP_SIMD (else auto-detect). Caller holds g_simd_mu.
+SimdLevel ResolveLocked() {
+  if (g_simd_resolved) return g_simd_level;
+  SimdLevel level = DetectedSimdLevel();
+  if (const char* env = std::getenv("GP_SIMD")) {
+    const StatusOr<SimdLevel> parsed = ParseSimdLevel(env);
+    if (parsed.ok()) {
+      level = *parsed;
+    } else {
+      LOG(WARNING) << "ignoring GP_SIMD=" << env << ": "
+                   << parsed.status().ToString();
+    }
+  }
+  if (level > DetectedSimdLevel()) {
+    LOG(WARNING) << "simd level " << SimdLevelName(level)
+                 << " not supported by this CPU; falling back to scalar";
+    level = SimdLevel::kScalar;
+  }
+  g_simd_level = level;
+  g_simd_resolved = true;
+  simd_internal::g_avx2_active.store(level == SimdLevel::kAvx2,
+                                     std::memory_order_relaxed);
+  return g_simd_level;
+}
+
+void PublishDispatchGauge(SimdLevel level) {
+  Telemetry().GetGauge("simd/dispatch")->Set(static_cast<int64_t>(level));
+}
+
+}  // namespace
+
+SimdLevel ActiveSimdLevel() {
+  std::lock_guard<std::mutex> lock(g_simd_mu);
+  return ResolveLocked();
+}
+
+void SetSimdLevel(SimdLevel level) {
+  if (level > DetectedSimdLevel()) {
+    LOG(WARNING) << "simd level " << SimdLevelName(level)
+                 << " not supported by this CPU; falling back to scalar";
+    level = SimdLevel::kScalar;
+  }
+  std::lock_guard<std::mutex> lock(g_simd_mu);
+  g_simd_level = level;
+  g_simd_resolved = true;
+  simd_internal::g_avx2_active.store(level == SimdLevel::kAvx2,
+                                     std::memory_order_relaxed);
+  PublishDispatchGauge(level);
+}
+
+SimdLevel ConfigureSimdFromFlags(const Flags& flags) {
+  SimdLevel level;
+  {
+    std::lock_guard<std::mutex> lock(g_simd_mu);
+    level = ResolveLocked();
+  }
+  if (flags.Has("simd")) {
+    const StatusOr<SimdLevel> parsed =
+        ParseSimdLevel(flags.GetString("simd", ""));
+    CHECK_OK(parsed.status());
+    level = *parsed;
+  }
+  SetSimdLevel(level);
+  return ActiveSimdLevel();
+}
+
+// Resolve GP_SIMD before main() so kernels dispatched from static-init-time
+// code (and tests that never touch flags) already see the right level. Kept
+// telemetry-free: the registry may not be constructed yet.
+namespace {
+const SimdLevel g_simd_static_init = [] {
+  std::lock_guard<std::mutex> lock(g_simd_mu);
+  return ResolveLocked();
+}();
+}  // namespace
+
+}  // namespace gp

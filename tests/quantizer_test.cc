@@ -1,0 +1,309 @@
+// Property tests for the int8 scalar quantizer (core/quantizer.h) and the
+// quantized IVF candidate pass (core/prompt_index.h, options.quantize).
+//
+// Contracts under test:
+//   1. Round trip: |dequantize(quantize(x)) - x| <= step/2 per dimension
+//      for in-range rows, on random and adversarial one-hot populations.
+//   2. Recall floor: with every shard probed (nprobe == nlist) the
+//      quantized candidate pass + exact re-rank keeps recall@k >= 0.99.
+//   3. The probe is deterministic and its stats account for the pruning.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/prompt_index.h"
+#include "core/quantizer.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+Tensor MixtureEmbeddings(int rows, int dim, int clusters, uint64_t seed) {
+  Rng rng(seed);
+  Tensor centers = Tensor::Randn(clusters, dim, &rng, 4.0f);
+  Tensor out = Tensor::Zeros(rows, dim);
+  for (int r = 0; r < rows; ++r) {
+    const int c = r % clusters;
+    for (int j = 0; j < dim; ++j) {
+      out.at(r, j) = centers.at(c, j) + rng.Normal(0.0f, 0.5f);
+    }
+  }
+  return out;
+}
+
+Tensor OneHotEmbeddings(int rows, int dim) {
+  Tensor out = Tensor::Zeros(rows, dim);
+  for (int r = 0; r < rows; ++r) out.at(r, r % dim) = 1.0f;
+  return out;
+}
+
+void ExpectRoundTripWithinHalfStep(const Tensor& data) {
+  const int rows = data.rows(), dim = data.cols();
+  const QuantizerParams params = FitQuantizer(data.data().data(), rows, dim);
+  ASSERT_TRUE(params.defined());
+  ASSERT_EQ(params.dim, dim);
+  std::vector<uint8_t> code(dim);
+  std::vector<float> back(dim);
+  for (int r = 0; r < rows; ++r) {
+    const float* row = data.data().data() + static_cast<size_t>(r) * dim;
+    QuantizeRow(params, row, code.data());
+    DequantizeRow(params, code.data(), back.data());
+    for (int j = 0; j < dim; ++j) {
+      // Half a quantization step plus a whisker of float rounding slack.
+      const float bound =
+          0.5f * params.step[j] + 1e-5f * std::abs(params.min[j]) + 1e-7f;
+      EXPECT_LE(std::abs(back[j] - row[j]), bound)
+          << "row=" << r << " dim=" << j;
+    }
+  }
+}
+
+TEST(QuantizerTest, RoundTripErrorBoundedByHalfStepRandom) {
+  Rng rng(21);
+  Tensor data = Tensor::Randn(128, 24, &rng, 3.0f);
+  ExpectRoundTripWithinHalfStep(data);
+}
+
+TEST(QuantizerTest, RoundTripErrorBoundedByHalfStepOneHot) {
+  // Adversarial for per-dimension affine codes: each dimension is almost
+  // always 0 with a single 1 — min 0, max 1, step 1/255.
+  ExpectRoundTripWithinHalfStep(OneHotEmbeddings(64, 16));
+}
+
+TEST(QuantizerTest, ConstantDimensionReconstructsExactly) {
+  const int rows = 10, dim = 3;
+  std::vector<float> data(rows * dim);
+  for (int r = 0; r < rows; ++r) {
+    data[r * dim + 0] = 2.5f;                       // constant
+    data[r * dim + 1] = static_cast<float>(r);      // varying
+    data[r * dim + 2] = -1.0f;                      // constant
+  }
+  const QuantizerParams params = FitQuantizer(data.data(), rows, dim);
+  EXPECT_EQ(params.step[0], 0.0f);
+  EXPECT_EQ(params.step[2], 0.0f);
+  std::vector<uint8_t> code(dim);
+  std::vector<float> back(dim);
+  QuantizeRow(params, data.data(), code.data());
+  DequantizeRow(params, code.data(), back.data());
+  EXPECT_EQ(back[0], 2.5f);
+  EXPECT_EQ(back[2], -1.0f);
+}
+
+TEST(QuantizerTest, FitIgnoresNonFiniteValues) {
+  const int rows = 4, dim = 2;
+  std::vector<float> data = {
+      1.0f, 2.0f,
+      std::numeric_limits<float>::quiet_NaN(), 3.0f,
+      -1.0f, std::numeric_limits<float>::infinity(),
+      0.5f, 4.0f,
+  };
+  const QuantizerParams params = FitQuantizer(data.data(), rows, dim);
+  // The poisoned entries must not stretch the fitted range.
+  EXPECT_EQ(params.min[0], -1.0f);
+  EXPECT_EQ(params.min[1], 2.0f);
+  EXPECT_TRUE(std::isfinite(params.step[0]));
+  EXPECT_TRUE(std::isfinite(params.step[1]));
+  // Encoding a non-finite value degrades to code 0, not UB.
+  std::vector<uint8_t> code(dim);
+  QuantizeRow(params, data.data() + dim, code.data());
+  EXPECT_EQ(code[0], 0);
+}
+
+TEST(QuantizerTest, OutOfRangeRowsSaturate) {
+  Rng rng(22);
+  Tensor data = Tensor::Randn(32, 8, &rng);
+  const QuantizerParams params =
+      FitQuantizer(data.data().data(), data.rows(), data.cols());
+  std::vector<float> wild(8, 1e6f);
+  std::vector<uint8_t> code(8);
+  std::vector<float> back(8);
+  QuantizeRow(params, wild.data(), code.data());
+  DequantizeRow(params, code.data(), back.data());
+  for (int j = 0; j < 8; ++j) {
+    EXPECT_EQ(code[j], 255);  // clamped to the fitted max
+    EXPECT_LE(back[j], params.min[j] + params.step[j] * 255.0f + 1e-4f);
+  }
+}
+
+// ---- quantized candidate pass recall ------------------------------------
+
+// Exact top-k (score desc, id asc) over a candidate subset — the caller's
+// re-rank, which is also the brute-force reference when `candidates` is
+// every id.
+std::vector<int64_t> ExactTopK(const Tensor& prompts, const float* query,
+                               const std::vector<int64_t>& candidates, int k,
+                               DistanceMetric metric) {
+  const int dim = prompts.cols();
+  std::vector<std::pair<float, int64_t>> scored;
+  scored.reserve(candidates.size());
+  for (const int64_t id : candidates) {
+    const float* row =
+        prompts.data().data() + static_cast<size_t>(id) * dim;
+    scored.emplace_back(SimilarityRaw(query, row, dim, metric), id);
+  }
+  const int kk = std::min<int>(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int64_t> out;
+  for (int i = 0; i < kk; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+TEST(QuantizedIndexTest, RecallFloorAtFullProbeRandom) {
+  const int num_prompts = 600, dim = 24, k = 10, num_queries = 48;
+  Tensor prompts = MixtureEmbeddings(num_prompts, dim, 12, 31);
+  Tensor queries = MixtureEmbeddings(num_queries, dim, 12, 31);
+  std::vector<int64_t> all_ids(num_prompts);
+  for (int i = 0; i < num_prompts; ++i) all_ids[i] = i;
+
+  for (DistanceMetric metric :
+       {DistanceMetric::kCosine, DistanceMetric::kEuclidean,
+        DistanceMetric::kManhattan}) {
+    PromptIndexOptions options;
+    options.mode = IndexMode::kIvf;
+    options.nlist = 8;
+    options.nprobe = 8;  // probe everything: isolates the quantized pass
+    options.min_points = 1;
+    options.quantize = true;
+    PromptIndex index(options, metric);
+    index.Build(prompts);
+    ASSERT_TRUE(index.ivf());
+    ASSERT_TRUE(index.quantized());
+
+    int hit = 0, total = 0;
+    for (int q = 0; q < num_queries; ++q) {
+      const float* qe =
+          queries.data().data() + static_cast<size_t>(q) * dim;
+      const std::vector<int64_t> want =
+          ExactTopK(prompts, qe, all_ids, k, metric);
+      PromptIndex::ProbeStats stats;
+      const std::vector<int64_t> cands = index.Probe(qe, dim, k, &stats);
+      EXPECT_EQ(stats.quantized_scored, num_prompts);
+      EXPECT_LE(static_cast<int>(cands.size()), options.rerank * k);
+      EXPECT_FALSE(stats.exact);  // quantize prunes even at full probe
+      const std::vector<int64_t> got =
+          ExactTopK(prompts, qe, cands, k, metric);
+      const std::set<int64_t> got_set(got.begin(), got.end());
+      for (const int64_t id : want) hit += got_set.count(id);
+      total += static_cast<int>(want.size());
+    }
+    const double recall = static_cast<double>(hit) / total;
+    EXPECT_GE(recall, 0.99) << DistanceMetricName(metric);
+  }
+}
+
+TEST(QuantizedIndexTest, RecallOneOnAdversarialOneHot) {
+  // One-hot embeddings are the worst case for affine codes; with the query
+  // equal to an indexed vector the exact match must survive the quantized
+  // pass (top-1 recall 1.0 — ties below the match don't matter).
+  const int num_prompts = 256, dim = 32;
+  Tensor prompts = OneHotEmbeddings(num_prompts, dim);
+  for (DistanceMetric metric :
+       {DistanceMetric::kCosine, DistanceMetric::kEuclidean}) {
+    PromptIndexOptions options;
+    options.mode = IndexMode::kIvf;
+    options.nlist = 4;
+    options.nprobe = 4;
+    options.min_points = 1;
+    options.quantize = true;
+    PromptIndex index(options, metric);
+    index.Build(prompts);
+    ASSERT_TRUE(index.quantized());
+    for (int q = 0; q < num_prompts; q += 17) {
+      const float* qe =
+          prompts.data().data() + static_cast<size_t>(q) * dim;
+      const std::vector<int64_t> cands = index.Probe(qe, dim, 1);
+      const std::vector<int64_t> top =
+          ExactTopK(prompts, qe, cands, 1, metric);
+      ASSERT_EQ(top.size(), 1u);
+      // The query IS prompt q; any equal-scoring one-hot shares q's
+      // nonzero dimension, i.e. id ≡ q (mod dim), and the tie-break picks
+      // the smallest such id — still an exact-score match.
+      const float* got_row =
+          prompts.data().data() + static_cast<size_t>(top[0]) * dim;
+      EXPECT_EQ(SimilarityRaw(qe, got_row, dim, metric),
+                SimilarityRaw(qe, qe, dim, metric))
+          << "q=" << q << " got=" << top[0];
+    }
+  }
+}
+
+TEST(QuantizedIndexTest, ProbeIsDeterministicAndStatsAccount) {
+  const int num_prompts = 400, dim = 16, k = 5;
+  Tensor prompts = MixtureEmbeddings(num_prompts, dim, 8, 33);
+  PromptIndexOptions options;
+  options.mode = IndexMode::kIvf;
+  options.nlist = 8;
+  options.nprobe = 2;
+  options.min_points = 1;
+  options.quantize = true;
+  options.rerank = 4;
+  PromptIndex index(options, DistanceMetric::kCosine);
+  index.Build(prompts);
+  ASSERT_TRUE(index.quantized());
+  Rng rng(34);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<float> query(dim);
+    for (int j = 0; j < dim; ++j) query[j] = rng.Normal();
+    PromptIndex::ProbeStats s1, s2;
+    const std::vector<int64_t> a = index.Probe(query.data(), dim, k, &s1);
+    const std::vector<int64_t> b = index.Probe(query.data(), dim, k, &s2);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    EXPECT_EQ(s1.shards_probed, s2.shards_probed);
+    EXPECT_EQ(s1.quantized_scored, s2.quantized_scored);
+    EXPECT_EQ(s1.quantized_kept, static_cast<int>(a.size()));
+    EXPECT_LE(s1.quantized_kept, options.rerank * std::max(1, k));
+    EXPECT_LE(s1.quantized_kept, s1.quantized_scored);
+  }
+}
+
+TEST(QuantizedIndexTest, DynamicInsertEraseKeepsSidecarAligned) {
+  const int dim = 12, k = 4;
+  PromptIndexOptions options;
+  options.mode = IndexMode::kIvf;
+  options.nlist = 4;
+  options.nprobe = 4;
+  options.min_points = 1;
+  options.quantize = true;
+  PromptIndex index(options, DistanceMetric::kEuclidean);
+  Tensor data = MixtureEmbeddings(120, dim, 4, 35);
+  index.Build(data);
+  ASSERT_TRUE(index.quantized());
+
+  // Mutate: erase a third, insert fresh ids; probes must keep returning
+  // present ids only and stay deterministic.
+  Rng rng(36);
+  for (int id = 0; id < 120; id += 3) index.Erase(id);
+  std::vector<std::vector<float>> fresh;
+  for (int i = 0; i < 30; ++i) {
+    std::vector<float> v(dim);
+    for (int j = 0; j < dim; ++j) v[j] = rng.Normal();
+    index.Insert(1000 + i, v.data(), dim);
+    fresh.push_back(std::move(v));
+  }
+  const std::vector<int64_t> present = index.Ids();
+  const std::set<int64_t> present_set(present.begin(), present.end());
+  for (int t = 0; t < 6; ++t) {
+    const std::vector<int64_t> cands =
+        index.Probe(fresh[t].data(), dim, k);
+    EXPECT_FALSE(cands.empty());
+    for (const int64_t id : cands) {
+      EXPECT_TRUE(present_set.count(id)) << "ghost id " << id;
+    }
+    EXPECT_EQ(cands, index.Probe(fresh[t].data(), dim, k));
+  }
+}
+
+}  // namespace
+}  // namespace gp

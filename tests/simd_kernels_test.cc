@@ -1,0 +1,236 @@
+// SIMD dispatch correctness: AVX2 distance kernels vs the scalar
+// bitwise-pinned reference, the GEMM panel's bitwise-identity contract,
+// the quantized candidate-pass kernels, and the CosineFromParts relative
+// degenerate-norm guard (DESIGN.md §10).
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance.h"
+#include "core/quantizer.h"
+#include "tensor/ops.h"
+#include "util/cpuid.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+// Every test restores the process dispatch level it found: the suite's
+// other binaries assume the level is constant for the process lifetime.
+class SimdKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = ActiveSimdLevel(); }
+  void TearDown() override { SetSimdLevel(saved_); }
+  SimdLevel saved_ = SimdLevel::kScalar;
+};
+
+std::vector<float> RandomVec(Rng* rng, int n, float scale = 1.0f) {
+  std::vector<float> v(n);
+  for (int i = 0; i < n; ++i) v[i] = rng->Normal(0.0f, scale);
+  return v;
+}
+
+// Sizes that exercise full 16-float blocks, the 8-float half-block, and
+// every scalar-tail length.
+const int kSizes[] = {1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 32, 100, 257};
+
+TEST_F(SimdKernelsTest, ParseSimdLevelNames) {
+  EXPECT_EQ(ParseSimdLevel("off").value(), SimdLevel::kScalar);
+  EXPECT_EQ(ParseSimdLevel("scalar").value(), SimdLevel::kScalar);
+  EXPECT_EQ(ParseSimdLevel("avx2").value(), SimdLevel::kAvx2);
+  EXPECT_EQ(ParseSimdLevel("auto").value(), DetectedSimdLevel());
+  EXPECT_FALSE(ParseSimdLevel("sse9").ok());
+}
+
+TEST_F(SimdKernelsTest, SetSimdLevelDrivesDispatchBit) {
+  SetSimdLevel(SimdLevel::kScalar);
+  EXPECT_FALSE(Avx2Enabled());
+  EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  SetSimdLevel(SimdLevel::kAvx2);  // clamped to detected
+  EXPECT_EQ(Avx2Enabled(), DetectedSimdLevel() == SimdLevel::kAvx2);
+}
+
+// The --simd=off contract: with scalar forced, every kernel must equal the
+// ascending-index double-accumulation loop bit for bit.
+TEST_F(SimdKernelsTest, ScalarIsBitwiseAscendingIndexReference) {
+  SetSimdLevel(SimdLevel::kScalar);
+  Rng rng(11);
+  for (int n : kSizes) {
+    const std::vector<float> a = RandomVec(&rng, n);
+    const std::vector<float> b = RandomVec(&rng, n);
+    double dot = 0.0, na = 0.0, l2 = 0.0, l1 = 0.0;
+    for (int i = 0; i < n; ++i) {
+      dot += static_cast<double>(a[i]) * b[i];
+      na += static_cast<double>(a[i]) * a[i];
+      const double d = static_cast<double>(a[i]) - b[i];
+      l2 += d * d;
+      l1 += std::abs(d);
+    }
+    EXPECT_EQ(DotRaw(a.data(), b.data(), n), dot);
+    EXPECT_EQ(SquaredNormRaw(a.data(), n), na);
+    EXPECT_EQ(SquaredEuclideanRaw(a.data(), b.data(), n), l2);
+    EXPECT_EQ(NegEuclideanRaw(a.data(), b.data(), n),
+              -static_cast<float>(std::sqrt(l2)));
+    EXPECT_EQ(NegManhattanRaw(a.data(), b.data(), n),
+              -static_cast<float>(l1));
+  }
+}
+
+// AVX2 distance kernels regroup the sum into 4 double lanes, so they may
+// differ from scalar — but only in the last ULPs. The documented bound:
+// relative error <= 4 double ULPs per accumulated term is far looser than
+// reality; we pin 1e-12 relative (+1e-300 absolute for exact zeros).
+TEST_F(SimdKernelsTest, Avx2MatchesScalarWithinUlps) {
+  if (DetectedSimdLevel() != SimdLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this CPU";
+  }
+  Rng rng(12);
+  for (int n : kSizes) {
+    const std::vector<float> a = RandomVec(&rng, n);
+    const std::vector<float> b = RandomVec(&rng, n);
+
+    SetSimdLevel(SimdLevel::kScalar);
+    const double dot_s = DotRaw(a.data(), b.data(), n);
+    const double norm_s = SquaredNormRaw(a.data(), n);
+    const double l2_s = SquaredEuclideanRaw(a.data(), b.data(), n);
+    const float l1_s = NegManhattanRaw(a.data(), b.data(), n);
+
+    SetSimdLevel(SimdLevel::kAvx2);
+    const double dot_v = DotRaw(a.data(), b.data(), n);
+    const double norm_v = SquaredNormRaw(a.data(), n);
+    const double l2_v = SquaredEuclideanRaw(a.data(), b.data(), n);
+    const float l1_v = NegManhattanRaw(a.data(), b.data(), n);
+
+    const auto close = [](double x, double y) {
+      const double scale = std::max(std::abs(x), std::abs(y));
+      return std::abs(x - y) <= 1e-12 * scale + 1e-300;
+    };
+    EXPECT_TRUE(close(dot_s, dot_v)) << "dot n=" << n;
+    EXPECT_TRUE(close(norm_s, norm_v)) << "norm n=" << n;
+    EXPECT_TRUE(close(l2_s, l2_v)) << "l2 n=" << n;
+    EXPECT_TRUE(close(l1_s, l1_v)) << "l1 n=" << n;
+    // Norms and distances keep their sign/zero structure exactly.
+    EXPECT_GE(norm_v, 0.0);
+    EXPECT_GE(l2_v, 0.0);
+    EXPECT_LE(l1_v, 0.0f);
+  }
+  // Self-distance is exactly zero in both modes (no cancellation noise).
+  const std::vector<float> a = RandomVec(&rng, 64);
+  SetSimdLevel(SimdLevel::kAvx2);
+  EXPECT_EQ(SquaredEuclideanRaw(a.data(), a.data(), 64), 0.0);
+  EXPECT_EQ(NegManhattanRaw(a.data(), a.data(), 64), 0.0f);
+}
+
+// The GEMM panel is the exception to the ULP story: its vectorization is
+// elementwise (independent j-lane accumulators, explicit mul-then-add, no
+// FMA contraction), so AVX2 output must be bitwise identical to scalar —
+// this is what keeps the golden pins level-independent.
+TEST_F(SimdKernelsTest, GemmBitwiseIdenticalAcrossLevels) {
+  if (DetectedSimdLevel() != SimdLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this CPU";
+  }
+  Rng rng(13);
+  // Shapes crossing the 128-col panel and 256-k block boundaries plus
+  // ragged tails; dense and one-hot A to exercise both skip_zeros arms.
+  const int shapes[][3] = {
+      {3, 5, 7}, {2, 300, 150}, {4, 256, 128}, {1, 257, 129}, {5, 64, 200}};
+  for (const auto& shape : shapes) {
+    const int rows = shape[0], inner = shape[1], cols = shape[2];
+    std::vector<float> a = RandomVec(&rng, rows * inner);
+    const std::vector<float> b = RandomVec(&rng, inner * cols);
+    for (int onehot = 0; onehot < 2; ++onehot) {
+      if (onehot) {
+        std::fill(a.begin(), a.end(), 0.0f);
+        for (int r = 0; r < rows; ++r) {
+          a[r * inner + static_cast<int>(rng.UniformInt(inner))] = 1.0f;
+        }
+      }
+      for (const bool skip_zeros : {true, false}) {
+        std::vector<float> out_scalar(rows * cols, 0.25f);
+        std::vector<float> out_avx2 = out_scalar;
+        SetSimdLevel(SimdLevel::kScalar);
+        internal::GemmAccumulate(a.data(), b.data(), out_scalar.data(), rows,
+                                 inner, cols, skip_zeros);
+        SetSimdLevel(SimdLevel::kAvx2);
+        internal::GemmAccumulate(a.data(), b.data(), out_avx2.data(), rows,
+                                 inner, cols, skip_zeros);
+        EXPECT_EQ(0, std::memcmp(out_scalar.data(), out_avx2.data(),
+                                 out_scalar.size() * sizeof(float)))
+            << rows << "x" << inner << "x" << cols
+            << " skip_zeros=" << skip_zeros << " onehot=" << onehot;
+      }
+    }
+  }
+}
+
+// Quantized candidate-pass kernels accumulate in float (they only rank
+// candidates ahead of an exact re-rank), so the AVX2-vs-scalar bound is
+// looser: relative 1e-4.
+TEST_F(SimdKernelsTest, QuantizedKernelsMatchScalar) {
+  if (DetectedSimdLevel() != SimdLevel::kAvx2) {
+    GTEST_SKIP() << "no AVX2 on this CPU";
+  }
+  Rng rng(14);
+  for (int n : kSizes) {
+    std::vector<uint8_t> code(n);
+    for (int i = 0; i < n; ++i) {
+      code[i] = static_cast<uint8_t>(rng.UniformInt(256));
+    }
+    const std::vector<float> qs = RandomVec(&rng, n, 0.1f);
+    const std::vector<float> r = RandomVec(&rng, n);
+    std::vector<float> step(n);
+    for (int i = 0; i < n; ++i) step[i] = rng.UniformFloat() * 0.01f;
+
+    const float dot_s = QuantizedDotRawScalar(code.data(), qs.data(), n);
+    const float l2_s =
+        QuantizedNegL2RawScalar(code.data(), r.data(), step.data(), n);
+    const float l1_s =
+        QuantizedNegL1RawScalar(code.data(), r.data(), step.data(), n);
+    const float dot_v = simd::QuantizedDotRawAvx2(code.data(), qs.data(), n);
+    const float l2_v =
+        simd::QuantizedNegL2RawAvx2(code.data(), r.data(), step.data(), n);
+    const float l1_v =
+        simd::QuantizedNegL1RawAvx2(code.data(), r.data(), step.data(), n);
+
+    const auto close = [](float x, float y) {
+      const float scale = std::max(std::abs(x), std::abs(y));
+      return std::abs(x - y) <= 1e-4f * scale + 1e-6f;
+    };
+    EXPECT_TRUE(close(dot_s, dot_v)) << "qdot n=" << n;
+    EXPECT_TRUE(close(l2_s, l2_v)) << "ql2 n=" << n;
+    EXPECT_TRUE(close(l1_s, l1_v)) << "ql1 n=" << n;
+  }
+}
+
+// Regression for the relative degenerate-norm guard (satellite fix): the
+// old absolute `denom < 1e-12` rule let a near-zero-norm row (pure
+// quantization noise) return a full-magnitude cosine, and wrongly zeroed
+// legitimately tiny same-scale pairs.
+TEST(CosineFromPartsTest, CosineFromPartsRelativeGuard) {
+  // Noise-scale row against a unit query: the noise direction carries no
+  // significance — must be exactly 0, whatever the dot's sign.
+  EXPECT_EQ(CosineFromParts(1e-9, 1e-9, 1.0), 0.0f);
+  EXPECT_EQ(CosineFromParts(-1e-9, 1e-9, 1.0), 0.0f);
+  // A legitimately tiny pair at the same scale keeps its true cosine (the
+  // old absolute cutoff zeroed it: denom 1e-14 < 1e-12).
+  EXPECT_NEAR(CosineFromParts(1e-14, 1e-7, 1e-7), 1.0f, 1e-6f);
+  EXPECT_NEAR(CosineFromParts(-1e-14, 1e-7, 1e-7), -1.0f, 1e-6f);
+  // Exact zeros and underflowing denominators are still guarded.
+  EXPECT_EQ(CosineFromParts(0.0, 0.0, 1.0), 0.0f);
+  EXPECT_EQ(CosineFromParts(0.0, 0.0, 0.0), 0.0f);
+  EXPECT_EQ(CosineFromParts(1e-300, 1e-200, 1e-200), 0.0f);
+  // Ordinary pairs are unchanged.
+  EXPECT_FLOAT_EQ(CosineFromParts(0.5, 1.0, 1.0), 0.5f);
+  EXPECT_FLOAT_EQ(CosineFromParts(2.0, 1.0, 4.0), 0.5f);
+  // Poisoned norms propagate NaN for the degradation ladder.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(CosineFromParts(1.0, nan, 1.0)));
+  EXPECT_TRUE(std::isnan(CosineFromParts(1.0, 1.0, nan)));
+}
+
+}  // namespace
+}  // namespace gp

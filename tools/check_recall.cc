@@ -1,0 +1,123 @@
+// CI gate for the quantized IVF candidate pass: builds a quickstart-scale
+// prompt index in quantized mode at the default (auto) nlist/nprobe,
+// measures recall@k of probe + exact re-rank against brute force, and
+// exits nonzero when recall drops below the threshold. Used by
+// scripts/check.sh.
+//
+//   ./tools/check_recall [--prompts=N] [--dim=D] [--queries=N] [--k=K]
+//                        [--threshold=R] [--seed=N]
+//                        [--index=... --nlist=... --nprobe=... --rerank=...]
+//                        [--simd=off|avx2|auto]
+//
+// Defaults mirror the quickstart example's retrieval regime: a clusterable
+// mixture population large enough for auto mode to shard.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/distance.h"
+#include "core/prompt_index.h"
+#include "tensor/tensor.h"
+#include "util/cpuid.h"
+#include "util/flags.h"
+#include "util/rng.h"
+
+namespace gp {
+namespace {
+
+Tensor MixtureEmbeddings(int rows, int dim, int clusters, uint64_t seed) {
+  Rng rng(seed);
+  Tensor centers = Tensor::Randn(clusters, dim, &rng, 4.0f);
+  Tensor out = Tensor::Zeros(rows, dim);
+  for (int r = 0; r < rows; ++r) {
+    const int c = r % clusters;
+    for (int j = 0; j < dim; ++j) {
+      out.at(r, j) = centers.at(c, j) + rng.Normal(0.0f, 0.5f);
+    }
+  }
+  return out;
+}
+
+std::vector<int64_t> ExactTopK(const Tensor& prompts, const float* query,
+                               const std::vector<int64_t>& candidates, int k,
+                               DistanceMetric metric) {
+  const int dim = prompts.cols();
+  std::vector<std::pair<float, int64_t>> scored;
+  scored.reserve(candidates.size());
+  for (const int64_t id : candidates) {
+    const float* row = prompts.data().data() + static_cast<size_t>(id) * dim;
+    scored.emplace_back(SimilarityRaw(query, row, dim, metric), id);
+  }
+  const int kk = std::min<int>(k, static_cast<int>(scored.size()));
+  std::partial_sort(scored.begin(), scored.begin() + kk, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<int64_t> out;
+  out.reserve(kk);
+  for (int i = 0; i < kk; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const int prompts_n = static_cast<int>(flags.GetInt("prompts", 2000));
+  const int dim = static_cast<int>(flags.GetInt("dim", 32));
+  const int queries_n = static_cast<int>(flags.GetInt("queries", 64));
+  const int k = static_cast<int>(flags.GetInt("k", 10));
+  const double threshold = flags.GetDouble("threshold", 0.95);
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+
+  const SimdLevel simd = ConfigureSimdFromFlags(flags);
+  PromptIndexOptions options = ConfigureIndexFromFlags(flags);
+  if (!flags.Has("index")) options.mode = IndexMode::kIvf;
+  if (!flags.Has("quantize")) options.quantize = true;
+
+  const int clusters = std::max(4, static_cast<int>(std::sqrt(prompts_n)) / 2);
+  const Tensor prompts = MixtureEmbeddings(prompts_n, dim, clusters, seed);
+  const Tensor queries = MixtureEmbeddings(queries_n, dim, clusters, seed + 1);
+  std::vector<int64_t> all_ids(prompts_n);
+  for (int i = 0; i < prompts_n; ++i) all_ids[i] = i;
+
+  bool ok = true;
+  for (DistanceMetric metric :
+       {DistanceMetric::kCosine, DistanceMetric::kEuclidean}) {
+    PromptIndex index(options, metric);
+    index.Build(prompts);
+    int hit = 0, total = 0;
+    for (int q = 0; q < queries_n; ++q) {
+      const float* qe = queries.data().data() + static_cast<size_t>(q) * dim;
+      const std::vector<int64_t> want =
+          ExactTopK(prompts, qe, all_ids, k, metric);
+      const std::vector<int64_t> cands = index.Probe(qe, dim, k);
+      const std::vector<int64_t> got = ExactTopK(prompts, qe, cands, k, metric);
+      const std::set<int64_t> got_set(got.begin(), got.end());
+      for (const int64_t id : want) {
+        hit += static_cast<int>(got_set.count(id));
+      }
+      total += static_cast<int>(want.size());
+    }
+    const double recall = total > 0 ? static_cast<double>(hit) / total : 1.0;
+    std::printf(
+        "check_recall: metric=%s simd=%s ivf=%d quantized=%d nlist=%d "
+        "nprobe=%d recall@%d=%.4f (threshold %.2f)\n",
+        DistanceMetricName(metric), SimdLevelName(simd),
+        index.ivf() ? 1 : 0, index.quantized() ? 1 : 0, index.nlist(),
+        index.nprobe(), k, recall, threshold);
+    if (recall < threshold) {
+      std::fprintf(stderr, "check_recall: FAIL metric=%s recall %.4f < %.2f\n",
+                   DistanceMetricName(metric), recall, threshold);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gp
+
+int main(int argc, char** argv) { return gp::Run(argc, argv); }
