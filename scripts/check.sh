@@ -43,6 +43,18 @@ run ./build/tools/check_pool_stats "$smoke_dir/telemetry.json" 0.90
 echo "=== perf: bench smoke tests ==="
 run ctest --test-dir build -L perf --output-on-failure
 
+echo "=== serving: chaos soak smoke + isolation gate ==="
+# Smoke-scale run of the serving bench (clean latency phase + 4-tenant
+# chaos phase with one faulted tenant), then the gate: clean p99 within
+# budget, zero cross-tenant degradation bleed, zero crashes, zero
+# clean-tenant deadline violations. The full-scale soak is
+# ./build/bench/bench_serving with defaults (>= 10k chaos requests).
+# The socket-mode concurrency test itself runs under TSan below via the
+# `concurrency` label.
+run ./build/bench/bench_serving --scale=0.2 --steps=5 --tenants=4 \
+  --clean-requests=48 --serve-requests=64 --outdir="$smoke_dir/serving"
+run ./build/tools/check_serving "$smoke_dir/serving/BENCH_serving.json"
+
 echo "=== index: IVF property tests + golden regressions ==="
 run ctest --test-dir build -L index --output-on-failure
 

@@ -187,10 +187,24 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
   double total_query_seconds = 0.0;
   int64_t total_queries = 0;
 
+  // Deadline discipline: checked only at stage boundaries, so the checks
+  // cost one Stopwatch read each and a disabled deadline (the batch-eval
+  // default) short-circuits on the first comparison.
+  Stopwatch deadline_timer;
+  const int64_t deadline_us = eval_config.deadline_us;
+  auto past_deadline = [&]() {
+    return deadline_us > 0 &&
+           deadline_timer.ElapsedMicros() >= deadline_us;
+  };
+
   static Counter* trials_done = Telemetry().GetCounter("eval/trials");
   static Counter* queries_done = Telemetry().GetCounter("eval/queries");
 
   for (int trial = 0; trial < eval_config.trials; ++trial) {
+    if (past_deadline()) {
+      result.deadline_expired = true;
+      break;
+    }
     GP_TRACE_SPAN("eval/trial");
     trials_done->Add(1);
     NoGradGuard no_grad;
@@ -212,9 +226,13 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
       candidate_emb =
           model.generator().EmbedItems(dataset, candidate_items, &trial_rng);
     }
-    if (FaultInjector* inj = GlobalFaultInjector()) {
+    if (FaultInjector* inj = ActiveFaultInjector()) {
       inj->CorruptRows(&candidate_emb.mutable_data(), candidate_emb.rows(),
                        candidate_emb.cols());
+    }
+    if (past_deadline()) {
+      result.deadline_expired = true;
+      break;
     }
 
     // Quarantine: a candidate with a non-finite embedding would poison
@@ -269,7 +287,7 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
       query_emb =
           model.generator().EmbedItems(dataset, query_items, &trial_rng);
     }
-    if (FaultInjector* inj = GlobalFaultInjector()) {
+    if (FaultInjector* inj = ActiveFaultInjector()) {
       inj->CorruptRows(&query_emb.mutable_data(), query_emb.rows(),
                        query_emb.cols());
     }
@@ -350,7 +368,7 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
     // and account for classes that lost every prompt. SegmentMeanRows
     // tolerates an empty class (prototype = label embedding only), so a
     // missing class degrades accuracy but cannot produce NaN.
-    if (FaultInjector* inj = GlobalFaultInjector()) {
+    if (FaultInjector* inj = ActiveFaultInjector()) {
       inj->MutatePromptSet(&selected);
     }
     {
@@ -384,6 +402,10 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
     for (int p : selected) prompt_labels.push_back(candidate_labels[p]);
     select_span.reset();
     total_query_seconds += select_timer.ElapsedSeconds();
+    if (past_deadline()) {
+      result.deadline_expired = true;
+      break;
+    }
 
     // ---- Stage 3 + prediction: stream query batches through the task
     // graph with optional cache augmentation (Algorithm 2 lines 9-14).
@@ -394,32 +416,54 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
       augmenter_config.min_confidence = std::max(
           augmenter_config.min_confidence, 1.5f / static_cast<float>(ways));
     }
-    PromptAugmenter augmenter(augmenter_config, trial_rng.NextUint64());
+    // A caller-provided augmenter carries its cache (and health counters)
+    // across calls; otherwise a fresh per-trial instance is used. The RNG
+    // fork happens in both branches so downstream draws stay aligned with
+    // the local-augmenter pipeline.
+    std::optional<PromptAugmenter> local_augmenter;
+    const uint64_t augmenter_seed = trial_rng.NextUint64();
+    PromptAugmenter* augmenter = eval_config.shared_augmenter;
+    if (augmenter == nullptr) {
+      local_augmenter.emplace(augmenter_config, augmenter_seed);
+      augmenter = &*local_augmenter;
+    }
+    // Health counters accumulate for the augmenter's lifetime; with a
+    // shared instance that spans calls, so account in deltas from here.
+    const PromptAugmenter::Health base_health = augmenter->health();
+    const int breaker_capacity = eval_config.shared_augmenter != nullptr
+                                     ? augmenter->config().cache_capacity
+                                     : augmenter_config.cache_capacity;
     std::vector<int> predictions(query_expected.size(), -1);
     // Circuit breaker: once more entries have been evicted as poisoned than
     // the cache even holds, the pseudo-prompt source is clearly unhealthy —
     // skip the augmenter stage for the rest of the episode (Eq. 9 degrades
     // to S-hat' = S-hat).
-    bool augmenter_enabled = mc.use_augmenter;
+    bool augmenter_enabled =
+        mc.use_augmenter && !eval_config.disable_augmenter;
 
     Stopwatch predict_timer;
     GP_TRACE_SPAN("eval/predict");
     const int num_queries = static_cast<int>(query_items.size());
+    int predicted_this_trial = 0;
     for (int start = 0; start < num_queries;
          start += eval_config.query_batch) {
+      if (past_deadline()) {
+        result.deadline_expired = true;
+        break;
+      }
       const int count =
           std::min(eval_config.query_batch, num_queries - start);
       Tensor batch_emb = SliceRows(query_emb, start, count);
 
-      if (FaultInjector* inj = GlobalFaultInjector()) {
+      if (FaultInjector* inj = ActiveFaultInjector()) {
         if (inj->MaybeSlowBatch()) ++result.degradation.slow_batches;
         if (augmenter_enabled) {
-          const auto entries = augmenter.cache().Entries();
+          const auto entries = augmenter->cache().Entries();
           const int victim =
               inj->PickCacheEntryToPoison(static_cast<int>(entries.size()));
           if (victim >= 0) {
             CacheEntry* entry =
-                augmenter.mutable_cache().MutableEntry(entries[victim].first);
+                augmenter->mutable_cache().MutableEntry(entries[victim].first);
             if (entry != nullptr && !entry->embedding.empty()) {
               entry->embedding[0] =
                   std::numeric_limits<float>::quiet_NaN();
@@ -431,9 +475,10 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
       Tensor step_prompts = prompt_emb;
       std::vector<int> step_labels = prompt_labels;
       if (augmenter_enabled) {
-        augmenter.EvictPoisoned(model.config().embedding_dim, ways);
-        if (augmenter.health().evicted_poisoned >
-            augmenter_config.cache_capacity) {
+        augmenter->EvictPoisoned(model.config().embedding_dim, ways);
+        if (augmenter->health().evicted_poisoned -
+                base_health.evicted_poisoned >
+            breaker_capacity) {
           augmenter_enabled = false;
           ++result.degradation.augmenter_stage_skips;
           LOG(WARNING) << "trial " << trial
@@ -442,9 +487,9 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
         }
       }
       if (augmenter_enabled &&
-          augmenter.ValidateCache(model.config().embedding_dim, ways).ok()) {
+          augmenter->ValidateCache(model.config().embedding_dim, ways).ok()) {
         const auto cached =
-            augmenter.GetCachedPrompts(model.config().embedding_dim);
+            augmenter->GetCachedPrompts(model.config().embedding_dim);
         if (cached.embeddings.rows() > 0) {
           step_prompts = ConcatRows({step_prompts, cached.embeddings});
           step_labels.insert(step_labels.end(), cached.labels.begin(),
@@ -469,17 +514,22 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
         predictions[start + i] = batch_pred[i];
       }
       if (augmenter_enabled) {
-        augmenter.ObserveQueries(batch_emb, batch_pred, confidence,
-                                 std::min(mc.cache_inserts_per_batch, ways));
+        augmenter->ObserveQueries(batch_emb, batch_pred, confidence,
+                                  std::min(mc.cache_inserts_per_batch, ways));
       }
+      predicted_this_trial += count;
     }
     total_query_seconds += predict_timer.ElapsedSeconds();
-    total_queries += num_queries;
+    total_queries += predicted_this_trial;
     result.degradation.augmenter_rejected_inserts +=
-        augmenter.health().rejected_nonfinite;
+        augmenter->health().rejected_nonfinite -
+        base_health.rejected_nonfinite;
     result.degradation.augmenter_evicted_poisoned +=
-        augmenter.health().evicted_poisoned;
+        augmenter->health().evicted_poisoned - base_health.evicted_poisoned;
 
+    // A deadline mid-trial leaves unpredicted queries; a partial trial's
+    // accuracy would be biased, so it is dropped rather than averaged.
+    if (result.deadline_expired) break;
     result.trial_accuracy_percent.push_back(
         100.0 * Accuracy(predictions, query_expected));
 
@@ -495,6 +545,7 @@ EvalResult EvaluateInContext(const GraphPrompterModel& model,
   result.accuracy_percent = ComputeMeanStd(result.trial_accuracy_percent);
   result.ms_per_query =
       total_queries > 0 ? 1e3 * total_query_seconds / total_queries : 0.0;
+  result.completed_queries = total_queries;
   queries_done->Add(total_queries);
   result.degradation.PublishToTelemetry();
   return result;

@@ -96,6 +96,26 @@ struct EvalConfig {
   uint64_t seed = 123;
   // When true, keeps the final trial's data-node embeddings for Fig. 7.
   bool keep_embeddings = false;
+
+  // ---- Serving extensions (src/serve). Defaults leave batch evaluation
+  // bitwise identical to the pre-serving pipeline.
+
+  // Wall-clock budget for the whole call, in microseconds; 0 disables the
+  // deadline. Checked at stage boundaries (trial start, after candidate
+  // embedding, after selection, per query batch): on expiry the evaluation
+  // stops early, sets EvalResult::deadline_expired, and reports only the
+  // trials that finished.
+  int64_t deadline_us = 0;
+  // Skips the augmenter stage regardless of the model config. The serving
+  // circuit breaker uses this as its safe degraded mode while open.
+  bool disable_augmenter = false;
+  // When set, Stage 3 uses this caller-owned augmenter (and its LFU cache +
+  // index) instead of a per-trial instance, so cache state persists across
+  // calls — the per-tenant warm cache in the serving daemon. Health
+  // accounting is delta-based, so shared state never double-counts. The
+  // caller is responsible for thread-safety and for matching ways/dim
+  // across calls (ValidateCache evicts mismatched entries otherwise).
+  PromptAugmenter* shared_augmenter = nullptr;
 };
 
 struct EvalResult {
@@ -109,6 +129,12 @@ struct EvalResult {
   // How often each graceful-degradation fallback fired across all trials
   // (all zeros on a clean run). See core/degradation.h.
   DegradationStats degradation;
+  // True when EvalConfig::deadline_us expired before all trials finished;
+  // accuracy then covers only the completed trials (possibly none).
+  bool deadline_expired = false;
+  // Queries actually predicted (equals trials * num_queries unless the
+  // deadline cut the run short).
+  int64_t completed_queries = 0;
 };
 
 // Runs Algorithm 2: per trial, samples an episode, embeds candidates and

@@ -85,6 +85,8 @@ class PromptAugmenter {
   };
   const Health& health() const { return health_; }
 
+  const PromptAugmenterConfig& config() const { return config_; }
+
   const ReplacementCache& cache() const { return *cache_; }
   // Mutable cache access: the fault-injection path poisons entries through
   // this to exercise EvictPoisoned/ValidateCache.

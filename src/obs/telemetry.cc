@@ -91,6 +91,43 @@ void Histogram::Reset() {
   }
 }
 
+double HistogramSample::Quantile(double q) const {
+  if (total_count <= 0 || counts.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the target observation (1-based, clamped into the population).
+  const double rank = std::max(1.0, q * static_cast<double>(total_count));
+  int64_t cumulative = 0;
+  for (size_t b = 0; b < counts.size(); ++b) {
+    const int64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= rank) {
+      if (b >= bounds.size()) {
+        // Overflow bucket has no upper bound; clamp to the last edge.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double within =
+          (rank - static_cast<double>(cumulative)) / in_bucket;
+      return lo + (hi - lo) * within;
+    }
+    cumulative += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::vector<double> LatencyBucketBoundsUs() {
+  std::vector<double> bounds;
+  // 1-2-5 ladder per decade: 10us, 20us, 50us, ..., 5e6us, 1e7us.
+  for (double decade = 10.0; decade < 1e7; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  bounds.push_back(1e7);
+  return bounds;
+}
+
 int64_t TelemetrySnapshot::CounterValue(const std::string& name) const {
   for (const CounterSample& c : counters) {
     if (c.name == name) return c.value;

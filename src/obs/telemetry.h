@@ -146,7 +146,21 @@ struct HistogramSample {
   std::vector<int64_t> counts;  // bounds.size() + 1 (overflow last)
   int64_t total_count = 0;
   double sum = 0.0;
+
+  // Quantile estimate by linear interpolation inside the bucket holding
+  // the q-th ranked observation (q in [0, 1]). The first bucket
+  // interpolates from 0; observations in the overflow bucket clamp to the
+  // last bound (the estimate is a lower bound there). Returns 0 for an
+  // empty histogram. Exact enough for p50/p99 latency extraction when the
+  // bounds are log-spaced like LatencyBucketBoundsUs().
+  double Quantile(double q) const;
 };
+
+// Ascending upper bounds for per-request latency histograms, in
+// microseconds: a 1-2-5 decade ladder from 10us to 10s. Wide enough that
+// the overflow bucket only sees pathological (multi-second) requests while
+// keeping p50/p99 interpolation error within a bucket step.
+std::vector<double> LatencyBucketBoundsUs();
 
 // Per-stage aggregate derived from the span counters that GP_TRACE_SPAN
 // maintains (see obs/trace.h): "span/<name>/count" and

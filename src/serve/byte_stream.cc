@@ -1,0 +1,90 @@
+#include "serve/byte_stream.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+namespace gp {
+
+FdStream::FdStream(int fd, bool owns_fd, int cancel_fd)
+    : fd_(fd), owns_fd_(owns_fd), cancel_fd_(cancel_fd) {}
+
+FdStream::~FdStream() {
+  if (owns_fd_ && fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<size_t> FdStream::Read(void* out, size_t size) {
+  if (size == 0) return size_t{0};
+  for (;;) {
+    struct pollfd fds[2];
+    fds[0].fd = fd_;
+    fds[0].events = POLLIN;
+    fds[0].revents = 0;
+    nfds_t nfds = 1;
+    if (cancel_fd_ >= 0) {
+      fds[1].fd = cancel_fd_;
+      fds[1].events = POLLIN;
+      fds[1].revents = 0;
+      nfds = 2;
+    }
+    const int timeout =
+        (stall_timeout_ms_ > 0 && !at_frame_start_) ? stall_timeout_ms_ : -1;
+    const int ready = ::poll(fds, nfds, timeout);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return DataLossError(std::string("poll failed: ") +
+                           ::strerror(errno));
+    }
+    if (ready == 0) {
+      return DeadlineExceededError(
+          "stream stalled mid-frame (no bytes within stall timeout)");
+    }
+    if (nfds == 2 && (fds[1].revents & (POLLIN | POLLHUP)) != 0) {
+      return UnavailableError("stream cancelled (server draining)");
+    }
+    const ssize_t n = ::read(fd_, out, size);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return DataLossError(std::string("read failed: ") + ::strerror(errno));
+    }
+    if (n > 0) at_frame_start_ = false;
+    return static_cast<size_t>(n);
+  }
+}
+
+Status FdStream::Write(const void* data, size_t size) {
+  const char* p = static_cast<const char*>(data);
+  size_t written = 0;
+  while (written < size) {
+    const ssize_t n = ::write(fd_, p + written, size - written);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;
+      }
+      return DataLossError(std::string("write failed: ") +
+                           ::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<size_t> StringByteStream::Read(void* out, size_t size) {
+  const size_t n = std::min(size, input_.size() - pos_);
+  std::memcpy(out, input_.data() + pos_, n);
+  pos_ += n;
+  return n;
+}
+
+Status StringByteStream::Write(const void* data, size_t size) {
+  output_.append(static_cast<const char*>(data), size);
+  return Status::Ok();
+}
+
+}  // namespace gp

@@ -1,0 +1,99 @@
+// Blocking byte streams the serving frame layer reads from and writes to.
+//
+// Two implementations: FdStream wraps a file descriptor (socket or pipe)
+// with poll-based timeouts and an optional cancellation fd so a draining
+// server can interrupt reads that are waiting for a new request, and
+// StringByteStream runs entirely in memory for deterministic protocol and
+// server tests (pipe mode replays).
+
+#ifndef GRAPHPROMPTER_SERVE_BYTE_STREAM_H_
+#define GRAPHPROMPTER_SERVE_BYTE_STREAM_H_
+
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace gp {
+
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  // Reads up to `size` bytes into `out`. Returns the number of bytes read;
+  // 0 means end of stream. Blocks until at least one byte is available.
+  // kDeadlineExceeded when a mid-frame stall timeout fires, kUnavailable
+  // when a cancellation fd interrupts the wait, kDataLoss on hard I/O
+  // errors.
+  virtual StatusOr<size_t> Read(void* out, size_t size) = 0;
+
+  // Writes all `size` bytes, blocking as needed.
+  virtual Status Write(const void* data, size_t size) = 0;
+
+  // The frame reader calls this before reading a frame: the bytes that
+  // follow start a new frame, so an armed stall timeout must not apply to
+  // the (possibly long) idle wait for the frame's first byte — only to
+  // continuation reads inside the frame. Default: no-op.
+  virtual void MarkFrameBoundary() {}
+};
+
+// A ByteStream over a file descriptor (not owned unless `owns_fd`).
+//
+// Timeout discipline: the *first* byte of a read waits indefinitely (an
+// idle client is not an error), but once `stall_timeout_ms` is set the
+// stream arms the timeout via ArmStallTimeout() for continuation reads —
+// a client that stops sending mid-frame must not pin a worker forever.
+class FdStream : public ByteStream {
+ public:
+  // `cancel_fd`: when >= 0, a readable byte on it interrupts any pending
+  // Read with kUnavailable ("stream cancelled"). The server's drain path
+  // writes to the paired pipe end.
+  explicit FdStream(int fd, bool owns_fd = false, int cancel_fd = -1);
+  ~FdStream() override;
+
+  FdStream(const FdStream&) = delete;
+  FdStream& operator=(const FdStream&) = delete;
+
+  StatusOr<size_t> Read(void* out, size_t size) override;
+  Status Write(const void* data, size_t size) override;
+
+  // Bounds how long a mid-frame continuation Read may wait for data;
+  // <= 0 disables. The wait for a frame's first byte is never bounded
+  // (an idle client is not an error) — see MarkFrameBoundary().
+  void ArmStallTimeout(int timeout_ms) { stall_timeout_ms_ = timeout_ms; }
+
+  void MarkFrameBoundary() override { at_frame_start_ = true; }
+
+  int fd() const { return fd_; }
+
+ private:
+  int fd_;
+  bool owns_fd_;
+  int cancel_fd_;
+  int stall_timeout_ms_ = 0;
+  bool at_frame_start_ = true;
+};
+
+// In-memory stream: Read consumes from `input`, Write appends to output().
+// Deterministic and single-threaded; the pipe-mode and protocol tests use
+// it to replay byte-exact request logs.
+class StringByteStream : public ByteStream {
+ public:
+  explicit StringByteStream(std::string input) : input_(std::move(input)) {}
+  StringByteStream() = default;
+
+  StatusOr<size_t> Read(void* out, size_t size) override;
+  Status Write(const void* data, size_t size) override;
+
+  const std::string& output() const { return output_; }
+  std::string* mutable_output() { return &output_; }
+
+ private:
+  std::string input_;
+  size_t pos_ = 0;
+  std::string output_;
+};
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_SERVE_BYTE_STREAM_H_

@@ -1,0 +1,107 @@
+#include "serve/frame.h"
+
+#include <cstring>
+
+#include "util/checksum.h"
+
+namespace gp {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 12;  // magic + type + payload_len
+constexpr size_t kFooterBytes = 4;   // crc32
+
+// Reads exactly `size` bytes. Returns the number of bytes actually read
+// when the stream ends early (the caller decides whether a short count is
+// a clean EOF or a torn frame); propagates stream errors as-is.
+StatusOr<size_t> ReadFully(ByteStream* stream, void* out, size_t size) {
+  char* p = static_cast<char*>(out);
+  size_t total = 0;
+  while (total < size) {
+    GP_ASSIGN_OR_RETURN(const size_t n,
+                        stream->Read(p + total, size - total));
+    if (n == 0) break;  // end of stream
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  PayloadWriter w;
+  w.WriteU32(kFrameMagic);
+  w.WriteU32(static_cast<uint32_t>(frame.type));
+  w.WriteU32(static_cast<uint32_t>(frame.payload.size()));
+  w.WriteBytes(frame.payload.data(), frame.payload.size());
+  const uint32_t crc = Crc32(w.payload().data(), w.payload().size());
+  std::string wire = w.payload();
+  wire.append(reinterpret_cast<const char*>(&crc), sizeof(crc));
+  return wire;
+}
+
+Status WriteFrame(ByteStream* stream, const Frame& frame) {
+  const std::string wire = EncodeFrame(frame);
+  return stream->Write(wire.data(), wire.size());
+}
+
+StatusOr<Frame> ReadFrame(ByteStream* stream, uint32_t max_frame_bytes) {
+  stream->MarkFrameBoundary();
+  char header[kHeaderBytes];
+  GP_ASSIGN_OR_RETURN(const size_t header_read,
+                      ReadFully(stream, header, kHeaderBytes));
+  if (header_read == 0) {
+    // The stream ended exactly between frames: a polite close.
+    return OutOfRangeError("end of stream");
+  }
+  if (header_read < kHeaderBytes) {
+    return DataLossError("torn frame: stream ended mid-header (" +
+                         std::to_string(header_read) + " of " +
+                         std::to_string(kHeaderBytes) + " header bytes)");
+  }
+
+  uint32_t magic = 0, type = 0, payload_len = 0;
+  std::memcpy(&magic, header, 4);
+  std::memcpy(&type, header + 4, 4);
+  std::memcpy(&payload_len, header + 8, 4);
+  if (magic != kFrameMagic) {
+    return InvalidArgumentError(
+        "bad frame magic: stream is not speaking the serving protocol");
+  }
+  if (payload_len > max_frame_bytes) {
+    return InvalidArgumentError(
+        "oversized frame: payload of " + std::to_string(payload_len) +
+        " bytes exceeds the " + std::to_string(max_frame_bytes) +
+        "-byte limit");
+  }
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.resize(payload_len);
+  if (payload_len > 0) {
+    GP_ASSIGN_OR_RETURN(
+        const size_t payload_read,
+        ReadFully(stream, frame.payload.data(), payload_len));
+    if (payload_read < payload_len) {
+      return DataLossError("torn frame: stream ended mid-payload (" +
+                           std::to_string(payload_read) + " of " +
+                           std::to_string(payload_len) + " payload bytes)");
+    }
+  }
+
+  uint32_t wire_crc = 0;
+  GP_ASSIGN_OR_RETURN(const size_t crc_read,
+                      ReadFully(stream, &wire_crc, kFooterBytes));
+  if (crc_read < kFooterBytes) {
+    return DataLossError("torn frame: stream ended mid-footer");
+  }
+  uint32_t crc = Crc32(header, kHeaderBytes);
+  crc = Crc32(frame.payload.data(), frame.payload.size(), crc);
+  if (crc != wire_crc) {
+    return DataLossError("frame checksum mismatch: bytes were corrupted "
+                         "in transit");
+  }
+  return frame;
+}
+
+}  // namespace gp

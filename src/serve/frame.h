@@ -1,0 +1,65 @@
+// Length-prefixed, CRC-framed wire protocol for the serving daemon.
+//
+// Every message travels as
+//   [magic u32][type u32][payload_len u32][payload bytes][crc32 u32]
+// with the CRC covering the header and payload. The framing layer is the
+// daemon's first robustness boundary: a torn, truncated, oversized, or
+// corrupted frame is rejected with a typed error and never reaches the
+// request parser, let alone kills the process.
+//
+// Error taxonomy (what the reader returns and what the server does):
+//   kOutOfRange        clean end of stream at a frame boundary — the
+//                      connection closed politely; not an error.
+//   kDataLoss          torn frame (EOF mid-header or mid-payload) or CRC
+//                      mismatch — drop the frame, close the connection.
+//   kInvalidArgument   bad magic or oversized payload — the stream cannot
+//                      be resynchronized; close the connection.
+//   kDeadlineExceeded  stall timeout fired mid-frame (FdStream).
+//   kUnavailable       read cancelled (server draining).
+
+#ifndef GRAPHPROMPTER_SERVE_FRAME_H_
+#define GRAPHPROMPTER_SERVE_FRAME_H_
+
+#include <cstdint>
+#include <string>
+
+#include "serve/byte_stream.h"
+#include "util/status.h"
+
+namespace gp {
+
+// "GPRC" — distinct from the checkpoint magic so a checkpoint piped at the
+// daemon fails fast with kInvalidArgument.
+inline constexpr uint32_t kFrameMagic = 0x47505243;
+
+// Frames larger than this are rejected before any payload is read, so a
+// corrupted (or hostile) length prefix cannot make the server allocate
+// unbounded memory.
+inline constexpr uint32_t kDefaultMaxFrameBytes = 1u << 20;  // 1 MiB
+
+enum class FrameType : uint32_t {
+  kEvalRequest = 1,
+  kEvalResponse = 2,
+  // Client-initiated clean shutdown of a pipe-mode session.
+  kShutdown = 3,
+};
+
+struct Frame {
+  FrameType type = FrameType::kEvalRequest;
+  std::string payload;
+};
+
+// Serializes `frame` into wire bytes (header + payload + CRC footer).
+std::string EncodeFrame(const Frame& frame);
+
+// Writes `frame` to `stream`.
+Status WriteFrame(ByteStream* stream, const Frame& frame);
+
+// Reads one frame from `stream`, enforcing the taxonomy above.
+// `max_frame_bytes` bounds the payload length accepted from the wire.
+StatusOr<Frame> ReadFrame(ByteStream* stream,
+                          uint32_t max_frame_bytes = kDefaultMaxFrameBytes);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_SERVE_FRAME_H_

@@ -1,0 +1,131 @@
+#include "serve/protocol.h"
+
+#include "serve/frame.h"
+#include "util/checksum.h"
+
+namespace gp {
+
+namespace {
+
+void WriteLenPrefixed(PayloadWriter* w, const std::string& s) {
+  w->WriteU32(static_cast<uint32_t>(s.size()));
+  w->WriteBytes(s.data(), s.size());
+}
+
+bool ReadLenPrefixed(PayloadReader* r, std::string* out, size_t max_bytes) {
+  uint32_t len = 0;
+  if (!r->ReadU32(&len)) return false;
+  if (len > max_bytes) return false;
+  return r->ReadString(out, len);
+}
+
+Status Truncated(const char* what) {
+  return DataLossError(std::string("truncated ") + what + " payload");
+}
+
+}  // namespace
+
+std::string EncodeEvalRequest(const EvalRequest& request) {
+  PayloadWriter w;
+  w.WriteU32(kProtocolVersion);
+  WriteLenPrefixed(&w, request.tenant);
+  w.WriteU64(request.request_id);
+  w.WriteU64(request.deadline_us);
+  w.WriteI32(request.ways);
+  w.WriteI32(request.shots);
+  w.WriteI32(request.candidates_per_class);
+  w.WriteI32(request.num_queries);
+  w.WriteI32(request.query_batch);
+  w.WriteI32(request.trials);
+  w.WriteU64(request.seed);
+  WriteLenPrefixed(&w, request.fault_spec);
+  return w.payload();
+}
+
+StatusOr<EvalRequest> DecodeEvalRequest(const std::string& payload) {
+  PayloadReader r(payload);
+  uint32_t version = 0;
+  if (!r.ReadU32(&version)) return Truncated("request");
+  if (version != kProtocolVersion) {
+    return FailedPreconditionError(
+        "request protocol version " + std::to_string(version) +
+        " (server speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+  EvalRequest req;
+  if (!ReadLenPrefixed(&r, &req.tenant, kMaxTenantBytes)) {
+    return Truncated("request");
+  }
+  if (!r.ReadU64(&req.request_id) || !r.ReadU64(&req.deadline_us) ||
+      !r.ReadI32(&req.ways) || !r.ReadI32(&req.shots) ||
+      !r.ReadI32(&req.candidates_per_class) || !r.ReadI32(&req.num_queries) ||
+      !r.ReadI32(&req.query_batch) || !r.ReadI32(&req.trials) ||
+      !r.ReadU64(&req.seed)) {
+    return Truncated("request");
+  }
+  if (!ReadLenPrefixed(&r, &req.fault_spec, kMaxFaultSpecBytes)) {
+    return Truncated("request");
+  }
+  // Field sanity: a CRC-valid frame can still carry hostile values.
+  if (req.tenant.empty()) {
+    return InvalidArgumentError("request has an empty tenant id");
+  }
+  if (req.ways < 2 || req.ways > kMaxWays) {
+    return InvalidArgumentError("request ways out of range [2, " +
+                                std::to_string(kMaxWays) + "]: " +
+                                std::to_string(req.ways));
+  }
+  if (req.shots < 1 || req.candidates_per_class < 1 || req.trials < 1 ||
+      req.query_batch < 1) {
+    return InvalidArgumentError(
+        "request shots/candidates/trials/query_batch must be >= 1");
+  }
+  if (req.num_queries < 1 || req.num_queries > kMaxQueriesPerRequest) {
+    return InvalidArgumentError(
+        "request num_queries out of range [1, " +
+        std::to_string(kMaxQueriesPerRequest) + "]: " +
+        std::to_string(req.num_queries));
+  }
+  return req;
+}
+
+std::string EncodeEvalResponse(const EvalResponse& response) {
+  PayloadWriter w;
+  w.WriteU32(kProtocolVersion);
+  w.WriteU64(response.request_id);
+  w.WriteI32(response.status_code);
+  WriteLenPrefixed(&w, response.message);
+  w.WriteF64(response.accuracy_mean);
+  w.WriteF64(response.accuracy_std);
+  w.WriteF64(response.ms_per_query);
+  w.WriteU64(response.degradation_events);
+  w.WriteU64(response.server_latency_us);
+  w.WriteU32(response.retries);
+  return w.payload();
+}
+
+StatusOr<EvalResponse> DecodeEvalResponse(const std::string& payload) {
+  PayloadReader r(payload);
+  uint32_t version = 0;
+  if (!r.ReadU32(&version)) return Truncated("response");
+  if (version != kProtocolVersion) {
+    return FailedPreconditionError(
+        "response protocol version " + std::to_string(version) +
+        " (client speaks " + std::to_string(kProtocolVersion) + ")");
+  }
+  EvalResponse resp;
+  if (!r.ReadU64(&resp.request_id) || !r.ReadI32(&resp.status_code)) {
+    return Truncated("response");
+  }
+  if (!ReadLenPrefixed(&r, &resp.message, kDefaultMaxFrameBytes)) {
+    return Truncated("response");
+  }
+  if (!r.ReadF64(&resp.accuracy_mean) || !r.ReadF64(&resp.accuracy_std) ||
+      !r.ReadF64(&resp.ms_per_query) ||
+      !r.ReadU64(&resp.degradation_events) ||
+      !r.ReadU64(&resp.server_latency_us) || !r.ReadU32(&resp.retries)) {
+    return Truncated("response");
+  }
+  return resp;
+}
+
+}  // namespace gp

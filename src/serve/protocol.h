@@ -1,0 +1,71 @@
+// Request/response payloads carried inside serving frames (serve/frame.h).
+//
+// Payloads are flat little-endian structs built with PayloadWriter and
+// parsed with the bounds-checked PayloadReader, so truncation surfaces as
+// kDataLoss instead of garbage fields. A protocol version leads every
+// payload; a mismatch is kFailedPrecondition (the peer speaks a different
+// dialect, not a corrupted one).
+
+#ifndef GRAPHPROMPTER_SERVE_PROTOCOL_H_
+#define GRAPHPROMPTER_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace gp {
+
+inline constexpr uint32_t kProtocolVersion = 1;
+
+// Caps applied when decoding untrusted request fields; a frame that passed
+// CRC can still carry absurd values written by a buggy client.
+inline constexpr int kMaxWays = 64;
+inline constexpr int kMaxQueriesPerRequest = 4096;
+inline constexpr size_t kMaxTenantBytes = 256;
+inline constexpr size_t kMaxFaultSpecBytes = 1024;
+
+struct EvalRequest {
+  std::string tenant;       // isolation key; "" is rejected
+  uint64_t request_id = 0;  // echoed back verbatim
+  // Remaining wall-clock budget granted by the client, in microseconds;
+  // 0 means "use the server default".
+  uint64_t deadline_us = 0;
+  // Episode shape (EvalConfig subset the client controls).
+  int32_t ways = 3;
+  int32_t shots = 2;
+  int32_t candidates_per_class = 5;
+  int32_t num_queries = 8;
+  int32_t query_batch = 4;
+  int32_t trials = 1;
+  uint64_t seed = 1;
+  // Chaos hook (tests and soak only): a util/fault.h spec installed as this
+  // tenant's injector. Empty for production traffic.
+  std::string fault_spec;
+};
+
+struct EvalResponse {
+  uint64_t request_id = 0;
+  // StatusCode of the outcome; kOk carries results, anything else carries
+  // only `message`.
+  int32_t status_code = 0;
+  std::string message;
+  double accuracy_mean = 0.0;
+  double accuracy_std = 0.0;
+  double ms_per_query = 0.0;
+  // Degradation events this request charged to the tenant (isolation is
+  // asserted on these: a clean tenant must see 0).
+  uint64_t degradation_events = 0;
+  uint64_t server_latency_us = 0;
+  uint32_t retries = 0;
+};
+
+std::string EncodeEvalRequest(const EvalRequest& request);
+StatusOr<EvalRequest> DecodeEvalRequest(const std::string& payload);
+
+std::string EncodeEvalResponse(const EvalResponse& response);
+StatusOr<EvalResponse> DecodeEvalResponse(const std::string& payload);
+
+}  // namespace gp
+
+#endif  // GRAPHPROMPTER_SERVE_PROTOCOL_H_

@@ -6,7 +6,9 @@
 namespace gp {
 namespace {
 
-bool g_grad_enabled = true;
+// Grad mode is per-thread: concurrent evaluations (e.g. the serving
+// worker pool) each scope their own NoGradGuard without racing.
+thread_local bool g_grad_enabled = true;
 
 // Iterative post-order DFS producing a topological order of the autograd
 // graph (parents appear before children in `order`).

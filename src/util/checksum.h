@@ -49,6 +49,8 @@ class PayloadReader {
 
   bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
   bool ReadI32(int32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadF64(double* v) { return ReadRaw(v, sizeof(*v)); }
 
   // Copies `size` raw bytes into `out`.
   bool ReadBytes(void* out, size_t size) { return ReadRaw(out, size); }
@@ -79,6 +81,8 @@ class PayloadWriter {
  public:
   void WriteU32(uint32_t v) { WriteRaw(&v, sizeof(v)); }
   void WriteI32(int32_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteU64(uint64_t v) { WriteRaw(&v, sizeof(v)); }
+  void WriteF64(double v) { WriteRaw(&v, sizeof(v)); }
   void WriteBytes(const void* data, size_t size) { WriteRaw(data, size); }
 
   const std::string& payload() const { return payload_; }

@@ -22,6 +22,20 @@ std::unique_ptr<FaultInjector>& GlobalInjectorSlot() {
 
 FaultInjector* g_injector = nullptr;
 
+// Thread-local override: distinguishes "no override installed" from an
+// explicit null override (which suppresses the global injector).
+struct ThreadOverride {
+  bool installed = false;
+  FaultInjector* injector = nullptr;
+};
+thread_local ThreadOverride t_override;
+
+// Kept in sync with the grammar in fault.h; quoted by the unknown-kind
+// error so a typo'd --fault spec names its alternatives.
+constexpr char kValidKinds[] =
+    "embed_nan, prompt_drop, prompt_dup, cache_poison, file, slow_every, "
+    "slow_ms, serve_fail, serve_torn, serve_stall, serve_stall_ms, seed";
+
 StatusOr<double> ParseProbability(const std::string& key,
                                   const std::string& value) {
   char* end = nullptr;
@@ -64,7 +78,9 @@ const char* FileFaultModeName(FileFaultMode mode) {
 bool FaultSpec::Any() const {
   return embed_nan_prob > 0.0 || prompt_drop_prob > 0.0 ||
          prompt_dup_prob > 0.0 || cache_poison_prob > 0.0 ||
-         file_mode != FileFaultMode::kNone || slow_every > 0;
+         file_mode != FileFaultMode::kNone || slow_every > 0 ||
+         serve_fail_prob > 0.0 || serve_torn_prob > 0.0 ||
+         serve_stall_prob > 0.0;
 }
 
 StatusOr<FaultSpec> ParseFaultSpec(const std::string& spec) {
@@ -78,7 +94,7 @@ StatusOr<FaultSpec> ParseFaultSpec(const std::string& spec) {
     if (item.empty()) continue;
     const size_t eq = item.find('=');
     if (eq == std::string::npos) {
-      return InvalidArgumentError("fault spec item needs key=value: '" +
+      return InvalidArgumentError("fault spec item needs kind=value, got '" +
                                   item + "'");
     }
     const std::string key = item.substr(0, eq);
@@ -110,11 +126,21 @@ StatusOr<FaultSpec> ParseFaultSpec(const std::string& spec) {
     } else if (key == "slow_ms") {
       GP_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
       out.slow_ms = static_cast<int>(v);
+    } else if (key == "serve_fail") {
+      GP_ASSIGN_OR_RETURN(out.serve_fail_prob, ParseProbability(key, value));
+    } else if (key == "serve_torn") {
+      GP_ASSIGN_OR_RETURN(out.serve_torn_prob, ParseProbability(key, value));
+    } else if (key == "serve_stall") {
+      GP_ASSIGN_OR_RETURN(out.serve_stall_prob, ParseProbability(key, value));
+    } else if (key == "serve_stall_ms") {
+      GP_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
+      out.serve_stall_ms = static_cast<int>(v);
     } else if (key == "seed") {
       GP_ASSIGN_OR_RETURN(int64_t v, ParseInt(key, value));
       out.seed = static_cast<uint64_t>(v);
     } else {
-      return InvalidArgumentError("fault spec: unknown key '" + key + "'");
+      return InvalidArgumentError("fault spec: unknown fault kind '" + key +
+                                  "' (valid kinds: " + kValidKinds + ")");
     }
   }
   return out;
@@ -240,7 +266,52 @@ bool FaultInjector::MaybeSlowBatch() {
   return true;
 }
 
+bool FaultInjector::MaybeFailRequest() {
+  if (spec_.serve_fail_prob <= 0.0) return false;
+  if (!rng_.Bernoulli(spec_.serve_fail_prob)) return false;
+  static Counter* c = Telemetry().GetCounter("fault/transient_failures");
+  c->Add(1);
+  return true;
+}
+
+int64_t FaultInjector::TornFrameBytes(size_t frame_bytes) {
+  if (spec_.serve_torn_prob <= 0.0 || frame_bytes == 0) return -1;
+  if (!rng_.Bernoulli(spec_.serve_torn_prob)) return -1;
+  static Counter* c = Telemetry().GetCounter("fault/torn_frames");
+  c->Add(1);
+  return static_cast<int64_t>(
+      rng_.UniformInt(static_cast<uint64_t>(frame_bytes)));
+}
+
+int FaultInjector::MaybeStallMs() {
+  if (spec_.serve_stall_prob <= 0.0) return 0;
+  if (!rng_.Bernoulli(spec_.serve_stall_prob)) return 0;
+  static Counter* c = Telemetry().GetCounter("fault/client_stalls");
+  c->Add(1);
+  return spec_.serve_stall_ms;
+}
+
 FaultInjector* GlobalFaultInjector() { return g_injector; }
+
+FaultInjector* ActiveFaultInjector() {
+  return t_override.installed ? t_override.injector : g_injector;
+}
+
+ScopedThreadFaultInjector::ScopedThreadFaultInjector(FaultInjector* injector)
+    : previous_(t_override.injector) {
+  // previous_ doubles as the restore value only when an override was
+  // already installed; otherwise destruction uninstalls entirely.
+  if (!t_override.installed) previous_ = nullptr;
+  const bool was_installed = t_override.installed;
+  t_override.installed = true;
+  t_override.injector = injector;
+  installed_before_ = was_installed;
+}
+
+ScopedThreadFaultInjector::~ScopedThreadFaultInjector() {
+  t_override.installed = installed_before_;
+  t_override.injector = previous_;
+}
 
 Status ConfigureGlobalFaultInjection(const std::string& spec) {
   std::string effective = spec;

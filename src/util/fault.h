@@ -18,12 +18,21 @@
 //                   truncate | bitflip | magic
 //   slow_every=N    every Nth query batch sleeps...
 //   slow_ms=M       ...for M milliseconds (default 5)
+//   serve_fail=P    transient per-request serving failure with prob P
+//                   (the daemon's retry path; see src/serve)
+//   serve_torn=P    tear each outgoing protocol frame with prob P
+//                   (chaos clients send a truncated frame and reconnect)
+//   serve_stall=P   stall mid-frame with prob P...
+//   serve_stall_ms=M  ...for M milliseconds (default 20)
 //   seed=S          injector RNG seed (default 1337)
 //
 // Example: --fault=embed_nan=0.2,prompt_drop=0.3,seed=7
 //
-// Injection sites call through the process-global injector, which is null
-// (zero overhead beyond a pointer test) unless explicitly configured.
+// Injection sites call through ActiveFaultInjector(): a thread-local
+// override when one is installed (the serving daemon scopes a per-tenant
+// injector around each request), otherwise the process-global injector,
+// which is null (zero overhead beyond a pointer test) unless explicitly
+// configured.
 
 #ifndef GRAPHPROMPTER_UTIL_FAULT_H_
 #define GRAPHPROMPTER_UTIL_FAULT_H_
@@ -49,6 +58,12 @@ struct FaultSpec {
   FileFaultMode file_mode = FileFaultMode::kNone;
   int slow_every = 0;  // 0 disables slow-batch injection
   int slow_ms = 5;
+  // Serving-scoped faults (src/serve): transient request failures, torn
+  // protocol frames, and mid-frame client stalls.
+  double serve_fail_prob = 0.0;
+  double serve_torn_prob = 0.0;
+  double serve_stall_prob = 0.0;
+  int serve_stall_ms = 20;
   uint64_t seed = 1337;
 
   // True if any fault class is active.
@@ -86,6 +101,20 @@ class FaultInjector {
   // slow batch fired.
   bool MaybeSlowBatch();
 
+  // With serve_fail_prob, reports a transient serving failure the daemon
+  // should retry with backoff.
+  bool MaybeFailRequest();
+
+  // With serve_torn_prob, returns how many leading bytes of a
+  // `frame_bytes`-long outgoing frame a chaos client should send before
+  // abandoning it (in [0, frame_bytes)); -1 means send the frame intact.
+  int64_t TornFrameBytes(size_t frame_bytes);
+
+  // With serve_stall_prob, returns the number of milliseconds a chaos
+  // client should stall mid-frame; 0 means no stall this time. The caller
+  // sleeps, so the injector's decisions stay deterministic.
+  int MaybeStallMs();
+
  private:
   FaultSpec spec_;
   Rng rng_;
@@ -95,6 +124,29 @@ class FaultInjector {
 // Process-global injector: null until configured. Injection sites treat
 // null as "fault injection disabled".
 FaultInjector* GlobalFaultInjector();
+
+// The injector injection sites should consult: the calling thread's
+// scoped override when one is installed, otherwise the global injector.
+// The serving daemon uses the override to give each tenant its own
+// deterministic fault stream without cross-tenant interference.
+FaultInjector* ActiveFaultInjector();
+
+// RAII thread-local override (non-owning): installs `injector` as the
+// calling thread's active injector, restores the previous override on
+// destruction. Pass null to suppress the global injector on this thread.
+class ScopedThreadFaultInjector {
+ public:
+  explicit ScopedThreadFaultInjector(FaultInjector* injector);
+  ~ScopedThreadFaultInjector();
+
+  ScopedThreadFaultInjector(const ScopedThreadFaultInjector&) = delete;
+  ScopedThreadFaultInjector& operator=(const ScopedThreadFaultInjector&) =
+      delete;
+
+ private:
+  FaultInjector* previous_;
+  bool installed_before_ = false;
+};
 
 // Parses `spec` and installs it globally (empty spec uninstalls). When
 // `spec` is empty, the GP_FAULT environment variable is consulted first.

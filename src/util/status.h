@@ -26,6 +26,11 @@ enum class StatusCode {
   // Unrecoverable loss or corruption of stored data (truncated or
   // bit-flipped checkpoint/graph files).
   kDataLoss = 7,
+  // The service cannot take the request right now (admission queue full,
+  // circuit breaker open, transient backend failure). Retryable.
+  kUnavailable = 8,
+  // The request's deadline budget expired before the work completed.
+  kDeadlineExceeded = 9,
 };
 
 // Returns a short human-readable name for `code` ("OK", "INVALID_ARGUMENT"…).
@@ -61,6 +66,8 @@ Status FailedPreconditionError(std::string message);
 Status InternalError(std::string message);
 Status UnimplementedError(std::string message);
 Status DataLossError(std::string message);
+Status UnavailableError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // Holds either a value of type T or an error Status.
 //

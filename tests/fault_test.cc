@@ -49,6 +49,42 @@ TEST(ParseFaultSpecTest, RejectsBadInput) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(ParseFaultSpecTest, ServeFaultsParse) {
+  auto spec = ParseFaultSpec(
+      "serve_fail=0.25,serve_torn=0.5,serve_stall=0.125,serve_stall_ms=9");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_DOUBLE_EQ(spec->serve_fail_prob, 0.25);
+  EXPECT_DOUBLE_EQ(spec->serve_torn_prob, 0.5);
+  EXPECT_DOUBLE_EQ(spec->serve_stall_prob, 0.125);
+  EXPECT_EQ(spec->serve_stall_ms, 9);
+  EXPECT_TRUE(spec->Any());
+  EXPECT_EQ(ParseFaultSpec("serve_fail=1.5").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Pins the grammar's error reporting: a bad spec must name the offending
+// token (and, for an unknown kind, list the alternatives) so a typo'd
+// --fault flag is diagnosable from the message alone.
+TEST(ParseFaultSpecTest, ErrorsNameTheOffendingToken) {
+  const Status unknown = ParseFaultSpec("no_such_key=1").status();
+  EXPECT_EQ(unknown.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(unknown.message(),
+            "fault spec: unknown fault kind 'no_such_key' (valid kinds: "
+            "embed_nan, prompt_drop, prompt_dup, cache_poison, file, "
+            "slow_every, slow_ms, serve_fail, serve_torn, serve_stall, "
+            "serve_stall_ms, seed)");
+
+  const Status bad_rate = ParseFaultSpec("embed_nan=abc").status();
+  EXPECT_EQ(bad_rate.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(bad_rate.message(),
+            "fault spec: embed_nan needs a probability in [0,1], got 'abc'");
+
+  const Status no_value = ParseFaultSpec("keyonly").status();
+  EXPECT_EQ(no_value.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(no_value.message(),
+            "fault spec item needs kind=value, got 'keyonly'");
+}
+
 TEST(ParseFaultSpecTest, ToleratesEmptyItems) {
   auto spec = ParseFaultSpec(",embed_nan=0.5,,");
   ASSERT_TRUE(spec.ok());
@@ -178,6 +214,69 @@ TEST(FaultInjectorTest, MaybeSlowBatchFiresEveryNth) {
   }
   EXPECT_EQ(fired, 3);
   EXPECT_FALSE(FaultInjector(FaultSpec{}).MaybeSlowBatch());
+}
+
+TEST(FaultInjectorTest, ServeFaultsAreDeterministicPerSeed) {
+  FaultSpec spec;
+  spec.serve_fail_prob = 0.5;
+  spec.serve_torn_prob = 0.5;
+  spec.serve_stall_prob = 0.5;
+  spec.serve_stall_ms = 3;
+  spec.seed = 11;
+
+  auto run = [&spec]() {
+    FaultInjector injector(spec);
+    std::vector<int64_t> decisions;
+    for (int i = 0; i < 32; ++i) {
+      decisions.push_back(injector.MaybeFailRequest() ? 1 : 0);
+      decisions.push_back(injector.TornFrameBytes(64));
+      decisions.push_back(injector.MaybeStallMs());
+    }
+    return decisions;
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a, b);
+  // Each class fired at least once at p = 0.5 over 32 rounds.
+  bool failed = false, torn = false, stalled = false;
+  for (size_t i = 0; i < a.size(); i += 3) {
+    failed = failed || a[i] == 1;
+    torn = torn || a[i + 1] >= 0;
+    stalled = stalled || a[i + 2] > 0;
+  }
+  EXPECT_TRUE(failed);
+  EXPECT_TRUE(torn);
+  EXPECT_TRUE(stalled);
+  // A torn frame always keeps fewer bytes than the full frame.
+  for (size_t i = 1; i < a.size(); i += 3) EXPECT_LT(a[i], 64);
+
+  // Disabled spec never fires.
+  FaultInjector off((FaultSpec()));
+  EXPECT_FALSE(off.MaybeFailRequest());
+  EXPECT_EQ(off.TornFrameBytes(64), -1);
+  EXPECT_EQ(off.MaybeStallMs(), 0);
+}
+
+TEST(ThreadFaultInjectionTest, ScopedOverrideShadowsGlobal) {
+  FaultSpec global_spec;
+  global_spec.prompt_drop_prob = 1.0;
+  ScopedFaultInjection global(global_spec);
+  ASSERT_EQ(ActiveFaultInjector(), GlobalFaultInjector());
+
+  FaultSpec tenant_spec;
+  tenant_spec.serve_fail_prob = 1.0;
+  FaultInjector tenant(tenant_spec);
+  {
+    ScopedThreadFaultInjector scoped(&tenant);
+    EXPECT_EQ(ActiveFaultInjector(), &tenant);
+    {
+      // An explicit null override suppresses the global injector entirely.
+      ScopedThreadFaultInjector suppressed(nullptr);
+      EXPECT_EQ(ActiveFaultInjector(), nullptr);
+    }
+    EXPECT_EQ(ActiveFaultInjector(), &tenant);
+  }
+  EXPECT_EQ(ActiveFaultInjector(), GlobalFaultInjector());
 }
 
 TEST(GlobalFaultInjectionTest, ConfigureInstallsAndClears) {

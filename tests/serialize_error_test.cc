@@ -73,6 +73,46 @@ TEST(CheckpointErrorTest, TruncatedFileIsDataLoss) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointErrorTest, TornMidHeaderIsDataLoss) {
+  GraphPrompterModel model(TinyConfig());
+  const std::string path = SaveCheckpoint(model, "torn_header_ckpt.bin");
+
+  // Cut the file inside the 8-byte magic+version header — fewer bytes than
+  // the minimal frame (header + CRC footer) can ever occupy. The loader
+  // must identify the torn frame before touching any field.
+  const std::string contents = ReadFile(path);
+  ASSERT_GT(contents.size(), 12u);
+  for (const size_t keep : {size_t{1}, size_t{5}, size_t{11}}) {
+    WriteFile(path, contents.substr(0, keep));
+    GraphPrompterModel restored(TinyConfig());
+    const Status status = LoadModule(&restored, path);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+        << "torn at " << keep << " bytes: " << status.ToString();
+    EXPECT_NE(status.message().find("truncated"), std::string::npos)
+        << status.ToString();
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointErrorTest, TornMidPayloadIsDataLoss) {
+  GraphPrompterModel model(TinyConfig());
+  const std::string path = SaveCheckpoint(model, "torn_payload_ckpt.bin");
+
+  // Cut the file mid-payload: the header survives, so the tear is caught
+  // by the CRC footer (the trailing 4 bytes now hold payload data).
+  const std::string contents = ReadFile(path);
+  ASSERT_GT(contents.size(), 40u);
+  for (const size_t keep : {size_t{16}, contents.size() / 2,
+                            contents.size() - 1}) {
+    WriteFile(path, contents.substr(0, keep));
+    GraphPrompterModel restored(TinyConfig());
+    const Status status = LoadModule(&restored, path);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+        << "torn at " << keep << " bytes: " << status.ToString();
+  }
+  std::remove(path.c_str());
+}
+
 TEST(CheckpointErrorTest, FlippedBitIsDataLoss) {
   GraphPrompterModel model(TinyConfig());
   const std::string path = SaveCheckpoint(model, "flip_ckpt.bin");

@@ -1,0 +1,136 @@
+// Request/response payload codec tests: roundtrips, truncation taxonomy,
+// version gating, and field-range validation of untrusted wire values.
+
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace gp {
+namespace {
+
+EvalRequest TestRequest() {
+  EvalRequest req;
+  req.tenant = "tenant-a";
+  req.request_id = 77;
+  req.deadline_us = 250000;
+  req.ways = 4;
+  req.shots = 2;
+  req.candidates_per_class = 6;
+  req.num_queries = 12;
+  req.query_batch = 4;
+  req.trials = 2;
+  req.seed = 99;
+  req.fault_spec = "embed_nan=0.5,seed=3";
+  return req;
+}
+
+TEST(ProtocolTest, RequestRoundTrip) {
+  const EvalRequest req = TestRequest();
+  auto decoded = DecodeEvalRequest(EncodeEvalRequest(req));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->tenant, req.tenant);
+  EXPECT_EQ(decoded->request_id, req.request_id);
+  EXPECT_EQ(decoded->deadline_us, req.deadline_us);
+  EXPECT_EQ(decoded->ways, req.ways);
+  EXPECT_EQ(decoded->shots, req.shots);
+  EXPECT_EQ(decoded->candidates_per_class, req.candidates_per_class);
+  EXPECT_EQ(decoded->num_queries, req.num_queries);
+  EXPECT_EQ(decoded->query_batch, req.query_batch);
+  EXPECT_EQ(decoded->trials, req.trials);
+  EXPECT_EQ(decoded->seed, req.seed);
+  EXPECT_EQ(decoded->fault_spec, req.fault_spec);
+}
+
+TEST(ProtocolTest, ResponseRoundTrip) {
+  EvalResponse resp;
+  resp.request_id = 77;
+  resp.status_code = static_cast<int32_t>(StatusCode::kDeadlineExceeded);
+  resp.message = "deadline of 1000us expired";
+  resp.accuracy_mean = 61.25;
+  resp.accuracy_std = 4.5;
+  resp.ms_per_query = 0.75;
+  resp.degradation_events = 3;
+  resp.server_latency_us = 1234;
+  resp.retries = 2;
+  auto decoded = DecodeEvalResponse(EncodeEvalResponse(resp));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->request_id, resp.request_id);
+  EXPECT_EQ(decoded->status_code, resp.status_code);
+  EXPECT_EQ(decoded->message, resp.message);
+  EXPECT_DOUBLE_EQ(decoded->accuracy_mean, resp.accuracy_mean);
+  EXPECT_DOUBLE_EQ(decoded->accuracy_std, resp.accuracy_std);
+  EXPECT_DOUBLE_EQ(decoded->ms_per_query, resp.ms_per_query);
+  EXPECT_EQ(decoded->degradation_events, resp.degradation_events);
+  EXPECT_EQ(decoded->server_latency_us, resp.server_latency_us);
+  EXPECT_EQ(decoded->retries, resp.retries);
+}
+
+TEST(ProtocolTest, EveryRequestTruncationIsDataLoss) {
+  const std::string wire = EncodeEvalRequest(TestRequest());
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto decoded = DecodeEvalRequest(wire.substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss)
+        << "cut=" << cut << ": " << decoded.status().ToString();
+  }
+}
+
+TEST(ProtocolTest, EveryResponseTruncationIsDataLoss) {
+  EvalResponse resp;
+  resp.request_id = 1;
+  resp.message = "ok";
+  const std::string wire = EncodeEvalResponse(resp);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    auto decoded = DecodeEvalResponse(wire.substr(0, cut));
+    ASSERT_FALSE(decoded.ok()) << "cut=" << cut;
+    EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss) << "cut=" << cut;
+  }
+}
+
+TEST(ProtocolTest, VersionMismatchIsFailedPrecondition) {
+  std::string wire = EncodeEvalRequest(TestRequest());
+  wire[0] = static_cast<char>(kProtocolVersion + 1);
+  auto decoded = DecodeEvalRequest(wire);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ProtocolTest, FieldRangeValidation) {
+  EvalRequest req = TestRequest();
+  req.tenant = "";
+  EXPECT_EQ(DecodeEvalRequest(EncodeEvalRequest(req)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  req = TestRequest();
+  req.ways = 1;
+  EXPECT_EQ(DecodeEvalRequest(EncodeEvalRequest(req)).status().code(),
+            StatusCode::kInvalidArgument);
+  req.ways = kMaxWays + 1;
+  EXPECT_EQ(DecodeEvalRequest(EncodeEvalRequest(req)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  req = TestRequest();
+  req.num_queries = 0;
+  EXPECT_EQ(DecodeEvalRequest(EncodeEvalRequest(req)).status().code(),
+            StatusCode::kInvalidArgument);
+  req.num_queries = kMaxQueriesPerRequest + 1;
+  EXPECT_EQ(DecodeEvalRequest(EncodeEvalRequest(req)).status().code(),
+            StatusCode::kInvalidArgument);
+
+  req = TestRequest();
+  req.trials = 0;
+  EXPECT_EQ(DecodeEvalRequest(EncodeEvalRequest(req)).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ProtocolTest, OversizedTenantRejected) {
+  EvalRequest req = TestRequest();
+  req.tenant = std::string(kMaxTenantBytes + 1, 't');
+  // The length prefix exceeds the cap, so decoding reports loss/corruption
+  // rather than allocating an attacker-controlled string.
+  EXPECT_FALSE(DecodeEvalRequest(EncodeEvalRequest(req)).ok());
+}
+
+}  // namespace
+}  // namespace gp

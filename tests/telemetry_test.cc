@@ -69,6 +69,58 @@ TEST_F(TelemetryTest, HistogramBucketsAndOverflow) {
   EXPECT_DOUBLE_EQ(h->Sum(), 0.5 + 1.0 + 7.0 + 50.0 + 1000.0);
 }
 
+TEST_F(TelemetryTest, QuantileInterpolatesWithinBucket) {
+  // 100 observations spread uniformly over (0, 100]; bucket edges every 10.
+  Histogram* h = Telemetry().GetHistogram(
+      "test/quantile",
+      {10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0});
+  for (int i = 1; i <= 100; ++i) h->Observe(static_cast<double>(i));
+
+  TelemetrySnapshot snapshot = Telemetry().Snapshot();
+  const HistogramSample* sample = snapshot.FindHistogram("test/quantile");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->total_count, 100);
+  // Each bucket holds 10 observations, so the q-th quantile of the
+  // uniform population lands within one interpolation step of 100q.
+  EXPECT_NEAR(sample->Quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(sample->Quantile(0.9), 90.0, 1.0);
+  EXPECT_NEAR(sample->Quantile(0.99), 99.0, 1.0);
+  // Extremes clamp into the population instead of extrapolating.
+  EXPECT_GT(sample->Quantile(0.0), 0.0);
+  EXPECT_LE(sample->Quantile(1.0), 100.0);
+}
+
+TEST_F(TelemetryTest, QuantileEdgeCases) {
+  Histogram* h = Telemetry().GetHistogram("test/quantile_edge", {1.0, 2.0});
+  TelemetrySnapshot empty = Telemetry().Snapshot();
+  const HistogramSample* sample = empty.FindHistogram("test/quantile_edge");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_EQ(sample->Quantile(0.5), 0.0);  // empty histogram
+
+  // All mass in the overflow bucket clamps to the last bound.
+  h->Observe(100.0);
+  h->Observe(200.0);
+  TelemetrySnapshot overflow = Telemetry().Snapshot();
+  sample = overflow.FindHistogram("test/quantile_edge");
+  ASSERT_NE(sample, nullptr);
+  EXPECT_DOUBLE_EQ(sample->Quantile(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(sample->Quantile(0.99), 2.0);
+}
+
+TEST_F(TelemetryTest, LatencyBucketBoundsAreAscending) {
+  const std::vector<double> bounds = LatencyBucketBoundsUs();
+  ASSERT_GE(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+  EXPECT_DOUBLE_EQ(bounds.front(), 10.0);    // 10us floor
+  EXPECT_DOUBLE_EQ(bounds.back(), 1e7);      // 10s ceiling
+  // Registry accepts them (strictly ascending is CHECKed on registration).
+  Histogram* h = Telemetry().GetHistogram("test/latency_us", bounds);
+  h->Observe(1234.0);
+  EXPECT_EQ(h->TotalCount(), 1);
+}
+
 TEST_F(TelemetryTest, HistogramReset) {
   Histogram* h = Telemetry().GetHistogram("test/hist_reset", {1.0});
   h->Observe(0.5);

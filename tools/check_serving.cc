@@ -1,0 +1,126 @@
+// Serving-regression gate for scripts/check.sh: reads the bench_serving
+// report (results/BENCH_serving.json) and fails unless
+//   - clean-mode p99 latency stays under the budget,
+//   - the chaos phase recorded zero cross-tenant degradation events,
+//   - the chaos phase recorded zero crashes and zero clean-tenant
+//     deadline violations.
+//
+//   ./tools/check_serving <BENCH_serving.json> [--p99-budget-us=N]
+//
+// Exits 0 when the gate passes, 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+#include "util/flags.h"
+
+namespace gp {
+namespace {
+
+using json::JsonValue;
+
+// Headline metrics live in {"results": [{"label":..., "value":...}, ...]}.
+bool ReadResult(const JsonValue& root, const std::string& label,
+                double* out) {
+  const JsonValue* results = root.Find("results");
+  if (results == nullptr || !results->IsArray()) return false;
+  for (const JsonValue& entry : results->elements) {
+    if (!entry.IsObject()) continue;
+    const JsonValue* entry_label = entry.Find("label");
+    const JsonValue* value = entry.Find("value");
+    if (entry_label == nullptr || value == nullptr) continue;
+    if (entry_label->string_value == label && value->IsNumber()) {
+      *out = value->number_value;
+      return true;
+    }
+  }
+  return false;
+}
+
+int Run(const std::string& path, double p99_budget_us) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "check_serving: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const auto root_or = json::ParseJson(buffer.str());
+  if (!root_or.ok()) {
+    std::fprintf(stderr, "check_serving: %s: parse error: %s\n",
+                 path.c_str(), root_or.status().ToString().c_str());
+    return 1;
+  }
+  const JsonValue& root = *root_or;
+
+  struct Gate {
+    const char* label;
+    bool required;
+    double value;
+    bool present;
+  };
+  Gate gates[] = {
+      {"serve/clean/p99_us", true, 0.0, false},
+      {"serve/clean/p50_us", false, 0.0, false},
+      {"serve/chaos/cross_tenant_degradation_events", true, 0.0, false},
+      {"serve/chaos/crashes", true, 0.0, false},
+      {"serve/chaos/clean_tenant_deadline_violations", true, 0.0, false},
+  };
+  for (Gate& gate : gates) {
+    gate.present = ReadResult(root, gate.label, &gate.value);
+    if (gate.required && !gate.present) {
+      std::fprintf(stderr, "check_serving: %s: missing result '%s'\n",
+                   path.c_str(), gate.label);
+      return 1;
+    }
+  }
+
+  bool ok = true;
+  const double p99 = gates[0].value;
+  std::printf("check_serving: clean p99 %.0fus (budget %.0fus)\n", p99,
+              p99_budget_us);
+  if (p99 > p99_budget_us) {
+    std::fprintf(stderr,
+                 "check_serving: FAIL clean p99 %.0fus exceeds budget "
+                 "%.0fus\n",
+                 p99, p99_budget_us);
+    ok = false;
+  }
+  for (size_t i = 2; i < sizeof(gates) / sizeof(gates[0]); ++i) {
+    std::printf("check_serving: %s = %.0f\n", gates[i].label,
+                gates[i].value);
+    if (gates[i].value != 0.0) {
+      std::fprintf(stderr, "check_serving: FAIL %s must be 0, got %.0f\n",
+                   gates[i].label, gates[i].value);
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace gp
+
+int main(int argc, char** argv) {
+  gp::Flags flags(argc, argv);
+  // Flags ignores positional arguments; the report path is the first
+  // argument not starting with "--".
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      path = arg;
+      break;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s <BENCH_serving.json> [--p99-budget-us=N]\n",
+                 argv[0]);
+    return 1;
+  }
+  return gp::Run(path, flags.GetDouble("p99-budget-us", 2000000.0));
+}
